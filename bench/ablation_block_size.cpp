@@ -1,0 +1,78 @@
+/// Ablation: the measurement block size is the library's central design
+/// knob (DESIGN.md).  It trades off:
+///   - interrupt latency (one block measurement is the non-preemptible
+///     unit of an interruptible MP),
+///   - per-block overheads (lock syscalls, SMARM permutation storage),
+///   - SMARM's escape probability (more blocks -> closer to e^-1 per
+///     round, but also more per-round moves for the malware).
+
+#include <cstdio>
+#include <vector>
+
+#include "src/apps/scenario.hpp"
+#include "src/smarm/escape.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+namespace {
+
+struct Row {
+  std::size_t block_size;
+  std::size_t blocks;
+  sim::Duration block_cost;
+  sim::Duration duration;
+  double escape;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: measurement block size ===\n");
+  std::printf("Fixed 1 MiB attested memory, SHA-256, interruptible MP.\n\n");
+
+  constexpr std::size_t kMemory = 1 << 20;
+  std::vector<Row> rows;
+  for (std::size_t block_size : {1024u, 4096u, 16384u, 65536u}) {
+    apps::LockScenarioConfig config;
+    config.blocks = kMemory / block_size;
+    config.block_size = block_size;
+    config.mode = attest::ExecutionMode::kInterruptible;
+    const auto outcome = apps::run_lock_scenario(config);
+
+    sim::Simulator probe_sim;
+    sim::Device probe(probe_sim, sim::DeviceConfig{"probe", kMemory, block_size,
+                                                   support::to_bytes("k")});
+    attest::ProverConfig pc;
+    pc.mode = attest::ExecutionMode::kInterruptible;
+    attest::AttestationProcess mp(probe, pc);
+
+    rows.push_back(Row{block_size, config.blocks, mp.block_cost(),
+                       outcome.measurement_duration,
+                       smarm::single_round_escape(config.blocks)});
+  }
+  const double base_duration = static_cast<double>(rows.back().duration);
+
+  support::Table table({"block size", "blocks n", "block cost (interrupt latency)",
+                        "MP duration", "overhead vs 64KiB", "SMARM escape/round",
+                        "perm. storage"});
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.block_size / 1024) + " KiB",
+                   std::to_string(row.blocks), sim::format_duration(row.block_cost),
+                   sim::format_duration(row.duration),
+                   support::fmt_percent(
+                       static_cast<double>(row.duration) / base_duration - 1.0, 1),
+                   support::fmt_double(row.escape, 3),
+                   std::to_string(row.blocks * 8) + " B"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Reading the ablation:\n");
+  std::printf(" * small blocks: microsecond interrupt latency and SMARM escape\n");
+  std::printf("   closest to the e^-1 bound, but per-block overhead (lock syscall,\n");
+  std::printf("   state save) inflates total MP time and permutation storage;\n");
+  std::printf(" * large blocks: negligible overhead but the critical task can be\n");
+  std::printf("   stalled for a whole block measurement — the knob interpolates\n");
+  std::printf("   between SMART (one giant block) and fine-grained TrustLite.\n");
+  return 0;
+}

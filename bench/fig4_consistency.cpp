@@ -1,0 +1,125 @@
+/// Figure 4 reproduction: the consistency timeline.  A write lands at one
+/// of the four epochs relative to the measurement —
+///   A: before t_s,  B: during [t_s, visit(target)),
+///   C: during (visit(target), t_e],  D: after t_r —
+/// and for each locking mechanism we report whether the MPU admitted the
+/// write and with which canonical instants the report stays consistent.
+/// Paper: changes at A or D never matter; the effect of B or C depends on
+/// the mechanism.
+
+#include <cstdio>
+
+#include "src/attest/prover.hpp"
+#include "src/attest/verifier.hpp"
+#include "src/locking/consistency.hpp"
+#include "src/locking/policies.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+namespace {
+
+constexpr std::size_t kBlocks = 16;
+constexpr std::size_t kBlockSize = 1024;
+constexpr std::size_t kTarget = 8;  // block receiving the write
+
+struct EpochOutcome {
+  bool write_admitted = false;
+  locking::ConsistencyVerdict verdict;
+  bool completed = false;
+};
+
+EpochOutcome run_epoch(locking::LockMechanism lock, char epoch) {
+  sim::Simulator simulator;
+  sim::Device device(simulator, sim::DeviceConfig{"prv-f4", kBlocks * kBlockSize,
+                                                  kBlockSize, support::to_bytes("f4")});
+  support::Xoshiro256 rng(9);
+  support::Bytes image(device.memory().size());
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+  device.memory().load(image);
+
+  auto policy = locking::make_lock_policy(lock, /*release_delay=*/5 * sim::kMillisecond);
+  attest::ProverConfig config;
+  config.mode = attest::ExecutionMode::kInterruptible;
+  attest::AttestationProcess mp(device, config, policy.get());
+
+  const sim::Time t_mp = 10 * sim::kMillisecond;
+  const sim::Duration block_cost = mp.block_cost();
+  // Visit of block kTarget completes after (kTarget + 1) block segments.
+  sim::Time write_at = 0;
+  switch (epoch) {
+    case 'A': write_at = t_mp - sim::kMillisecond; break;
+    case 'B': write_at = t_mp + block_cost * 3; break;
+    case 'C': write_at = t_mp + block_cost * 13; break;
+    case 'D': write_at = t_mp + block_cost * 20 + 8 * sim::kMillisecond; break;
+  }
+
+  EpochOutcome outcome;
+  // DMA-style write (a peripheral filling a buffer): instantaneous at the
+  // scheduled time, still subject to the MPU.
+  simulator.schedule_at(write_at, [&] {
+    outcome.write_admitted = device.memory().write(
+        kTarget * kBlockSize + 7, support::to_bytes("peripheral-data"),
+        simulator.now(), sim::Actor::kApplication);
+  });
+
+  std::optional<attest::AttestationResult> attestation;
+  simulator.schedule_at(t_mp, [&] {
+    mp.start(attest::MeasurementContext{device.id(), {}, 1},
+             [&](attest::AttestationResult result) {
+               attestation = std::move(result);
+               outcome.completed = true;
+             });
+  });
+  // Analyze only after the simulation quiesces so an epoch-D write (after
+  // t_r) is already in the log.
+  simulator.run();
+  if (attestation) {
+    locking::ConsistencyAnalyzer analyzer(*attestation, device.memory().write_log(), 0);
+    outcome.verdict = analyzer.verdict();
+  }
+  return outcome;
+}
+
+std::string verdict_cell(const EpochOutcome& outcome) {
+  if (!outcome.completed) return "(incomplete)";
+  std::string cells;
+  cells += outcome.write_admitted ? "admitted; " : "BLOCKED; ";
+  std::string at;
+  if (outcome.verdict.at_ts) at += "t_s ";
+  if (outcome.verdict.at_te) at += "t_e ";
+  if (outcome.verdict.at_tr) at += "t_r";
+  cells += at.empty() ? "consistent: none" : "consistent: " + at;
+  return cells;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 4: effect of a write at epochs A/B/C/D ===\n");
+  std::printf("16-block measurement, write targets block %zu (visited mid-sweep);\n",
+              kTarget);
+  std::printf("A: before t_s   B: in [t_s, visit)   C: in (visit, t_e]   D: after t_r\n\n");
+
+  support::Table table({"mechanism", "A (before t_s)", "B (pre-visit)", "C (post-visit)",
+                        "D (after t_r)"});
+  for (locking::LockMechanism lock : locking::kAllLockMechanisms) {
+    std::vector<std::string> row = {locking::lock_mechanism_name(lock)};
+    for (char epoch : {'A', 'B', 'C', 'D'}) {
+      row.push_back(verdict_cell(run_epoch(lock, epoch)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Reading the table against the paper:\n");
+  std::printf(" * A and D never hurt: every mechanism stays consistent at t_s..t_r\n");
+  std::printf("   (for D, the consistency window simply closes before the late write).\n");
+  std::printf(" * B (change before the block is visited): breaks consistency-at-t_s\n");
+  std::printf("   under No-Lock and Inc-Lock; All/Dec-Lock block the write instead.\n");
+  std::printf(" * C (change after the block is visited): breaks consistency-at-t_e\n");
+  std::printf("   under No-Lock and Dec-Lock; All-Lock and Inc-Lock block it; the\n");
+  std::printf("   -Ext variants additionally keep M constant until t_r.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+/// Figure 5 reproduction: Quality of Attestation under ERASMUS.
+/// Self-measurements run every T_M; the verifier collects every T_C.
+/// Infection 1 (short, falls between two measurements) goes undetected;
+/// Infection 2 (spans a measurement) is detected and reported at the next
+/// collection.  A sweep shows detection probability scaling with dwell/T_M
+/// independently of T_C, which only sets the reporting latency.
+
+#include <cstdio>
+
+#include "src/malware/transient.hpp"
+#include "src/selfmeasure/erasmus.hpp"
+#include "src/selfmeasure/qoa.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+namespace {
+
+struct Fig5Setup {
+  sim::Simulator simulator;
+  sim::Device device;
+  attest::Verifier verifier;
+  sim::Link to_prv;
+  sim::Link to_vrf;
+
+  Fig5Setup()
+      : device(simulator, sim::DeviceConfig{"prv-f5", 32 * 1024, 1024,
+                                            support::to_bytes("f5-key")}),
+        verifier(crypto::HashKind::kSha256, support::to_bytes("f5-key"),
+                 [&] {
+                   support::Xoshiro256 rng(17);
+                   support::Bytes image(32 * 1024);
+                   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+                   device.memory().load(image);
+                   return image;
+                 }(),
+                 1024),
+        to_prv(simulator, {}),
+        to_vrf(simulator, {}) {}
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 5: QoA — T_M vs. T_C ===\n");
+  std::printf("T_M = 10 s (self-measurements), T_C = 50 s (collections).\n\n");
+
+  Fig5Setup fx;
+  selfm::ErasmusConfig config;
+  config.period = 10 * sim::kSecond;
+  selfm::ErasmusProver prover(fx.device, config);
+  selfm::Collector collector(fx.verifier, prover, fx.to_prv, fx.to_vrf,
+                             50 * sim::kSecond);
+
+  // Infection 1: t in [12 s, 17 s] — inside one T_M gap -> undetected.
+  malware::TransientConfig inf1;
+  inf1.block = 5;
+  inf1.infect_at = sim::from_seconds(12);
+  inf1.dwell = 5 * sim::kSecond;
+  inf1.marker = 0x11;
+  malware::TransientMalware malware1(fx.device, inf1);
+  malware1.arm();
+
+  // Infection 2: t in [55 s, 78 s] — spans measurements at 60/70 s -> detected.
+  malware::TransientConfig inf2;
+  inf2.block = 21;
+  inf2.infect_at = sim::from_seconds(55);
+  inf2.dwell = 23 * sim::kSecond;
+  inf2.marker = 0x22;
+  malware::TransientMalware malware2(fx.device, inf2);
+  malware2.arm();
+
+  prover.start(sim::from_seconds(120));
+  collector.start(sim::from_seconds(130));
+  fx.simulator.run();
+
+  std::vector<sim::Time> collection_times;
+  for (const auto& record : collector.records()) collection_times.push_back(record.at);
+
+  support::Table timeline({"infection", "window", "measured while resident?",
+                           "Vrf learns at", "detection latency"});
+  const malware::TransientMalware* infections[] = {&malware1, &malware2};
+  int idx = 1;
+  for (const auto* m : infections) {
+    const auto& iv = m->history().front();
+    const auto analysis = selfm::analyze_infection(
+        prover.measurement_times(), collection_times, iv.begin,
+        iv.end.value_or(sim::from_seconds(120)));
+    char window[64];
+    std::snprintf(window, sizeof(window), "[%.0f s, %.0f s]", sim::to_seconds(iv.begin),
+                  sim::to_seconds(iv.end.value_or(0)));
+    timeline.add_row(
+        {"Infection " + std::to_string(idx++), window,
+         analysis.detected ? "YES" : "no  (fits between measurements)",
+         analysis.reported_at ? sim::format_duration(*analysis.reported_at) : "-",
+         analysis.detection_latency ? sim::format_duration(*analysis.detection_latency)
+                                    : "-"});
+  }
+  std::printf("%s\n", timeline.render().c_str());
+
+  std::size_t bad_reports = 0;
+  for (const auto& record : collector.records()) bad_reports += record.reports_bad;
+  std::printf("Collector verdicts: %zu collections, %zu bad report(s) — matches the\n",
+              collector.records().size(), bad_reports);
+  std::printf("ground truth above (only Infection 2 overlapped measurements).\n\n");
+
+  // ---- sweep: detection probability vs dwell / T_M -------------------------
+  std::printf("--- detection probability vs. infection dwell (T_M = 10 s) ---\n");
+  support::Table sweep({"dwell", "analytic min(1, d/T_M)", "simulated (random phase)"});
+  support::Xoshiro256 phase_rng(23);
+  for (double dwell_s : {1.0, 2.0, 5.0, 8.0, 10.0, 15.0, 20.0}) {
+    const sim::Duration dwell = sim::from_seconds(dwell_s);
+    int detected = 0;
+    constexpr int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+      const sim::Time begin =
+          sim::from_seconds(20) + phase_rng.below(10 * sim::kSecond);
+      const auto analysis = selfm::analyze_infection(prover.measurement_times(),
+                                                     collection_times, begin,
+                                                     begin + dwell);
+      detected += analysis.detected;
+    }
+    sweep.add_row({support::fmt_double(dwell_s, 0) + " s",
+                   support::fmt_double(selfm::analytic_detection_probability(
+                                           10 * sim::kSecond, dwell),
+                                       3),
+                   support::fmt_double(static_cast<double>(detected) / kTrials, 3)});
+  }
+  std::printf("%s\n", sweep.render().c_str());
+
+  // ---- Vrf participation: on-demand vs ERASMUS at equal QoA_M ------------
+  std::printf("--- Vrf load for equal measurement frequency (1 hour horizon) ---\n");
+  support::Table load({"scheme", "T_M", "T_C", "Vrf messages/h", "Vrf verifications/h"});
+  const double hour = 3600.0;
+  for (double t_m_s : {60.0, 10.0, 1.0}) {
+    char tm_label[32];
+    std::snprintf(tm_label, sizeof(tm_label), "%.0f s", t_m_s);
+    // On-demand RA conjoins measurement and verification: one round trip
+    // and one verification per measurement.
+    load.add_row({"on-demand", tm_label, "= T_M",
+                  support::fmt_double(2 * hour / t_m_s, 0),
+                  support::fmt_double(hour / t_m_s, 0)});
+    // ERASMUS: Vrf shows up every T_C = 10 min regardless of T_M; it
+    // verifies every stored report but exchanges only 2 messages.
+    load.add_row({"ERASMUS", tm_label, "600 s",
+                  support::fmt_double(2 * hour / 600.0, 0),
+                  support::fmt_double(hour / t_m_s, 0)});
+  }
+  std::printf("%s\n", load.render().c_str());
+  std::printf("Measuring 60x more often multiplies on-demand Vrf traffic 60x, but\n");
+  std::printf("leaves ERASMUS at 12 messages per hour — the decoupling claim.\n\n");
+
+  std::printf("Halving T_M doubles detection probability without any extra Vrf\n");
+  std::printf("interaction; T_C only bounds reporting latency (worst case T_M+T_C = %s).\n",
+              sim::format_duration(selfm::worst_case_detection_latency(
+                                       10 * sim::kSecond, 50 * sim::kSecond))
+                  .c_str());
+  return 0;
+}

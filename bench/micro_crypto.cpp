@@ -1,0 +1,139 @@
+/// google-benchmark microbenchmarks of the cryptographic substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "src/bignum/prime.hpp"
+#include "src/crypto/cbcmac.hpp"
+#include "src/crypto/drbg.hpp"
+#include "src/crypto/ecdsa.hpp"
+#include "src/crypto/hmac.hpp"
+#include "src/crypto/rsa.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+using namespace rasc;
+
+support::Bytes random_bytes(std::size_t n, std::uint64_t seed = 1) {
+  support::Xoshiro256 rng(seed);
+  support::Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  return out;
+}
+
+void BM_Hash(benchmark::State& state) {
+  const auto kind = static_cast<crypto::HashKind>(state.range(0));
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hash_oneshot(kind, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+  state.SetLabel(crypto::hash_name(kind));
+}
+BENCHMARK(BM_Hash)
+    ->ArgsProduct({{0, 1, 2, 3}, {1 << 10, 64 << 10, 1 << 20}});
+
+void BM_HmacSha256(benchmark::State& state) {
+  const auto key = random_bytes(32);
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Hmac::compute(crypto::HashKind::kSha256, key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1 << 10)->Arg(1 << 20);
+
+void BM_AesCbcMac(benchmark::State& state) {
+  const auto key = random_bytes(16);
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::CbcMac::compute(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcMac)->Arg(1 << 10)->Arg(64 << 10);
+
+void BM_DrbgGenerate(benchmark::State& state) {
+  crypto::HmacDrbg drbg(random_bytes(32));
+  support::Bytes out(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    drbg.generate(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DrbgGenerate)->Arg(32)->Arg(4096);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  const auto curve = static_cast<crypto::CurveId>(state.range(0));
+  crypto::HmacDrbg drbg(random_bytes(32, 7));
+  const auto key = crypto::ecdsa_generate_key(curve, drbg);
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, random_bytes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ecdsa_sign(key, digest));
+  }
+  state.SetLabel(crypto::curve_name(curve));
+}
+BENCHMARK(BM_EcdsaSign)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  const auto curve = static_cast<crypto::CurveId>(state.range(0));
+  crypto::HmacDrbg drbg(random_bytes(32, 8));
+  const auto key = crypto::ecdsa_generate_key(curve, drbg);
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, random_bytes(64));
+  const auto sig = crypto::ecdsa_sign(key, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ecdsa_verify(curve, key.public_key, digest, sig));
+  }
+  state.SetLabel(crypto::curve_name(curve));
+}
+BENCHMARK(BM_EcdsaVerify)->Arg(0)->Arg(1)->Arg(2);
+
+const crypto::RsaKeyPair& rsa_key(std::size_t bits) {
+  static const crypto::RsaKeyPair k1024 = [] {
+    crypto::HmacDrbg drbg(random_bytes(32, 1024));
+    return crypto::rsa_generate_key(1024, drbg);
+  }();
+  static const crypto::RsaKeyPair k2048 = [] {
+    crypto::HmacDrbg drbg(random_bytes(32, 2048));
+    return crypto::rsa_generate_key(2048, drbg);
+  }();
+  return bits == 1024 ? k1024 : k2048;
+}
+
+void BM_RsaSign(benchmark::State& state) {
+  const auto& key = rsa_key(static_cast<std::size_t>(state.range(0)));
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, random_bytes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign_digest(key.priv, crypto::HashKind::kSha256,
+                                                     digest));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(1024)->Arg(2048);
+
+void BM_RsaVerify(benchmark::State& state) {
+  const auto& key = rsa_key(static_cast<std::size_t>(state.range(0)));
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, random_bytes(64));
+  const auto sig = crypto::rsa_sign_digest(key.priv, crypto::HashKind::kSha256, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::rsa_verify_digest(key.pub, crypto::HashKind::kSha256, digest, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(1024)->Arg(2048);
+
+void BM_MillerRabin256(benchmark::State& state) {
+  crypto::HmacDrbg drbg(random_bytes(32, 9));
+  auto source = drbg.byte_source();
+  const bn::Bignum prime = bn::generate_prime(256, source, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn::is_probable_prime(prime, 5, source));
+  }
+}
+BENCHMARK(BM_MillerRabin256);
+
+}  // namespace

@@ -1,0 +1,92 @@
+/// google-benchmark microbenchmarks of the device simulator and the
+/// end-to-end attestation scenarios (events/second, rounds/second).
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/scenario.hpp"
+#include "src/smarm/escape.hpp"
+#include "src/smarm/runner.hpp"
+#include "src/support/rng.hpp"
+
+namespace {
+
+using namespace rasc;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    support::Xoshiro256 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+      simulator.schedule_at(rng.below(1000000), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_MemoryWriteLogged(benchmark::State& state) {
+  sim::DeviceMemory memory(1 << 20, 4096);
+  const support::Bytes data(64, 0xab);
+  sim::Time t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.write((t * 64) % (1 << 19), data, t,
+                                          sim::Actor::kApplication));
+    ++t;
+    if (memory.write_log().size() > 1u << 16) memory.clear_write_log();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryWriteLogged);
+
+void BM_AttestationRound(benchmark::State& state) {
+  const auto mode = static_cast<attest::ExecutionMode>(state.range(0));
+  for (auto _ : state) {
+    apps::LockScenarioConfig config;
+    config.blocks = 64;
+    config.block_size = 1024;
+    config.mode = mode;
+    benchmark::DoNotOptimize(apps::run_lock_scenario(config));
+  }
+  state.SetLabel(attest::execution_mode_name(mode));
+}
+BENCHMARK(BM_AttestationRound)->Arg(0)->Arg(1);
+
+void BM_LockScenarioWithAdversary(benchmark::State& state) {
+  for (auto _ : state) {
+    apps::LockScenarioConfig config;
+    config.blocks = 64;
+    config.block_size = 1024;
+    config.mode = attest::ExecutionMode::kInterruptible;
+    config.lock = locking::LockMechanism::kIncLock;
+    config.adversary = apps::AdversaryKind::kRelocChase;
+    benchmark::DoNotOptimize(apps::run_lock_scenario(config));
+  }
+}
+BENCHMARK(BM_LockScenarioWithAdversary);
+
+void BM_SmarmRound(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    smarm::RunnerConfig config;
+    config.blocks = static_cast<std::size_t>(state.range(0));
+    config.block_size = 512;
+    config.rounds = 1;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(smarm::run_rounds(config));
+  }
+}
+BENCHMARK(BM_SmarmRound)->Arg(16)->Arg(64);
+
+void BM_SmarmAbstractGame(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smarm::simulate_single_round_escape(static_cast<std::size_t>(state.range(0)),
+                                            1000, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SmarmAbstractGame)->Arg(64)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,55 @@
+/// Section 2.5 reproduction: the fire-alarm worked example.  A bare-metal
+/// sensor-actuator application samples a temperature sensor every second;
+/// attestation of ~1 GB takes ~7 s on the calibrated prover.  Under
+/// SMART-style atomic MP, a fire that breaks out just after MP starts is
+/// only noticed once MP finishes; interruptible MP bounds the alarm
+/// latency by one sensor period plus one block measurement.
+
+#include <cstdio>
+
+#include "src/apps/scenario.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+int main() {
+  std::printf("=== Section 2.5: fire alarm vs. attestation ===\n");
+  std::printf("Sensor period 1 s; fire breaks out 100 ms after MP starts.\n\n");
+
+  support::Table table({"memory", "MP mode", "MP duration", "alarm latency",
+                        "max sensor delay", "attestation"});
+
+  const struct {
+    std::uint64_t bytes;
+    const char* label;
+  } memories[] = {
+      {100ull << 20, "100 MB"},
+      {512ull << 20, "512 MB"},
+      {1ull << 30, "1 GB"},
+      {2ull << 30, "2 GB"},
+  };
+
+  for (const auto& memory : memories) {
+    for (attest::ExecutionMode mode :
+         {attest::ExecutionMode::kAtomic, attest::ExecutionMode::kInterruptible}) {
+      apps::FireAlarmScenarioConfig config;
+      config.modeled_memory_bytes = memory.bytes;
+      config.mode = mode;
+      const auto outcome = apps::run_fire_alarm_scenario(config);
+      table.add_row({memory.label, attest::execution_mode_name(mode),
+                     sim::format_duration(outcome.measurement_duration),
+                     sim::format_duration(outcome.alarm_latency),
+                     sim::format_duration(outcome.max_sample_delay),
+                     outcome.attestation_ok ? "PASS" : "FAIL"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Paper claims reproduced:\n");
+  std::printf(" * atomic MP over 1 GB runs ~7 s; a fire during MP waits for t_e,\n");
+  std::printf("   so the alarm is seconds late (\"disastrous consequences\");\n");
+  std::printf(" * interruptible MP keeps the alarm latency at the sensor period\n");
+  std::printf("   (1 s) plus one block measurement, at any memory size;\n");
+  std::printf(" * the measurement itself still completes and verifies.\n");
+  return 0;
+}

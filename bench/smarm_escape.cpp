@@ -1,0 +1,74 @@
+/// Section 3.2 reproduction: SMARM escape probabilities.
+///  * single-round escape (1-1/n)^n -> e^-1 ~ 0.37 — analytic, abstract
+///    Monte-Carlo, and full-stack (real permutation, real relocation
+///    writes, real verifier);
+///  * multi-round escape decays exponentially; ~13 independent checks
+///    push it below 10^-6.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/smarm/escape.hpp"
+#include "src/smarm/runner.hpp"
+#include "src/support/plot.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+int main() {
+  std::printf("=== SMARM: shuffled measurements vs. roving malware ===\n\n");
+
+  std::printf("--- single-round escape probability ---\n");
+  support::Table single({"blocks n", "analytic (1-1/n)^n", "Monte-Carlo (50k trials)",
+                         "e^-1 reference"});
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 512u, 4096u}) {
+    single.add_row({std::to_string(n),
+                    support::fmt_double(smarm::single_round_escape(n), 4),
+                    support::fmt_double(smarm::simulate_single_round_escape(n, 50000, n), 4),
+                    support::fmt_double(std::exp(-1.0), 4)});
+  }
+  std::printf("%s\n", single.render().c_str());
+
+  std::printf("--- full-stack check (device sim + verifier, n=12, 400 trials) ---\n");
+  smarm::RunnerConfig config;
+  config.blocks = 12;
+  config.block_size = 512;
+  const double full = smarm::full_stack_single_round_escape(config, 400);
+  std::printf("full-stack escape: %.3f   analytic: %.3f\n\n", full,
+              smarm::single_round_escape(12));
+
+  std::printf("--- multi-round escape (n = 64) ---\n");
+  support::Table multi({"rounds", "analytic escape", "Monte-Carlo", "paper note"});
+  support::Series analytic_series{"analytic", {}, {}};
+  for (std::size_t rounds : {1u, 2u, 3u, 5u, 8u, 10u, 13u, 14u, 16u, 20u}) {
+    const double analytic = smarm::multi_round_escape(64, rounds);
+    std::string mc = "-";
+    if (rounds <= 5) {
+      mc = support::fmt_double(smarm::simulate_multi_round_escape(64, rounds, 50000, rounds),
+                               4);
+    }
+    std::string note;
+    if (rounds == 13) note = "paper: ~13 checks -> <1e-6";
+    multi.add_row({std::to_string(rounds), support::fmt_sci(analytic, 2), mc, note});
+    analytic_series.x.push_back(static_cast<double>(rounds));
+    analytic_series.y.push_back(analytic);
+  }
+  std::printf("%s\n", multi.render().c_str());
+
+  support::PlotOptions opt;
+  opt.log_y = true;
+  opt.height = 16;
+  opt.x_label = "independent measurement rounds";
+  opt.y_label = "escape probability (log)";
+  std::printf("%s\n", support::render_plot({analytic_series}, opt).c_str());
+
+  support::Table rounds_table({"blocks n", "rounds to reach 1e-6"});
+  for (std::size_t n : {8u, 16u, 64u, 1024u, 1u << 20}) {
+    rounds_table.add_row(
+        {std::to_string(n), std::to_string(smarm::rounds_for_target(n, 1e-6))});
+  }
+  std::printf("%s\n", rounds_table.render().c_str());
+  std::printf("Escape decays exponentially with rounds; 13-14 independent\n");
+  std::printf("measurements suffice for a false-negative rate below 10^-6.\n");
+  return 0;
+}

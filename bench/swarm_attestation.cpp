@@ -1,0 +1,96 @@
+/// Section 2.1 (swarm RA) reproduction: collective attestation of large
+/// device swarms (SEDA/LISA family) vs. the single-prover baseline.
+/// Collective tree attestation scales with tree *depth*; attesting
+/// devices one by one scales linearly with swarm size.
+
+#include <cstdio>
+#include <set>
+
+#include "src/support/plot.hpp"
+#include "src/support/table.hpp"
+#include "src/swarm/swarm.hpp"
+
+using namespace rasc;
+
+int main() {
+  std::printf("=== Swarm attestation: collective tree vs. one-by-one ===\n");
+  std::printf("Per-device MP 50 ms, per-hop latency 2 ms, binary spanning tree.\n\n");
+
+  support::Table table({"devices", "tree depth", "collective time",
+                        "forwarding time", "star time", "speedup (coll/star)",
+                        "msgs coll/fwd"});
+  support::Series tree_series{"collective (SEDA-style)", {}, {}};
+  support::Series star_series{"naive star", {}, {}};
+
+  for (std::size_t n : {3u, 7u, 15u, 31u, 63u, 127u, 255u, 511u, 1023u}) {
+    swarm::SwarmConfig config;
+    config.device_count = n;
+    const auto tree =
+        swarm::run_swarm_attestation(config, swarm::SwarmProtocol::kCollectiveTree, {});
+    const auto fwd =
+        swarm::run_swarm_attestation(config, swarm::SwarmProtocol::kForwardingTree, {});
+    const auto star =
+        swarm::run_swarm_attestation(config, swarm::SwarmProtocol::kNaiveStar, {});
+    table.add_row({std::to_string(n), std::to_string(swarm::tree_depth(n, 2)),
+                   sim::format_duration(tree.total_time),
+                   sim::format_duration(fwd.total_time),
+                   sim::format_duration(star.total_time),
+                   support::fmt_double(static_cast<double>(star.total_time) /
+                                           static_cast<double>(tree.total_time),
+                                       1) + "x",
+                   std::to_string(tree.messages) + "/" + std::to_string(fwd.messages)});
+    tree_series.x.push_back(static_cast<double>(n));
+    tree_series.y.push_back(sim::to_seconds(tree.total_time));
+    star_series.x.push_back(static_cast<double>(n));
+    star_series.y.push_back(sim::to_seconds(star.total_time));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  support::PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  opt.height = 16;
+  opt.x_label = "swarm size (devices)";
+  opt.y_label = "attestation round time (s)";
+  std::printf("%s\n", support::render_plot({tree_series, star_series}, opt).c_str());
+
+  std::printf("--- detection & aggregate authenticity with infections ---\n");
+  support::Table detect({"devices", "infected", "reported failed ids",
+                         "aggregate MAC chain"});
+  for (std::size_t n : {15u, 63u}) {
+    swarm::SwarmConfig config;
+    config.device_count = n;
+    std::set<std::size_t> infected = {2, n / 2, n - 1};
+    const auto result = swarm::run_swarm_attestation(
+        config, swarm::SwarmProtocol::kCollectiveTree, infected);
+    std::string ids;
+    for (std::size_t id : result.failed_ids) ids += std::to_string(id) + " ";
+    detect.add_row({std::to_string(n), std::to_string(infected.size()), ids,
+                    result.aggregate_authentic ? "authentic" : "FORGED"});
+  }
+  std::printf("%s\n", detect.render().c_str());
+
+  std::printf("--- physical removal (DARPA-style absence detection) ---\n");
+  {
+    swarm::SwarmConfig config;
+    config.device_count = 15;
+    support::Table absent({"removed device", "devices reported absent",
+                           "healthy reported", "round time"});
+    for (std::size_t removed : {9u, 1u}) {
+      const auto result = swarm::run_swarm_attestation(
+          config, swarm::SwarmProtocol::kCollectiveTree, {}, {removed});
+      std::string ids;
+      for (std::size_t id : result.absent_ids) ids += std::to_string(id) + " ";
+      absent.add_row({std::to_string(removed) + (removed == 1 ? " (inner node)" : " (leaf)"),
+                      ids, std::to_string(result.reported_good),
+                      sim::format_duration(result.total_time)});
+    }
+    std::printf("%s\n", absent.render().c_str());
+    std::printf("A removed inner node silences its whole subtree; prolonged absence\n");
+    std::printf("is the physical-attack signal the paper attributes to DARPA [13].\n\n");
+  }
+  std::printf("Collective attestation exploits device interconnectivity: one\n");
+  std::printf("authenticated aggregate replaces N verifier round trips, and the\n");
+  std::printf("round time grows with log(N) instead of N.\n");
+  return 0;
+}

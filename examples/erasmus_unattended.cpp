@@ -1,0 +1,77 @@
+/// ERASMUS for an unattended device: the prover measures itself every T_M
+/// and a collector drops by every T_C to fetch and verify the history.
+/// Transient malware that slips between two self-measurements stays
+/// invisible; malware that overlaps one is convicted retroactively.
+///
+/// Build & run:  ./build/examples/erasmus_unattended
+
+#include <cstdio>
+
+#include "src/malware/transient.hpp"
+#include "src/selfmeasure/erasmus.hpp"
+#include "src/selfmeasure/qoa.hpp"
+#include "src/support/rng.hpp"
+
+using namespace rasc;
+
+int main() {
+  sim::Simulator simulator;
+  sim::Device device(simulator, sim::DeviceConfig{"pipeline-sensor-7", 64 * 1024, 1024,
+                                                  support::to_bytes("erasmus-key")});
+  support::Xoshiro256 rng(11);
+  support::Bytes image(device.memory().size());
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+  device.memory().load(image);
+  attest::Verifier verifier(crypto::HashKind::kSha256, support::to_bytes("erasmus-key"),
+                            device.memory().snapshot(), 1024);
+
+  // Self-measure every 5 s; the collector visits once a minute.
+  selfm::ErasmusConfig config;
+  config.period = 5 * sim::kSecond;
+  config.history_capacity = 32;
+  selfm::ErasmusProver prover(device, config);
+  sim::Link to_prv(simulator, {});
+  sim::Link to_vrf(simulator, {});
+  selfm::Collector collector(verifier, prover, to_prv, to_vrf, 60 * sim::kSecond);
+
+  // A transient intruder: resident from t=17 s to t=29 s, then gone.
+  malware::TransientConfig mc;
+  mc.block = 13;
+  mc.infect_at = sim::from_seconds(17);
+  mc.dwell = 12 * sim::kSecond;
+  malware::TransientMalware intruder(device, mc);
+  intruder.arm();
+
+  prover.start(sim::from_seconds(180));
+  collector.start(sim::from_seconds(190));
+  simulator.run();
+
+  std::printf("Unattended run: %llu self-measurements, %zu collections\n",
+              static_cast<unsigned long long>(prover.measurements_taken()),
+              collector.records().size());
+  for (std::size_t i = 0; i < collector.records().size(); ++i) {
+    const auto& record = collector.records()[i];
+    std::printf("  collection %zu at %6.1f s: %zu new reports, %zu bad -> %s\n", i + 1,
+                sim::to_seconds(record.at), record.reports_seen, record.reports_bad,
+                record.detected ? "ALARM" : "all clear");
+  }
+
+  const auto& infection = intruder.history().front();
+  std::vector<sim::Time> collection_times;
+  for (const auto& record : collector.records()) collection_times.push_back(record.at);
+  const auto analysis =
+      selfm::analyze_infection(prover.measurement_times(), collection_times,
+                               infection.begin, *infection.end);
+  std::printf("\nIntruder resident [%.0f s, %.0f s]; malware erased itself long before\n",
+              sim::to_seconds(infection.begin), sim::to_seconds(*infection.end));
+  std::printf("any verifier contact, yet the stored history convicts it:\n");
+  std::printf("  measured while resident at %.1f s, reported at %.1f s\n",
+              sim::to_seconds(analysis.measured_at.value_or(0)),
+              sim::to_seconds(analysis.reported_at.value_or(0)));
+  std::printf("  end-to-end detection latency: %s (worst case T_M + T_C = %s)\n",
+              sim::format_duration(analysis.detection_latency.value_or(0)).c_str(),
+              sim::format_duration(selfm::worst_case_detection_latency(
+                                       config.period, 60 * sim::kSecond))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+/// The paper's Section 2.5 motivating scenario as a runnable demo: a fire
+/// alarm sampling its sensor every second while the verifier attests 1 GB
+/// of prover memory — first atomically (SMART), then interruptibly.
+///
+/// Build & run:  ./build/examples/fire_alarm_demo
+
+#include <cstdio>
+
+#include "src/apps/scenario.hpp"
+
+using namespace rasc;
+
+namespace {
+
+void run(const char* label, attest::ExecutionMode mode) {
+  apps::FireAlarmScenarioConfig config;
+  config.modeled_memory_bytes = 1ull << 30;  // the paper's 1 GB prover
+  config.mode = mode;
+  config.fire_after_mp_start = 100 * sim::kMillisecond;
+
+  const auto outcome = apps::run_fire_alarm_scenario(config);
+  std::printf("--- %s ---\n", label);
+  std::printf("  measurement duration : %s\n",
+              sim::format_duration(outcome.measurement_duration).c_str());
+  std::printf("  fire -> alarm latency: %s\n",
+              sim::format_duration(outcome.alarm_latency).c_str());
+  std::printf("  worst sensor jitter  : %s\n",
+              sim::format_duration(outcome.max_sample_delay).c_str());
+  std::printf("  attestation verdict  : %s\n\n",
+              outcome.attestation_ok ? "TRUSTED" : "COMPROMISED");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fire alarm on an ODROID-class prover; 1 GB attested memory;\n");
+  std::printf("the fire starts 100 ms after the measurement begins.\n\n");
+
+  run("SMART-style atomic MP (uninterruptible)", attest::ExecutionMode::kAtomic);
+  run("Interruptible MP (block-granular preemption)",
+      attest::ExecutionMode::kInterruptible);
+
+  std::printf("Atomic attestation keeps the device 'safe' from roving malware but\n");
+  std::printf("leaves the building to burn for ~7 seconds; interruptible attestation\n");
+  std::printf("keeps the alarm prompt but — without further measures — opens the\n");
+  std::printf("door to the evasion games explored in the other examples.\n");
+  return 0;
+}

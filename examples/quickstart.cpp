@@ -1,0 +1,68 @@
+/// Quickstart: provision a simulated IoT prover, run one on-demand
+/// attestation round from the verifier, then infect the device and watch
+/// the next round fail.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/attest/protocol.hpp"
+#include "src/support/rng.hpp"
+
+using namespace rasc;
+
+int main() {
+  // 1. A discrete-event world with one prover device: 1 MiB of attested
+  //    memory in 4 KiB blocks and a symmetric attestation key shared with
+  //    the verifier (SMART-style ROM key).
+  sim::Simulator simulator;
+  sim::DeviceConfig dev_config;
+  dev_config.id = "thermostat-42";
+  dev_config.memory_size = 1 << 20;
+  dev_config.block_size = 4096;
+  dev_config.attestation_key = support::to_bytes("shared-attestation-key");
+  sim::Device device(simulator, dev_config);
+
+  // 2. Provision firmware (here: deterministic pseudo-random bytes) and
+  //    hand the verifier the golden image.
+  support::Xoshiro256 firmware_rng(2024);
+  support::Bytes firmware(device.memory().size());
+  for (auto& b : firmware) b = static_cast<std::uint8_t>(firmware_rng.below(256));
+  device.memory().load(firmware);
+  attest::Verifier verifier(crypto::HashKind::kSha256, dev_config.attestation_key,
+                            device.memory().snapshot(), dev_config.block_size);
+
+  // 3. A SMART-style atomic measurement process and a network.
+  attest::ProverConfig prover_config;
+  prover_config.mode = attest::ExecutionMode::kAtomic;
+  attest::AttestationProcess mp(device, prover_config);
+  sim::Link vrf_to_prv(simulator, {});
+  sim::Link prv_to_vrf(simulator, {});
+  attest::OnDemandProtocol protocol(device, verifier, mp, vrf_to_prv, prv_to_vrf);
+
+  // 4. Round 1: clean device.
+  protocol.run(1, [](attest::OnDemandTimings t) {
+    std::printf("[%8.3f ms] round 1 verdict: %s (MP took %.3f ms)\n",
+                sim::to_millis(t.t_verified), t.outcome.ok() ? "TRUSTED" : "COMPROMISED",
+                sim::to_millis(t.t_e - t.t_s));
+  });
+  simulator.run();
+
+  // 5. Malware lands in block 37.
+  (void)device.memory().write(37 * 4096 + 100, support::to_bytes("\xde\xad\xbe\xef"),
+                              simulator.now(), sim::Actor::kMalware);
+  std::printf("[%8.3f ms] malware wrote 4 bytes into block 37\n",
+              sim::to_millis(simulator.now()));
+
+  // 6. Round 2: detection.
+  protocol.run(2, [](attest::OnDemandTimings t) {
+    std::printf("[%8.3f ms] round 2 verdict: %s (mac_ok=%d digest_ok=%d)\n",
+                sim::to_millis(t.t_verified), t.outcome.ok() ? "TRUSTED" : "COMPROMISED",
+                t.outcome.mac_ok, t.outcome.digest_ok);
+  });
+  simulator.run();
+
+  std::printf("\nA single flipped bit anywhere in the 1 MiB region flips the\n");
+  std::printf("measurement, while the report MAC still authenticates the device.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// SMARM in action: an interruptible measurement is evaded by roving
+/// malware when the traversal order is public, but a secret shuffled order
+/// catches it within a handful of rounds.
+///
+/// Build & run:  ./build/examples/smarm_detection
+
+#include <cstdio>
+
+#include "src/apps/scenario.hpp"
+#include "src/smarm/escape.hpp"
+#include "src/smarm/runner.hpp"
+
+using namespace rasc;
+
+int main() {
+  // Act 1: the attack.  Interruptible sequential sweep, no locks; the
+  // malware chases the sweep (copies itself into already-measured blocks).
+  apps::LockScenarioConfig attack;
+  attack.blocks = 32;
+  attack.block_size = 1024;
+  attack.mode = attest::ExecutionMode::kInterruptible;
+  attack.lock = locking::LockMechanism::kNoLock;
+  attack.adversary = apps::AdversaryKind::kRelocChase;
+  const auto evasion = apps::run_lock_scenario(attack);
+  std::printf("Act 1 — public sequential order, no locking:\n");
+  std::printf("  verifier verdict: %s (malware %s)\n\n",
+              evasion.detected ? "COMPROMISED" : "TRUSTED",
+              evasion.malware_escaped ? "escaped by relocating" : "was caught");
+
+  // Act 2: SMARM.  Same malware class, but now the order is a secret
+  // permutation; the rover can only see *how many* blocks are done.
+  std::printf("Act 2 — SMARM: secret shuffled order, repeated rounds:\n");
+  smarm::RunnerConfig config;
+  config.blocks = 32;
+  config.block_size = 1024;
+  config.rounds = 12;
+  config.seed = 7;
+  const auto outcome = smarm::run_rounds(config);
+  std::printf("  %zu rounds run, %zu rounds detected the rover "
+              "(it relocated %zu times)\n",
+              outcome.rounds_run, outcome.detections, outcome.malware_relocations);
+  std::printf("  per-round catch probability (analytic): %.2f\n",
+              1.0 - smarm::single_round_escape(config.blocks));
+  std::printf("  escape after %zu independent rounds    : %.2e\n\n", config.rounds,
+              smarm::multi_round_escape(config.blocks, config.rounds));
+
+  const std::size_t needed = smarm::rounds_for_target(config.blocks, 1e-6);
+  std::printf("To push the false-negative rate below 1e-6, schedule %zu rounds —\n",
+              needed);
+  std::printf("the price SMARM pays for keeping the device interruptible without\n");
+  std::printf("any memory locking.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "src/apps/fire_alarm.hpp"
+
+namespace rasc::apps {
+
+FireAlarmTask::FireAlarmTask(sim::Device& device, FireAlarmConfig config)
+    : sim::Process("app/fire-alarm", config.priority), device_(device), config_(config) {}
+
+void FireAlarmTask::arm(sim::Time until) {
+  auto& sim = device_.sim();
+  for (sim::Time t = sim.now() + config_.period; t <= until; t += config_.period) {
+    sim.schedule_at(t, [this, t] {
+      pending_.push_back(t);
+      device_.cpu().make_ready(*this);
+    });
+  }
+}
+
+std::optional<sim::Segment> FireAlarmTask::next_segment() {
+  if (pending_.empty()) return std::nullopt;
+  const sim::Time scheduled_at = pending_.front();
+  pending_.erase(pending_.begin());
+  return sim::Segment{config_.sample_cost,
+                      [this, scheduled_at] { complete_sample(scheduled_at); }};
+}
+
+void FireAlarmTask::complete_sample(sim::Time scheduled_at) {
+  const sim::Time now = device_.sim().now();
+  ++samples_taken_;
+  const sim::Duration delay = now - scheduled_at;
+  if (delay > max_delay_) max_delay_ = delay;
+  // The sensor reads the *current* ambient state: a fire that started any
+  // time before this sample executes is seen now.
+  if (fire_time_ && now >= *fire_time_ && !alarm_at_) alarm_at_ = now;
+}
+
+std::optional<sim::Duration> FireAlarmTask::alarm_latency() const {
+  if (!alarm_at_ || !fire_time_) return std::nullopt;
+  return *alarm_at_ - *fire_time_;
+}
+
+}  // namespace rasc::apps

@@ -1,0 +1,194 @@
+#include "src/apps/scenario.hpp"
+
+#include "src/apps/fire_alarm.hpp"
+#include "src/apps/writer_task.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::apps {
+
+namespace {
+
+void provision(sim::Device& device, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  support::Bytes image(device.memory().size());
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+  device.memory().load(image);
+}
+
+}  // namespace
+
+std::string adversary_name(AdversaryKind kind) {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kTransientLeaver: return "transient";
+    case AdversaryKind::kRelocChase: return "self-relocating (chase)";
+    case AdversaryKind::kRelocRoving: return "self-relocating (roving)";
+  }
+  return "?";
+}
+
+LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config) {
+  sim::Simulator simulator;
+  sim::DeviceConfig dev_config;
+  dev_config.id = "prv-lock";
+  dev_config.memory_size = config.blocks * config.block_size;
+  dev_config.block_size = config.block_size;
+  dev_config.attestation_key = support::to_bytes("table1-shared-key");
+  sim::Device device(simulator, dev_config);
+  provision(device, 0xface + config.seed);
+
+  attest::Verifier verifier(config.hash, dev_config.attestation_key,
+                            device.memory().snapshot(), config.block_size);
+
+  auto policy = locking::make_lock_policy(config.lock, config.release_delay);
+  attest::ProverConfig prover_config;
+  prover_config.hash = config.hash;
+  prover_config.mode = config.mode;
+  prover_config.order = config.order;
+  prover_config.priority = 10;
+  attest::AttestationProcess mp(device, prover_config, policy.get());
+
+  // Adversaries.
+  std::optional<malware::TransientMalware> transient;
+  std::optional<malware::SelfRelocatingMalware> reloc;
+  const sim::Time t_mp = 10 * sim::kMillisecond;
+  const sim::Duration block_cost = mp.block_cost();
+
+  switch (config.adversary) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kTransientLeaver: {
+      malware::TransientConfig mc;
+      mc.block = config.blocks - 2;  // measured late under sequential order
+      mc.infect_at = sim::kMillisecond;
+      // Erase attempt lands a few blocks into the measurement: after t_s
+      // but (for sequential order) well before its block is visited.
+      mc.dwell = (t_mp - mc.infect_at) + 3 * block_cost;
+      transient.emplace(device, mc);
+      transient->arm();
+      break;
+    }
+    case AdversaryKind::kRelocChase:
+    case AdversaryKind::kRelocRoving: {
+      malware::RelocatingConfig mc;
+      mc.initial_block = config.blocks / 2;  // second half: chase textbook setup
+      mc.strategy = config.adversary == AdversaryKind::kRelocChase
+                        ? malware::RelocationStrategy::kChaseMeasured
+                        : malware::RelocationStrategy::kRovingUniform;
+      mc.priority = 50;
+      mc.seed = 0x3100 + config.seed;
+      reloc.emplace(device, mc);
+      reloc->infect_initial();
+      mp.set_observer([&reloc](std::size_t done, std::size_t total) {
+        reloc->on_measurement_progress(done, total);
+      });
+      break;
+    }
+  }
+
+  // Application workload (availability probe).
+  std::optional<WriterTask> writer;
+  if (config.writer_enabled) {
+    WriterConfig wc;
+    // Fast enough that a measurement of `blocks` blocks sees many writes.
+    wc.period = 50 * sim::kMicrosecond;
+    wc.seed = 0xd09 + config.seed;
+    writer.emplace(device, wc);
+    // Arm well past the longest plausible measurement.
+    writer->arm(t_mp + 2 * block_cost * config.blocks + sim::kSecond);
+  }
+
+  LockScenarioOutcome outcome;
+  outcome.malware_present_at_ts = config.adversary != AdversaryKind::kNone;
+
+  simulator.schedule_at(t_mp, [&] {
+    if (reloc) reloc->on_measurement_start();
+    const support::Bytes challenge = verifier.issue_challenge();
+    attest::MeasurementContext context{device.id(), challenge, 1};
+    mp.start(std::move(context), [&](attest::AttestationResult result) {
+      outcome.completed = true;
+      outcome.verdict = verifier.verify(result.report, /*expect_challenge=*/true);
+      outcome.detected = !outcome.verdict.ok();
+      outcome.measurement_duration = result.t_e - result.t_s;
+      locking::ConsistencyAnalyzer analyzer(result, device.memory().write_log(),
+                                            /*first_block=*/0);
+      outcome.consistency = analyzer.verdict();
+
+      // Availability during [t_s, t_r].
+      for (const auto& rec : device.memory().write_log()) {
+        if (rec.actor != sim::Actor::kApplication) continue;
+        if (rec.time >= result.t_s && rec.time <= result.t_r) {
+          ++outcome.writer_attempts_during;
+          if (rec.blocked) ++outcome.writer_blocked_during;
+        }
+      }
+      outcome.writer_availability =
+          outcome.writer_attempts_during == 0
+              ? 1.0
+              : 1.0 - static_cast<double>(outcome.writer_blocked_during) /
+                          static_cast<double>(outcome.writer_attempts_during);
+    });
+  });
+
+  simulator.run();
+
+  if (transient) outcome.malware_blocked_actions = transient->failed_erase_attempts();
+  if (reloc) outcome.malware_blocked_actions = reloc->blocked_relocations();
+  outcome.malware_escaped = outcome.malware_present_at_ts && outcome.completed &&
+                            outcome.verdict.ok();
+  return outcome;
+}
+
+FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& config) {
+  sim::Simulator simulator;
+  sim::DeviceConfig dev_config;
+  dev_config.id = "prv-fire";
+  // Back the modeled memory with a small real buffer and scale hash time.
+  const std::size_t real_block_size = 4096;
+  dev_config.memory_size = config.real_blocks * real_block_size;
+  dev_config.block_size = real_block_size;
+  dev_config.attestation_key = support::to_bytes("fire-alarm-key");
+  sim::Device device(simulator, dev_config);
+  provision(device, 0xf12e);
+  device.model().set_hash_time_scale(static_cast<double>(config.modeled_memory_bytes) /
+                                     static_cast<double>(dev_config.memory_size));
+
+  attest::Verifier verifier(config.hash, dev_config.attestation_key,
+                            device.memory().snapshot(), real_block_size);
+
+  attest::ProverConfig prover_config;
+  prover_config.hash = config.hash;
+  prover_config.mode = config.mode;
+  prover_config.priority = 10;  // below the safety-critical task
+  attest::AttestationProcess mp(device, prover_config);
+
+  FireAlarmConfig fa_config;
+  fa_config.period = config.sensor_period;
+  FireAlarmTask alarm(device, fa_config);
+
+  FireAlarmScenarioOutcome outcome;
+  const sim::Time t_mp = 2 * sim::kSecond;
+
+  simulator.schedule_at(t_mp, [&] {
+    const support::Bytes challenge = verifier.issue_challenge();
+    attest::MeasurementContext context{device.id(), challenge, 1};
+    mp.start(std::move(context), [&](attest::AttestationResult result) {
+      outcome.measurement_duration = result.t_e - result.t_s;
+      outcome.attestation_ok =
+          verifier.verify(result.report, /*expect_challenge=*/true).ok();
+    });
+  });
+  alarm.set_fire_time(t_mp + config.fire_after_mp_start);
+
+  // Arm the sensor far enough to outlast the slowest atomic measurement.
+  const sim::Duration horizon =
+      t_mp + mp.block_cost() * config.real_blocks + mp.finalize_cost() + 30 * sim::kSecond;
+  alarm.arm(horizon);
+  simulator.run();
+
+  outcome.alarm_latency = alarm.alarm_latency().value_or(0);
+  outcome.max_sample_delay = alarm.max_sample_delay();
+  return outcome;
+}
+
+}  // namespace rasc::apps

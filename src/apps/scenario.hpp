@@ -1,0 +1,88 @@
+#pragma once
+/// \file scenario.hpp
+/// End-to-end experiment drivers used by the Table 1 / Figure 4 benches,
+/// the examples and the integration tests.  Each driver assembles a fresh
+/// simulated device, verifier, measurement process, (optionally) an
+/// application workload and an adversary, runs the simulation, and reports
+/// what the *verifier* concluded alongside ground truth and availability
+/// metrics.
+
+#include <optional>
+
+#include "src/attest/prover.hpp"
+#include "src/attest/verifier.hpp"
+#include "src/locking/consistency.hpp"
+#include "src/locking/policies.hpp"
+#include "src/malware/relocating.hpp"
+#include "src/malware/transient.hpp"
+
+namespace rasc::apps {
+
+enum class AdversaryKind {
+  kNone,
+  kTransientLeaver,  ///< present at t_s, tries to erase itself mid-measurement
+  kRelocChase,       ///< half-copy attack on sequential interruptible MP
+  kRelocRoving,      ///< SMARM's blind uniformly-roving malware
+};
+
+std::string adversary_name(AdversaryKind kind);
+
+struct LockScenarioConfig {
+  std::size_t blocks = 64;
+  std::size_t block_size = 1024;
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  attest::ExecutionMode mode = attest::ExecutionMode::kInterruptible;
+  attest::TraversalOrder order = attest::TraversalOrder::kSequential;
+  locking::LockMechanism lock = locking::LockMechanism::kNoLock;
+  sim::Duration release_delay = 0;  ///< t_r - t_e for the -Ext mechanisms
+  AdversaryKind adversary = AdversaryKind::kNone;
+  /// Run the data-logging application during the measurement and record
+  /// how many of its writes the locks rejected (Table 1 availability).
+  bool writer_enabled = false;
+  std::uint64_t seed = 1;
+};
+
+struct LockScenarioOutcome {
+  bool completed = false;            ///< attestation round finished
+  attest::VerifyOutcome verdict;     ///< what Vrf concluded
+  bool detected = false;             ///< !verdict.ok()
+  locking::ConsistencyVerdict consistency;
+  sim::Duration measurement_duration = 0;  ///< t_e - t_s
+  /// Application writes issued while the measurement (incl. extended
+  /// lock) was in force, and how many the MPU rejected.
+  std::size_t writer_attempts_during = 0;
+  std::size_t writer_blocked_during = 0;
+  double writer_availability = 1.0;
+  /// Adversary ground truth.
+  bool malware_present_at_ts = false;
+  bool malware_escaped = false;  ///< present but verifier said OK
+  std::size_t malware_blocked_actions = 0;
+};
+
+/// One attestation round under the given mechanism/adversary/workload.
+LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+
+struct FireAlarmScenarioConfig {
+  /// Modeled prover memory (timing-wise); backed by a small real buffer.
+  std::uint64_t modeled_memory_bytes = 1ull << 30;  ///< the paper's 1 GB
+  std::size_t real_blocks = 256;
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  attest::ExecutionMode mode = attest::ExecutionMode::kAtomic;
+  /// The fire breaks out this long after the measurement starts.
+  sim::Duration fire_after_mp_start = 100 * sim::kMillisecond;
+  sim::Duration sensor_period = sim::kSecond;
+};
+
+struct FireAlarmScenarioOutcome {
+  sim::Duration measurement_duration = 0;
+  sim::Duration alarm_latency = 0;
+  sim::Duration max_sample_delay = 0;
+  bool attestation_ok = false;
+};
+
+/// The Section 2.5 worked example: fire during attestation of ~1 GB.
+FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& config);
+
+}  // namespace rasc::apps

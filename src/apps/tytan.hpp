@@ -1,0 +1,40 @@
+#pragma once
+/// \file tytan.hpp
+/// TyTAN-style per-process measurement (paper Section 3.1): each process'
+/// memory region is measured individually; higher-priority processes may
+/// interrupt MP, but the process *being measured* may not.  This stops a
+/// single-process malware from relocating — yet "malware that is spread
+/// over several colluding processes can defeat this countermeasure" by
+/// shuttling its body into whichever region is not currently frozen
+/// (which requires violating process isolation, e.g. an OS bug).
+
+#include <cstdint>
+
+#include "src/crypto/hash.hpp"
+
+namespace rasc::apps {
+
+struct TytanConfig {
+  std::size_t region_blocks = 16;  ///< blocks per process region (2 regions)
+  std::size_t block_size = 512;
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  /// true: the malware has a colluding component in the other process and
+  /// can cross the isolation boundary; false: single-process malware.
+  bool colluding = false;
+  std::uint64_t seed = 1;
+};
+
+struct TytanOutcome {
+  bool completed = false;
+  bool detected_in_a = false;  ///< process A's measurement failed
+  bool detected_in_b = false;  ///< process B's measurement failed
+  bool detected = false;
+  bool malware_escaped = false;
+  std::size_t relocations = 0;  ///< cross-process moves performed
+};
+
+/// Measure process A's region, then process B's, with malware initially
+/// resident in A.  Detection emerges from the verifier's region digests.
+TytanOutcome run_tytan_scenario(const TytanConfig& config);
+
+}  // namespace rasc::apps

@@ -1,0 +1,68 @@
+#pragma once
+/// \file lock_policy.hpp
+/// Strategy interface for the memory-locking mechanisms of Section 3.1.
+/// The attestation process invokes the hooks at the paper's three timeline
+/// points (Figure 4): t_s (measurement start), each block visit, t_e
+/// (measurement end) and t_r (explicit release).  Implementations live in
+/// src/locking; the default NullLockPolicy is the paper's No-Lock strawman.
+
+#include <string>
+
+#include "src/attest/measurement.hpp"
+#include "src/sim/cpu_model.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/time.hpp"
+
+namespace rasc::attest {
+
+class LockPolicy {
+ public:
+  virtual ~LockPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Extra time the lock is held past t_e (t_r - t_e); 0 means release at
+  /// t_e ("-Ext" variants return a positive delay).
+  virtual sim::Duration release_delay() const { return 0; }
+
+  /// t_s: measurement is about to read its first block.
+  virtual void on_start(sim::DeviceMemory&, const Coverage&) {}
+
+  /// A block has just been digested.
+  virtual void on_block_visited(sim::DeviceMemory&, std::size_t /*block*/) {}
+
+  /// t_e: the final digest has been computed.
+  virtual void on_end(sim::DeviceMemory&, const Coverage&) {}
+
+  /// t_r: the verifier-visible release point (== t_e when
+  /// release_delay() == 0).
+  virtual void on_release(sim::DeviceMemory&, const Coverage&) {}
+
+  /// Extra one-time CPU cost charged inside the lock segment (e.g.
+  /// Cpy-Lock's copy of the covered region).
+  virtual sim::Duration start_cost(const sim::CpuModel&,
+                                   std::uint64_t /*covered_bytes*/) const {
+    return 0;
+  }
+
+  /// Where the measurement reads a block from.  Snapshot-based policies
+  /// (Cpy-Lock) redirect reads to their copy; everyone else reads live
+  /// memory.
+  virtual support::ByteView block_source(const sim::DeviceMemory& memory,
+                                         std::size_t block) const {
+    return memory.block_view(block);
+  }
+
+  /// True when every read is effectively taken at t_s (snapshot
+  /// semantics); the prover then records t_s as the visit time so the
+  /// consistency analyzer sees the right instants.
+  virtual bool snapshots_at_start() const { return false; }
+};
+
+/// No-Lock: memory stays writable throughout; no consistency guarantees.
+class NullLockPolicy final : public LockPolicy {
+ public:
+  std::string name() const override { return "No-Lock"; }
+};
+
+}  // namespace rasc::attest

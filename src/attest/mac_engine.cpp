@@ -1,0 +1,62 @@
+#include "src/attest/mac_engine.hpp"
+
+#include <stdexcept>
+
+#include "src/crypto/hash.hpp"
+
+namespace rasc::attest {
+
+std::string mac_kind_name(MacKind kind) {
+  switch (kind) {
+    case MacKind::kHmac: return "HMAC";
+    case MacKind::kCbcMac: return "AES-CBC-MAC";
+  }
+  return "?";
+}
+
+MacEngine::MacEngine(MacKind kind, crypto::HashKind hash, support::ByteView key)
+    : kind_(kind) {
+  switch (kind) {
+    case MacKind::kHmac:
+      hmac_ = std::make_unique<crypto::Hmac>(hash, key);
+      return;
+    case MacKind::kCbcMac: {
+      if (key.size() == 16 || key.size() == 24 || key.size() == 32) {
+        cbc_ = std::make_unique<crypto::CbcMac>(key);
+      } else {
+        // Derive a 16-byte AES key from arbitrary provisioning material.
+        auto derived = crypto::hash_oneshot(crypto::HashKind::kSha256, key);
+        derived.resize(16);
+        cbc_ = std::make_unique<crypto::CbcMac>(derived);
+        support::secure_wipe(derived);
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown MacKind");
+}
+
+void MacEngine::update(support::ByteView data) {
+  if (hmac_) {
+    hmac_->update(data);
+  } else {
+    cbc_->update(data);
+  }
+}
+
+support::Bytes MacEngine::finalize() {
+  return hmac_ ? hmac_->finalize() : cbc_->finalize();
+}
+
+std::size_t MacEngine::tag_size() const noexcept {
+  return hmac_ ? hmac_->tag_size() : crypto::CbcMac::kTagSize;
+}
+
+support::Bytes MacEngine::compute(MacKind kind, crypto::HashKind hash,
+                                  support::ByteView key, support::ByteView message) {
+  MacEngine engine(kind, hash, key);
+  engine.update(message);
+  return engine.finalize();
+}
+
+}  // namespace rasc::attest

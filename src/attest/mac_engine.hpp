@@ -1,0 +1,46 @@
+#pragma once
+/// \file mac_engine.hpp
+/// The two MAC constructions the paper names for the measurement function
+/// F (Section 2.4): hash-based (HMAC, e.g. HMAC-SHA-2) and encryption-
+/// based (AES-CBC-MAC per ISO 9797-1).  A small tagged engine lets the
+/// measurement and report layers select either at run time.
+
+#include <memory>
+#include <string>
+
+#include "src/crypto/cbcmac.hpp"
+#include "src/crypto/hmac.hpp"
+
+namespace rasc::attest {
+
+enum class MacKind {
+  kHmac,    ///< HMAC over the configured hash
+  kCbcMac,  ///< AES-CBC-MAC (key must be 16/24/32 bytes)
+};
+
+std::string mac_kind_name(MacKind kind);
+
+/// Streaming MAC with a uniform interface over both constructions.
+class MacEngine {
+ public:
+  /// For kHmac, `hash` selects the underlying hash; ignored for kCbcMac.
+  /// CBC-MAC keys must be valid AES keys (16/24/32 bytes) — the key is
+  /// hashed down to 16 bytes otherwise, mirroring common practice on
+  /// devices provisioned with odd-sized secrets.
+  MacEngine(MacKind kind, crypto::HashKind hash, support::ByteView key);
+
+  void update(support::ByteView data);
+  support::Bytes finalize();
+  std::size_t tag_size() const noexcept;
+  MacKind kind() const noexcept { return kind_; }
+
+  static support::Bytes compute(MacKind kind, crypto::HashKind hash,
+                                support::ByteView key, support::ByteView message);
+
+ private:
+  MacKind kind_;
+  std::unique_ptr<crypto::Hmac> hmac_;
+  std::unique_ptr<crypto::CbcMac> cbc_;
+};
+
+}  // namespace rasc::attest

@@ -1,0 +1,84 @@
+#include "src/attest/measurement.hpp"
+
+#include <stdexcept>
+
+namespace rasc::attest {
+
+Measurement::Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
+                         support::ByteView key, MeasurementContext context,
+                         Coverage coverage, MacKind mac)
+    : memory_(memory),
+      hash_(hash),
+      key_(key.begin(), key.end()),
+      context_(std::move(context)),
+      coverage_(coverage),
+      mac_(mac) {
+  const std::size_t n = coverage_.resolve_count(memory);
+  if (coverage_.first_block + n > memory.block_count()) {
+    throw std::out_of_range("Measurement coverage exceeds memory");
+  }
+  block_digests_.assign(n, {});
+  visit_times_.assign(n, std::nullopt);
+}
+
+void Measurement::visit_block(std::size_t block, sim::Time now) {
+  visit_block(block, now, memory_.block_view(block));
+}
+
+void Measurement::visit_block(std::size_t block, sim::Time now,
+                              support::ByteView content) {
+  if (block < coverage_.first_block ||
+      block >= coverage_.first_block + block_digests_.size()) {
+    throw std::out_of_range("visit_block outside coverage");
+  }
+  const std::size_t rel = block - coverage_.first_block;
+  if (!visit_times_[rel]) ++visited_count_;
+  visit_times_[rel] = now;
+  block_digests_[rel] = block_digest(mac_, hash_, key_, content);
+}
+
+support::Bytes Measurement::block_digest(MacKind mac, crypto::HashKind hash,
+                                         support::ByteView key,
+                                         support::ByteView block) {
+  if (mac == MacKind::kHmac) return crypto::hash_oneshot(hash, block);
+  // Encryption-based F: a per-block CBC-MAC under a key derived from the
+  // attestation key (domain-separated from the combiner key).
+  const auto block_key = support::concat({key, support::to_bytes("/block")});
+  return MacEngine::compute(MacKind::kCbcMac, hash, block_key, block);
+}
+
+support::Bytes Measurement::combine(const std::vector<support::Bytes>& digests,
+                                    crypto::HashKind hash, support::ByteView key,
+                                    const MeasurementContext& context, MacKind mac_kind) {
+  MacEngine mac(mac_kind, hash, key);
+  support::Bytes header;
+  support::append(header, support::to_bytes(context.device_id));
+  support::append_u32_be(header, static_cast<std::uint32_t>(context.challenge.size()));
+  support::append(header, context.challenge);
+  support::append_u64_be(header, context.counter);
+  support::append_u64_be(header, digests.size());
+  mac.update(header);
+  for (const auto& d : digests) mac.update(d);
+  return mac.finalize();
+}
+
+support::Bytes Measurement::finalize() const {
+  if (!complete()) throw std::logic_error("Measurement::finalize before all blocks visited");
+  return combine(block_digests_, hash_, key_, context_, mac_);
+}
+
+support::Bytes Measurement::expected(support::ByteView image, std::size_t block_size,
+                                     crypto::HashKind hash, support::ByteView key,
+                                     const MeasurementContext& context, MacKind mac) {
+  if (block_size == 0 || image.size() % block_size != 0) {
+    throw std::invalid_argument("golden image size must be a multiple of block_size");
+  }
+  const std::size_t n = image.size() / block_size;
+  std::vector<support::Bytes> digests(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    digests[i] = block_digest(mac, hash, key, image.subspan(i * block_size, block_size));
+  }
+  return combine(digests, hash, key, context, mac);
+}
+
+}  // namespace rasc::attest

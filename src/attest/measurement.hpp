@@ -1,0 +1,106 @@
+#pragma once
+/// \file measurement.hpp
+/// The integrity-ensuring function F at the heart of the measurement
+/// process MP (paper Section 2.2).  Memory is measured block-by-block:
+/// each visited block yields a per-block digest recorded at visit time;
+/// finalize() combines the per-block digests *in index order* under an
+/// HMAC keyed with the attestation key and bound to the challenge, device
+/// id and counter.
+///
+/// Recording per-block digests makes the result independent of traversal
+/// order, which is what lets one code path serve sequential, atomic and
+/// SMARM-shuffled measurements (and is the "additional memory to store the
+/// permutation/state" cost the paper attributes to SMARM).
+
+#include <optional>
+#include <vector>
+
+#include "src/attest/mac_engine.hpp"
+#include "src/crypto/hash.hpp"
+#include "src/crypto/hmac.hpp"
+#include "src/sim/memory.hpp"
+#include "src/support/bytes.hpp"
+
+namespace rasc::attest {
+
+/// Coverage descriptor: which blocks of prover memory are attested.
+struct Coverage {
+  std::size_t first_block = 0;
+  std::size_t block_count = 0;  ///< 0 = all blocks from first_block
+
+  std::size_t resolve_count(const sim::DeviceMemory& mem) const {
+    return block_count == 0 ? mem.block_count() - first_block : block_count;
+  }
+};
+
+/// Header binding a measurement to its context.
+struct MeasurementContext {
+  std::string device_id;
+  support::Bytes challenge;    ///< Vrf nonce (empty for self-measurements)
+  std::uint64_t counter = 0;   ///< monotonic counter / schedule index
+};
+
+class Measurement {
+ public:
+  Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
+              support::ByteView key, MeasurementContext context, Coverage coverage = {},
+              MacKind mac = MacKind::kHmac);
+
+  /// Digest one block (index relative to memory, must lie inside the
+  /// coverage).  May be called in any order; re-visiting overwrites the
+  /// previous digest and records the new visit time.
+  void visit_block(std::size_t block, sim::Time now);
+
+  /// As above but digesting the supplied content instead of live memory
+  /// (snapshot-based locking redirects reads through the policy).
+  void visit_block(std::size_t block, sim::Time now, support::ByteView content);
+
+  /// Number of blocks visited so far / total to visit.
+  std::size_t visited() const noexcept { return visited_count_; }
+  std::size_t total_blocks() const noexcept { return block_digests_.size(); }
+  bool complete() const noexcept { return visited_count_ == block_digests_.size(); }
+
+  /// Visit times per covered block (for the consistency analyzer);
+  /// nullopt for unvisited blocks.
+  const std::vector<std::optional<sim::Time>>& visit_times() const noexcept {
+    return visit_times_;
+  }
+
+  /// Combine per-block digests into the final authenticated measurement.
+  /// Requires complete(); throws std::logic_error otherwise.
+  support::Bytes finalize() const;
+
+  const MeasurementContext& context() const noexcept { return context_; }
+  const Coverage& coverage() const noexcept { return coverage_; }
+  crypto::HashKind hash_kind() const noexcept { return hash_; }
+  MacKind mac_kind() const noexcept { return mac_; }
+
+  /// Compute the expected measurement for a golden memory image (what the
+  /// verifier compares against).  `image` must be block_size * n bytes.
+  static support::Bytes expected(support::ByteView image, std::size_t block_size,
+                                 crypto::HashKind hash, support::ByteView key,
+                                 const MeasurementContext& context,
+                                 MacKind mac = MacKind::kHmac);
+
+  /// Per-block digest primitive: an (unkeyed) hash for the hash-based F,
+  /// or a keyed AES-CBC-MAC for the encryption-based F of Section 2.4.
+  static support::Bytes block_digest(MacKind mac, crypto::HashKind hash,
+                                     support::ByteView key, support::ByteView block);
+
+ private:
+  static support::Bytes combine(const std::vector<support::Bytes>& digests,
+                                crypto::HashKind hash, support::ByteView key,
+                                const MeasurementContext& context, MacKind mac);
+
+  const sim::DeviceMemory& memory_;
+  crypto::HashKind hash_;
+  support::Bytes key_;
+  MeasurementContext context_;
+  Coverage coverage_;
+  MacKind mac_;
+  std::vector<support::Bytes> block_digests_;
+  std::vector<std::optional<sim::Time>> visit_times_;
+  std::size_t visited_count_ = 0;
+};
+
+}  // namespace rasc::attest

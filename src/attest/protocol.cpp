@@ -1,0 +1,64 @@
+#include "src/attest/protocol.hpp"
+
+#include <memory>
+
+namespace rasc::attest {
+
+OnDemandProtocol::OnDemandProtocol(sim::Device& prover_device, Verifier& verifier,
+                                   AttestationProcess& mp, sim::Link& vrf_to_prv,
+                                   sim::Link& prv_to_vrf, Config config)
+    : device_(prover_device),
+      verifier_(verifier),
+      mp_(mp),
+      vrf_to_prv_(vrf_to_prv),
+      prv_to_vrf_(prv_to_vrf),
+      config_(config) {}
+
+void OnDemandProtocol::run(std::uint64_t counter,
+                           std::function<void(OnDemandTimings)> done) {
+  auto timings = std::make_shared<OnDemandTimings>();
+  auto& sim = device_.sim();
+
+  const support::Bytes challenge = verifier_.issue_challenge(config_.challenge_size);
+  timings->t_challenge_sent = sim.now();
+
+  vrf_to_prv_.send(challenge, [this, timings, counter, done = std::move(done)](
+                                  support::Bytes challenge_bytes) mutable {
+    auto& sim = device_.sim();
+    timings->t_request_received = sim.now();
+
+    // Deferral: authenticate the request / wind down the previous task.
+    sim.schedule_in(config_.request_auth_delay, [this, timings, counter,
+                                                 challenge_bytes = std::move(challenge_bytes),
+                                                 done = std::move(done)]() mutable {
+      timings->t_mp_started = device_.sim().now();
+      MeasurementContext context{device_.id(), challenge_bytes, counter};
+      mp_.start(std::move(context), [this, timings, done = std::move(done)](
+                                        AttestationResult result) mutable {
+        timings->t_s = result.t_s;
+        timings->t_e = result.t_e;
+        timings->t_r = result.t_r;
+        timings->attestation = std::move(result);
+
+        // Ship the report; payload mirrors the real wire size.
+        support::Bytes payload = timings->attestation.report.serialize_body();
+        support::append(payload, timings->attestation.report.mac);
+        support::append(payload, timings->attestation.report.signature);
+        prv_to_vrf_.send(std::move(payload), [this, timings,
+                                              done = std::move(done)](support::Bytes) mutable {
+          auto& sim = device_.sim();
+          timings->t_report_received = sim.now();
+          sim.schedule_in(config_.verify_delay, [this, timings,
+                                                 done = std::move(done)]() mutable {
+            timings->t_verified = device_.sim().now();
+            timings->outcome =
+                verifier_.verify(timings->attestation.report, /*expect_challenge=*/true);
+            done(*timings);
+          });
+        });
+      });
+    });
+  });
+}
+
+}  // namespace rasc::attest

@@ -1,0 +1,63 @@
+#pragma once
+/// \file protocol.hpp
+/// On-demand RA protocol (paper Section 2.2, Figure 1):
+///   (1) Vrf sends a challenge-bearing request,
+///   (2) Prv receives it, authenticates it, and starts MP (deferral),
+///   (3) Prv finishes MP and returns the report,
+///   (4) Vrf receives and verifies.
+/// Produces the full event timeline the figure illustrates.
+
+#include <functional>
+
+#include "src/attest/prover.hpp"
+#include "src/attest/verifier.hpp"
+#include "src/sim/network.hpp"
+
+namespace rasc::attest {
+
+struct OnDemandTimings {
+  sim::Time t_challenge_sent = 0;   ///< Vrf emits the request
+  sim::Time t_request_received = 0; ///< request reaches Prv
+  sim::Time t_mp_started = 0;       ///< MP dispatched (after auth/deferral)
+  sim::Time t_s = 0;                ///< measurement start
+  sim::Time t_e = 0;                ///< measurement end
+  sim::Time t_r = 0;                ///< lock release
+  sim::Time t_report_received = 0;  ///< report reaches Vrf
+  sim::Time t_verified = 0;         ///< Vrf verdict ready
+  VerifyOutcome outcome;
+  AttestationResult attestation;
+};
+
+struct OnDemandConfig {
+  /// Request-authentication / task-teardown deferral on Prv before MP
+  /// starts (the Figure 1 gap between arrival and t_s).
+  sim::Duration request_auth_delay = 300 * sim::kMicrosecond;
+  /// Vrf-side verification latency.
+  sim::Duration verify_delay = 500 * sim::kMicrosecond;
+  std::size_t challenge_size = 16;
+};
+
+class OnDemandProtocol {
+ public:
+  using Config = OnDemandConfig;
+
+  /// All references must outlive the protocol object.
+  OnDemandProtocol(sim::Device& prover_device, Verifier& verifier,
+                   AttestationProcess& mp, sim::Link& vrf_to_prv,
+                   sim::Link& prv_to_vrf, Config config = {});
+
+  /// Run one attestation round; `done` fires at t_verified.  If the
+  /// network drops a message the round silently never completes (callers
+  /// model timeouts; SeED's handling of drops lives in selfmeasure).
+  void run(std::uint64_t counter, std::function<void(OnDemandTimings)> done);
+
+ private:
+  sim::Device& device_;
+  Verifier& verifier_;
+  AttestationProcess& mp_;
+  sim::Link& vrf_to_prv_;
+  sim::Link& prv_to_vrf_;
+  Config config_;
+};
+
+}  // namespace rasc::attest

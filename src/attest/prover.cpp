@@ -1,0 +1,201 @@
+#include "src/attest/prover.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rasc::attest {
+
+std::string execution_mode_name(ExecutionMode mode) {
+  return mode == ExecutionMode::kAtomic ? "atomic" : "interruptible";
+}
+
+std::string traversal_order_name(TraversalOrder order) {
+  return order == TraversalOrder::kSequential ? "sequential" : "shuffled";
+}
+
+AttestationProcess::AttestationProcess(sim::Device& device, ProverConfig config,
+                                       LockPolicy* policy)
+    : sim::Process("attest/" + execution_mode_name(config.mode), config.priority),
+      device_(device),
+      config_(config),
+      policy_(policy) {}
+
+sim::Duration AttestationProcess::block_cost() const {
+  const std::size_t block_size = device_.memory().block_size();
+  const sim::Duration digest_cost =
+      config_.mac == MacKind::kCbcMac
+          ? device_.model().cbcmac_time(block_size)
+          : device_.model().hash_time(config_.hash, block_size);
+  return digest_cost + device_.model().measurement_block_overhead();
+}
+
+sim::Duration AttestationProcess::finalize_cost() const {
+  const std::size_t n = config_.coverage.resolve_count(device_.memory());
+  const std::size_t digest_size = config_.mac == MacKind::kCbcMac
+                                      ? crypto::CbcMac::kTagSize
+                                      : crypto::hash_digest_size(config_.hash);
+  sim::Duration cost = config_.mac == MacKind::kCbcMac
+                           ? device_.model().cbcmac_time(n * digest_size)
+                           : device_.model().mac_time(config_.hash, n * digest_size);
+  if (config_.signature) cost += device_.model().sign_time(*config_.signature);
+  return cost;
+}
+
+std::vector<std::size_t> AttestationProcess::make_order() const {
+  const std::size_t first = config_.coverage.first_block;
+  const std::size_t n = config_.coverage.resolve_count(device_.memory());
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), first);
+  if (config_.order == TraversalOrder::kShuffledSecret) {
+    // Secret permutation derived from the attestation key and counter.
+    // Stored state is what SMARM keeps in secure memory.
+    support::Bytes seed = device_.attestation_key();
+    support::append(seed, support::to_bytes("smarm-permutation"));
+    support::append_u64_be(seed, measurement_->context().counter);
+    crypto::HmacDrbg drbg(seed);
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = drbg.below(i);
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  return order;
+}
+
+void AttestationProcess::start(MeasurementContext context,
+                               std::function<void(AttestationResult)> done) {
+  if (busy()) throw std::logic_error("AttestationProcess::start while busy");
+  measurement_.emplace(device_.memory(), config_.hash, device_.attestation_key(),
+                       std::move(context), config_.coverage, config_.mac);
+  order_ = make_order();
+  next_index_ = 0;
+  result_ = AttestationResult{};
+  result_.order = order_;
+  done_ = std::move(done);
+  stage_ = Stage::kLock;
+  device_.cpu().make_ready(*this);
+}
+
+std::optional<sim::Segment> AttestationProcess::next_segment() {
+  switch (stage_) {
+    case Stage::kIdle:
+      return std::nullopt;
+    case Stage::kLock: {
+      // Engaging the MPU lock (a syscall on HYDRA) costs a fixed overhead;
+      // t_s is the instant the lock is in place.  Zeroing the data region
+      // (when configured) happens in the same segment.
+      sim::Duration cost = device_.model().measurement_block_overhead();
+      if (policy_) {
+        const std::size_t covered =
+            config_.coverage.resolve_count(device_.memory()) *
+            device_.memory().block_size();
+        cost += policy_->start_cost(device_.model(), covered);
+      }
+      if (config_.zero_region) {
+        cost += device_.model().copy_time(
+            config_.zero_region->resolve_count(device_.memory()) *
+            device_.memory().block_size());
+      }
+      return sim::Segment{cost, [this] { complete_lock(); }};
+    }
+    case Stage::kBlocks:
+      if (config_.mode == ExecutionMode::kAtomic) {
+        const std::size_t n = order_.size();
+        const sim::Duration total = block_cost() * n + finalize_cost();
+        return sim::Segment{total, [this] { complete_atomic(); }};
+      }
+      return sim::Segment{block_cost(), [this] { complete_block(); }};
+    case Stage::kCombine:
+      return sim::Segment{finalize_cost(), [this] { complete_combine(); }};
+  }
+  return std::nullopt;
+}
+
+void AttestationProcess::complete_lock() {
+  result_.t_s = device_.sim().now();
+  if (config_.zero_region) {
+    // Zero before the lock engages (attestation code scrubbing D).
+    auto& mem = device_.memory();
+    const std::size_t n = config_.zero_region->resolve_count(mem);
+    const std::size_t first = config_.zero_region->first_block;
+    mem.zero_region(first * mem.block_size(), n * mem.block_size(), result_.t_s,
+                    sim::Actor::kMeasurement);
+  }
+  if (policy_) policy_->on_start(device_.memory(), config_.coverage);
+  stage_ = Stage::kBlocks;
+}
+
+void AttestationProcess::complete_atomic() {
+  // Nothing else ran between t_s and now, so reading all blocks at the end
+  // of the segment observes exactly the memory state throughout.
+  auto& mem = device_.memory();
+  const sim::Time now = device_.sim().now();
+  for (std::size_t block : order_) {
+    const sim::Time visit_time =
+        (policy_ && policy_->snapshots_at_start()) ? result_.t_s : now;
+    measurement_->visit_block(block, visit_time,
+                              policy_ ? policy_->block_source(mem, block)
+                                      : mem.block_view(block));
+    if (policy_) policy_->on_block_visited(mem, block);
+  }
+  if (observer_) observer_(order_.size(), order_.size());
+  finish();
+}
+
+void AttestationProcess::complete_block() {
+  auto& mem = device_.memory();
+  const std::size_t block = order_[next_index_];
+  const sim::Time visit_time =
+      (policy_ && policy_->snapshots_at_start()) ? result_.t_s : device_.sim().now();
+  measurement_->visit_block(block, visit_time,
+                            policy_ ? policy_->block_source(mem, block)
+                                    : mem.block_view(block));
+  if (policy_) policy_->on_block_visited(mem, block);
+  ++next_index_;
+  if (observer_) observer_(next_index_, order_.size());
+  if (next_index_ == order_.size()) stage_ = Stage::kCombine;
+}
+
+void AttestationProcess::complete_combine() { finish(); }
+
+void AttestationProcess::finish() {
+  auto& mem = device_.memory();
+  result_.t_e = device_.sim().now();
+  if (policy_) policy_->on_end(mem, config_.coverage);
+
+  Report report;
+  report.device_id = measurement_->context().device_id;
+  report.challenge = measurement_->context().challenge;
+  report.counter = measurement_->context().counter;
+  report.t_start = result_.t_s;
+  report.t_end = result_.t_e;
+  report.hash = config_.hash;
+  report.measurement = measurement_->finalize();
+  authenticate_report(report, device_.attestation_key());
+  if (signer_ != nullptr && config_.signature) sign_report(report, *signer_);
+
+  result_.report = std::move(report);
+  result_.visit_times = measurement_->visit_times();
+
+  const sim::Duration delay = policy_ ? policy_->release_delay() : 0;
+  result_.t_r = result_.t_e + delay;
+  if (policy_) {
+    if (delay == 0) {
+      policy_->on_release(mem, config_.coverage);
+    } else {
+      device_.sim().schedule_in(delay, [this] {
+        policy_->on_release(device_.memory(), config_.coverage);
+      });
+    }
+  }
+
+  stage_ = Stage::kIdle;
+  measurement_.reset();
+  if (done_) {
+    // Move out first: the callback may start a new measurement.
+    auto done = std::move(done_);
+    done_ = nullptr;
+    done(result_);
+  }
+}
+
+}  // namespace rasc::attest

@@ -1,0 +1,118 @@
+#pragma once
+/// \file prover.hpp
+/// The measurement process MP as a schedulable CPU process, covering the
+/// paper's execution modalities:
+///
+///  - ExecutionMode::kAtomic       — SMART/HYDRA style: the entire
+///    measurement (plus finalization) is one non-preemptible segment;
+///    nothing else runs between t_s and t_e.
+///  - ExecutionMode::kInterruptible — TrustLite/SMARM style: one segment
+///    per memory block; higher-priority tasks run between blocks.
+///
+///  - TraversalOrder::kSequential     — blocks 0..n-1 in order.
+///  - TraversalOrder::kShuffledSecret — SMARM: a fresh secret permutation
+///    per measurement, derived from the attestation key and counter via
+///    HMAC-DRBG (malware can observe *progress* but not the order).
+///
+/// A LockPolicy receives the Figure 4 timeline hooks (t_s, per-block, t_e,
+/// t_r).  An observer callback reports per-block progress — that is the
+/// only measurement-internal information the adversary models receive.
+
+#include <functional>
+#include <optional>
+
+#include "src/attest/lock_policy.hpp"
+#include "src/attest/measurement.hpp"
+#include "src/attest/report.hpp"
+#include "src/crypto/drbg.hpp"
+#include "src/sim/device.hpp"
+
+namespace rasc::attest {
+
+enum class ExecutionMode { kAtomic, kInterruptible };
+enum class TraversalOrder { kSequential, kShuffledSecret };
+
+std::string execution_mode_name(ExecutionMode mode);
+std::string traversal_order_name(TraversalOrder order);
+
+struct ProverConfig {
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  /// Hash-based (HMAC) or encryption-based (AES-CBC-MAC) F (Section 2.4).
+  MacKind mac = MacKind::kHmac;
+  ExecutionMode mode = ExecutionMode::kAtomic;
+  TraversalOrder order = TraversalOrder::kSequential;
+  int priority = 10;
+  Coverage coverage{};
+  /// Optional signature scheme for non-repudiation; adds sign_time to the
+  /// finalization segment and attaches a signature when a Signer is set.
+  std::optional<crypto::SigKind> signature;
+  /// Section 2.3 policy for high-entropy data regions: zero the given
+  /// blocks at t_s so malware cannot hide in them and the verifier can
+  /// expect zeros instead of enumerating volatile states.
+  std::optional<Coverage> zero_region;
+};
+
+struct AttestationResult {
+  Report report;
+  sim::Time t_s = 0;  ///< measurement start (lock engaged)
+  sim::Time t_e = 0;  ///< measurement end (report ready)
+  sim::Time t_r = 0;  ///< lock release (== t_e without an -Ext policy)
+  std::vector<std::size_t> order;                    ///< traversal actually used
+  std::vector<std::optional<sim::Time>> visit_times;  ///< per covered block
+};
+
+class AttestationProcess final : public sim::Process {
+ public:
+  /// `policy` may be nullptr (No-Lock).  The device, policy and signer
+  /// must outlive the process.
+  AttestationProcess(sim::Device& device, ProverConfig config,
+                     LockPolicy* policy = nullptr);
+
+  /// Per-block progress hook: called as (blocks_done, total_blocks) after
+  /// every visited block in interruptible mode, and once with (n, n) after
+  /// an atomic measurement completes.
+  void set_observer(std::function<void(std::size_t, std::size_t)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  void set_signer(crypto::Signer* signer) { signer_ = signer; }
+
+  /// Begin a measurement; `done` fires at t_e with the full result.
+  /// Throws std::logic_error if a measurement is already in flight.
+  void start(MeasurementContext context, std::function<void(AttestationResult)> done);
+
+  bool busy() const noexcept { return stage_ != Stage::kIdle; }
+
+  /// Cost of measuring one block / finalizing, from the device model
+  /// (exposed so benches can report the theoretical interrupt latency).
+  sim::Duration block_cost() const;
+  sim::Duration finalize_cost() const;
+
+  // sim::Process
+  std::optional<sim::Segment> next_segment() override;
+
+ private:
+  enum class Stage { kIdle, kLock, kBlocks, kCombine };
+
+  void complete_lock();
+  void complete_atomic();
+  void complete_block();
+  void complete_combine();
+  void finish();
+  std::vector<std::size_t> make_order() const;
+
+  sim::Device& device_;
+  ProverConfig config_;
+  LockPolicy* policy_;
+  crypto::Signer* signer_ = nullptr;
+  std::function<void(std::size_t, std::size_t)> observer_;
+
+  Stage stage_ = Stage::kIdle;
+  std::optional<Measurement> measurement_;
+  std::vector<std::size_t> order_;
+  std::size_t next_index_ = 0;
+  AttestationResult result_;
+  std::function<void(AttestationResult)> done_;
+};
+
+}  // namespace rasc::attest

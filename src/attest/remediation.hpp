@@ -1,0 +1,49 @@
+#pragma once
+/// \file remediation.hpp
+/// What happens *after* detection (paper Section 1): "if Vrf detects
+/// malware presence, Prv's software can be re-set or rolled back".  This
+/// service implements the roll-back: on a failed attestation the verifier
+/// pushes the golden image over the link, the prover's ROM update routine
+/// rewrites memory (as a CPU-occupying operation), and a fresh attestation
+/// round confirms the cure — the secure-code-update pattern of SCUBA [25].
+
+#include <functional>
+
+#include "src/attest/protocol.hpp"
+
+namespace rasc::attest {
+
+struct RemediationOutcome {
+  bool attempted = false;      ///< a roll-back was pushed
+  bool reattested_ok = false;  ///< the post-update attestation verdict
+  VerifyOutcome first_verdict;
+  VerifyOutcome final_verdict;
+  sim::Time finished_at = 0;
+};
+
+/// Attest; if the verdict is bad, push the golden image and attest again.
+class RemediationService {
+ public:
+  /// `golden` is the image the verifier is willing to restore.  All
+  /// references must outlive the service.
+  RemediationService(sim::Device& device, Verifier& verifier, AttestationProcess& mp,
+                     sim::Link& vrf_to_prv, sim::Link& prv_to_vrf,
+                     support::Bytes golden);
+  ~RemediationService();  // out-of-line: UpdateProcess is incomplete here
+
+  /// One detect-then-cure cycle; `done` fires after the final verdict.
+  /// `counter` seeds the two protocol rounds (counter, counter + 1).
+  void run(std::uint64_t counter, std::function<void(RemediationOutcome)> done);
+
+ private:
+  class UpdateProcess;
+
+  sim::Device& device_;
+  Verifier& verifier_;
+  OnDemandProtocol protocol_;
+  sim::Link& vrf_to_prv_;
+  support::Bytes golden_;
+  std::unique_ptr<UpdateProcess> updater_;
+};
+
+}  // namespace rasc::attest

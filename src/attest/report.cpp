@@ -1,0 +1,48 @@
+#include "src/attest/report.hpp"
+
+#include "src/crypto/hmac.hpp"
+
+namespace rasc::attest {
+
+namespace {
+constexpr crypto::HashKind kReportMacHash = crypto::HashKind::kSha256;
+}
+
+support::Bytes Report::serialize_body() const {
+  support::Bytes out;
+  support::append_u32_be(out, static_cast<std::uint32_t>(device_id.size()));
+  support::append(out, support::to_bytes(device_id));
+  support::append_u32_be(out, static_cast<std::uint32_t>(challenge.size()));
+  support::append(out, challenge);
+  support::append_u64_be(out, counter);
+  support::append_u64_be(out, t_start);
+  support::append_u64_be(out, t_end);
+  support::append_u32_be(out, static_cast<std::uint32_t>(hash));
+  support::append_u32_be(out, static_cast<std::uint32_t>(measurement.size()));
+  support::append(out, measurement);
+  return out;
+}
+
+support::Bytes report_mac(const Report& report, support::ByteView key) {
+  return crypto::Hmac::compute(kReportMacHash, key, report.serialize_body());
+}
+
+void authenticate_report(Report& report, support::ByteView key) {
+  report.mac = report_mac(report, key);
+}
+
+void sign_report(Report& report, crypto::Signer& signer) {
+  report.signature = signer.sign(crypto::HashKind::kSha256, report.serialize_body());
+}
+
+bool report_mac_valid(const Report& report, support::ByteView key) {
+  return support::ct_equal(report_mac(report, key), report.mac);
+}
+
+bool report_signature_valid(const Report& report, const crypto::Signer& signer) {
+  if (report.signature.empty()) return false;
+  return signer.verify(crypto::HashKind::kSha256, report.serialize_body(),
+                       report.signature);
+}
+
+}  // namespace rasc::attest

@@ -1,0 +1,47 @@
+#pragma once
+/// \file report.hpp
+/// Attestation report: the measurement output plus its binding metadata,
+/// authenticated with the shared attestation key (MAC) and optionally a
+/// digital signature when non-repudiation is required (Section 2.4).
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/hash.hpp"
+#include "src/crypto/sig.hpp"
+#include "src/sim/time.hpp"
+#include "src/support/bytes.hpp"
+
+namespace rasc::attest {
+
+struct Report {
+  std::string device_id;
+  support::Bytes challenge;       ///< empty for self-measurements
+  std::uint64_t counter = 0;      ///< monotonic counter / schedule slot
+  sim::Time t_start = 0;          ///< t_s of the measurement
+  sim::Time t_end = 0;            ///< t_e of the measurement
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  support::Bytes measurement;     ///< output of Measurement::finalize()
+  support::Bytes mac;             ///< HMAC over the serialized body
+  support::Bytes signature;       ///< optional hash-and-sign signature
+
+  /// Canonical serialization of everything the MAC/signature covers.
+  support::Bytes serialize_body() const;
+};
+
+/// Compute the report MAC with the shared attestation key.
+support::Bytes report_mac(const Report& report, support::ByteView key);
+
+/// MAC the report in place.
+void authenticate_report(Report& report, support::ByteView key);
+
+/// Attach a signature (non-repudiation mode).
+void sign_report(Report& report, crypto::Signer& signer);
+
+/// Constant-time MAC check.
+bool report_mac_valid(const Report& report, support::ByteView key);
+
+/// Signature check (false if the report carries no signature).
+bool report_signature_valid(const Report& report, const crypto::Signer& signer);
+
+}  // namespace rasc::attest

@@ -1,0 +1,62 @@
+#include "src/attest/verifier.hpp"
+
+#include <stdexcept>
+
+namespace rasc::attest {
+
+Verifier::Verifier(crypto::HashKind hash, support::Bytes key, support::Bytes golden_image,
+                   std::size_t block_size, std::uint64_t challenge_seed, MacKind mac)
+    : hash_(hash),
+      mac_(mac),
+      key_(std::move(key)),
+      golden_image_(std::move(golden_image)),
+      block_size_(block_size),
+      challenge_drbg_([challenge_seed] {
+        support::Bytes seed(8);
+        support::put_u64_be(seed, challenge_seed);
+        return seed;
+      }()) {
+  if (block_size_ == 0 || golden_image_.size() % block_size_ != 0) {
+    throw std::invalid_argument("Verifier: golden image must be whole blocks");
+  }
+}
+
+support::Bytes Verifier::issue_challenge(std::size_t size) {
+  outstanding_challenge_ = challenge_drbg_.generate(size);
+  return *outstanding_challenge_;
+}
+
+support::Bytes Verifier::expected_measurement(const MeasurementContext& context) const {
+  return Measurement::expected(golden_image_, block_size_, hash_, key_, context, mac_);
+}
+
+VerifyOutcome Verifier::verify(const Report& report, bool expect_challenge) {
+  VerifyOutcome out;
+  out.mac_ok = report_mac_valid(report, key_);
+
+  if (expect_challenge) {
+    out.challenge_ok = outstanding_challenge_.has_value() &&
+                       support::ct_equal(report.challenge, *outstanding_challenge_);
+  } else {
+    out.counter_ok = !last_counter_seen_ || report.counter > last_counter_;
+  }
+
+  MeasurementContext context{report.device_id, report.challenge, report.counter};
+  out.digest_ok = support::ct_equal(report.measurement, expected_measurement(context));
+
+  if (out.ok()) {
+    last_counter_seen_ = true;
+    last_counter_ = report.counter;
+    if (expect_challenge) outstanding_challenge_.reset();
+  }
+  return out;
+}
+
+void Verifier::set_golden_image(support::Bytes image) {
+  if (image.size() % block_size_ != 0) {
+    throw std::invalid_argument("golden image must be whole blocks");
+  }
+  golden_image_ = std::move(image);
+}
+
+}  // namespace rasc::attest

@@ -1,0 +1,61 @@
+#pragma once
+/// \file verifier.hpp
+/// The trusted verifier Vrf: holds the golden image of the prover's
+/// attested memory and the shared attestation key, issues challenges, and
+/// validates reports (Section 2.2's step 4).
+
+#include <optional>
+
+#include "src/attest/measurement.hpp"
+#include "src/attest/report.hpp"
+#include "src/crypto/drbg.hpp"
+
+namespace rasc::attest {
+
+struct VerifyOutcome {
+  bool mac_ok = false;        ///< report authentication (key possession)
+  bool digest_ok = false;     ///< measurement matches the golden image
+  bool challenge_ok = true;   ///< matches the expected challenge, if any
+  bool counter_ok = true;     ///< strictly increasing counter
+  bool ok() const noexcept { return mac_ok && digest_ok && challenge_ok && counter_ok; }
+};
+
+class Verifier {
+ public:
+  /// `golden_image` is the expected content of the covered region
+  /// (block_size * n bytes).
+  Verifier(crypto::HashKind hash, support::Bytes key, support::Bytes golden_image,
+           std::size_t block_size, std::uint64_t challenge_seed = 0xc0ffee,
+           MacKind mac = MacKind::kHmac);
+
+  /// Fresh random challenge (also remembered as the expected one).
+  support::Bytes issue_challenge(std::size_t size = 16);
+
+  /// Validate a report.  If `expect_challenge` is true the report must
+  /// carry the most recently issued challenge (on-demand RA); if false
+  /// (self-measurement collection) the challenge field is not checked but
+  /// the counter must exceed the last accepted one.
+  VerifyOutcome verify(const Report& report, bool expect_challenge = true);
+
+  /// Expected measurement for an arbitrary context (exposed for tests).
+  support::Bytes expected_measurement(const MeasurementContext& context) const;
+
+  /// Update the golden image (e.g. after an authorized software update).
+  void set_golden_image(support::Bytes image);
+
+  std::uint64_t last_counter() const noexcept { return last_counter_; }
+  void reset_counter() noexcept { last_counter_seen_ = false; }
+
+ private:
+  crypto::HashKind hash_;
+  MacKind mac_;
+  support::Bytes key_;
+  support::Bytes golden_image_;
+  std::size_t block_size_;
+  crypto::HmacDrbg challenge_drbg_;
+  std::optional<support::Bytes> outstanding_challenge_;
+  bool last_counter_seen_ = false;
+  std::uint64_t last_counter_ = 0;
+};
+
+}  // namespace rasc::attest

@@ -1,0 +1,378 @@
+#include "src/bignum/bignum.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+namespace rasc::bn {
+
+namespace {
+using u128 = unsigned __int128;
+constexpr std::uint64_t kLimbMax = ~std::uint64_t{0};
+}  // namespace
+
+Bignum::Bignum(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void Bignum::normalize() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Bignum Bignum::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty()) throw std::invalid_argument("empty hex string");
+  Bignum out;
+  for (char c : hex) {
+    int nib;
+    if (c >= '0' && c <= '9') nib = c - '0';
+    else if (c >= 'a' && c <= 'f') nib = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') nib = c - 'A' + 10;
+    else throw std::invalid_argument("malformed hex digit");
+    out = out.shifted_left(4);
+    if (nib != 0) {
+      if (out.limbs_.empty()) out.limbs_.push_back(0);
+      out.limbs_[0] |= static_cast<std::uint64_t>(nib);
+    }
+  }
+  return out;
+}
+
+Bignum Bignum::from_bytes_be(support::ByteView bytes) {
+  Bignum out;
+  const std::size_t nlimbs = (bytes.size() + 7) / 8;
+  out.limbs_.assign(nlimbs, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[i] is the most significant remaining byte.
+    const std::size_t bit_pos = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit_pos / 64] |= static_cast<std::uint64_t>(bytes[i]) << (bit_pos % 64);
+  }
+  out.normalize();
+  return out;
+}
+
+support::Bytes Bignum::to_bytes_be(std::size_t len) const {
+  if (bit_length() > len * 8) throw std::length_error("Bignum does not fit requested length");
+  support::Bytes out(len, 0);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t bit_pos = (len - 1 - i) * 8;
+    const std::size_t limb = bit_pos / 64;
+    if (limb < limbs_.size()) {
+      out[i] = static_cast<std::uint8_t>(limbs_[limb] >> (bit_pos % 64));
+    }
+  }
+  return out;
+}
+
+support::Bytes Bignum::to_bytes_be() const {
+  return to_bytes_be(std::max<std::size_t>(1, (bit_length() + 7) / 8));
+}
+
+std::string Bignum::to_hex() const {
+  if (is_zero()) return "0";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    char buf[17];
+    if (i == limbs_.size() - 1) {
+      std::snprintf(buf, sizeof(buf), "%llx", static_cast<unsigned long long>(limbs_[i]));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(limbs_[i]));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t Bignum::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return limbs_.size() * 64 - static_cast<std::size_t>(std::countl_zero(limbs_.back()));
+}
+
+bool Bignum::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int Bignum::compare(const Bignum& a, const Bignum& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Bignum operator+(const Bignum& a, const Bignum& b) {
+  Bignum out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = i < a.limbs_.size() ? a.limbs_[i] : 0;
+    const std::uint64_t y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(x) + y + carry;
+    out.limbs_[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  if (carry) out.limbs_.push_back(carry);
+  return out;
+}
+
+Bignum operator-(const Bignum& a, const Bignum& b) {
+  if (Bignum::compare(a, b) < 0) throw std::underflow_error("Bignum subtraction underflow");
+  Bignum out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t y = i < b.limbs_.size() ? b.limbs_[i] : 0;
+    const std::uint64_t x = a.limbs_[i];
+    const std::uint64_t yb = y + borrow;
+    // Detect wraparound of y + borrow as well as x < yb.
+    const bool wrap = (yb < y);
+    out.limbs_[i] = x - yb;
+    borrow = (wrap || x < yb) ? 1 : 0;
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum operator*(const Bignum& a, const Bignum& b) {
+  if (a.is_zero() || b.is_zero()) return Bignum{};
+  Bignum out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(ai) * b.limbs_[j] + out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + b.limbs_.size()] = carry;
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum Bignum::shifted_left(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    Bignum out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  Bignum out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift) out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum Bignum::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return Bignum{};
+  Bignum out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift) : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+Bignum::DivMod Bignum::divmod(const Bignum& a, const Bignum& b) {
+  if (b.is_zero()) throw std::domain_error("Bignum division by zero");
+  if (compare(a, b) < 0) return {Bignum{}, a};
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = b.limbs_[0];
+    Bignum q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.normalize();
+    return {q, Bignum{static_cast<std::uint64_t>(rem)}};
+  }
+
+  // Knuth Algorithm D.  Normalize so the divisor's top bit is set.
+  const int shift = std::countl_zero(b.limbs_.back());
+  const Bignum u_norm = a.shifted_left(static_cast<std::size_t>(shift));
+  const Bignum v_norm = b.shifted_left(static_cast<std::size_t>(shift));
+  const std::size_t n = v_norm.limbs_.size();
+  std::vector<std::uint64_t> u = u_norm.limbs_;
+  // Extra high limb required by the algorithm; a >= b guarantees
+  // u.size() >= n here, so m >= 1.
+  u.push_back(0);
+  const std::size_t m = u.size() - n;  // number of quotient limbs (upper bound)
+  const std::vector<std::uint64_t>& v = v_norm.limbs_;
+
+  Bignum q;
+  q.limbs_.assign(m, 0);
+  for (std::size_t j = m; j-- > 0;) {
+    // Estimate qhat from the top two limbs of the current remainder window.
+    const u128 numerator = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u128 qhat = numerator / v[n - 1];
+    u128 rhat = numerator % v[n - 1];
+    while (qhat > kLimbMax ||
+           (n >= 2 && qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2]))) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat > kLimbMax) break;
+    }
+
+    // Multiply-subtract: u[j..j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 product = qhat * v[i] + carry;
+      carry = product >> 64;
+      const std::uint64_t plo = static_cast<std::uint64_t>(product);
+      const u128 diff = static_cast<u128>(u[i + j]) - plo - borrow;
+      u[i + j] = static_cast<std::uint64_t>(diff);
+      borrow = (diff >> 64) ? 1 : 0;
+    }
+    const u128 diff = static_cast<u128>(u[j + n]) - carry - borrow;
+    u[j + n] = static_cast<std::uint64_t>(diff);
+
+    if (diff >> 64) {
+      // qhat was one too large: add back.
+      --qhat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<std::uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u[j + n] = static_cast<std::uint64_t>(u[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<std::uint64_t>(qhat);
+  }
+  q.normalize();
+
+  Bignum r;
+  r.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  r.normalize();
+  return {q, r.shifted_right(static_cast<std::size_t>(shift))};
+}
+
+Bignum operator/(const Bignum& a, const Bignum& b) { return Bignum::divmod(a, b).quotient; }
+Bignum operator%(const Bignum& a, const Bignum& b) { return Bignum::divmod(a, b).remainder; }
+
+Bignum Bignum::mod_add(const Bignum& a, const Bignum& b, const Bignum& m) {
+  Bignum sum = a + b;
+  if (compare(sum, m) >= 0) sum = sum - m;
+  return sum;
+}
+
+Bignum Bignum::mod_sub(const Bignum& a, const Bignum& b, const Bignum& m) {
+  if (compare(a, b) >= 0) return a - b;
+  return (a + m) - b;
+}
+
+Bignum Bignum::mod_mul(const Bignum& a, const Bignum& b, const Bignum& m) {
+  return (a * b) % m;
+}
+
+Bignum Bignum::mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m) {
+  if (m.is_zero()) throw std::domain_error("mod_exp modulus is zero");
+  if (m.is_one()) return Bignum{};
+  if (exp.is_zero()) return Bignum{1};
+
+  // 4-bit fixed window: precompute base^0..base^15 mod m.
+  Bignum table[16];
+  table[0] = Bignum{1};
+  table[1] = base % m;
+  for (int i = 2; i < 16; ++i) table[i] = mod_mul(table[i - 1], table[1], m);
+
+  const std::size_t bits = exp.bit_length();
+  const std::size_t windows = (bits + 3) / 4;
+  Bignum acc{1};
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = mod_mul(acc, acc, m);
+    unsigned digit = 0;
+    for (int s = 3; s >= 0; --s) {
+      digit = (digit << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(s)) ? 1u : 0u);
+    }
+    if (digit != 0) acc = mod_mul(acc, table[digit], m);
+  }
+  return acc;
+}
+
+Bignum Bignum::gcd(Bignum a, Bignum b) {
+  while (!b.is_zero()) {
+    Bignum r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Bignum Bignum::mod_inv(const Bignum& a, const Bignum& m) {
+  if (m.is_zero() || m.is_one()) throw std::domain_error("mod_inv bad modulus");
+  // Extended Euclid with sign tracking: old_s may go negative.
+  Bignum old_r = a % m, r = m;
+  Bignum old_s{1}, s{};
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    const DivMod qr = divmod(old_r, r);
+    // (old_s, s) <- (s, old_s - q * s), tracking signs.
+    Bignum qs = qr.quotient * s;
+    Bignum new_s;
+    bool new_neg;
+    if (old_s_neg == s_neg) {
+      // Same sign: result sign depends on magnitudes.
+      if (compare(old_s, qs) >= 0) {
+        new_s = old_s - qs;
+        new_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_neg = old_s_neg;
+    }
+    old_r = r;
+    r = qr.remainder;
+    old_s = s;
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_neg;
+  }
+  if (!old_r.is_one()) throw std::domain_error("mod_inv: value not invertible");
+  Bignum result = old_s % m;
+  if (old_s_neg && !result.is_zero()) result = m - result;
+  return result;
+}
+
+Bignum Bignum::random_below(const Bignum& bound, const ByteSource& source) {
+  if (bound.is_zero()) throw std::domain_error("random_below zero bound");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  support::Bytes buf(nbytes);
+  // Rejection sampling on the top byte mask keeps the distribution uniform.
+  const unsigned top_bits = static_cast<unsigned>(((bits - 1) % 8) + 1);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << top_bits) - 1);
+  for (;;) {
+    source(buf);
+    buf[0] &= mask;
+    Bignum candidate = from_bytes_be(buf);
+    if (compare(candidate, bound) < 0) return candidate;
+  }
+}
+
+}  // namespace rasc::bn

@@ -1,0 +1,124 @@
+#pragma once
+/// \file bignum.hpp
+/// Arbitrary-precision unsigned integers for the cryptographic substrate
+/// (RSA and ECDSA).  Little-endian 64-bit limbs, value-semantic, always
+/// normalized (no leading zero limbs; zero is the empty limb vector).
+///
+/// This is a clarity-first implementation: schoolbook multiplication and
+/// Knuth Algorithm D division, which are entirely adequate for the key
+/// sizes the paper benchmarks (RSA up to 4096 bits, curves up to 256 bits).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::bn {
+
+class Bignum {
+ public:
+  /// Zero.
+  Bignum() = default;
+
+  /// From a machine word.
+  explicit Bignum(std::uint64_t v);
+
+  /// Parse from hex (case-insensitive, optional "0x" prefix); throws
+  /// std::invalid_argument on malformed input.
+  static Bignum from_hex(std::string_view hex);
+
+  /// Big-endian byte-string conversions (network/crypto order).
+  static Bignum from_bytes_be(support::ByteView bytes);
+  /// Serialize to exactly `len` big-endian bytes; throws std::length_error
+  /// if the value does not fit.
+  support::Bytes to_bytes_be(std::size_t len) const;
+  /// Serialize to the minimal big-endian byte string ("0" -> one zero byte).
+  support::Bytes to_bytes_be() const;
+
+  std::string to_hex() const;
+
+  // -- queries ------------------------------------------------------------
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  bool is_odd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_one() const noexcept { return limbs_.size() == 1 && limbs_[0] == 1; }
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+  /// Bit i (0 = least significant); bits beyond bit_length() read as 0.
+  bool bit(std::size_t i) const noexcept;
+  /// Low 64 bits of the value.
+  std::uint64_t low_u64() const noexcept { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Three-way comparison: negative, zero, positive.
+  static int compare(const Bignum& a, const Bignum& b) noexcept;
+
+  // -- arithmetic (unsigned; subtraction requires a >= b) ------------------
+  friend Bignum operator+(const Bignum& a, const Bignum& b);
+  /// Throws std::underflow_error if a < b.
+  friend Bignum operator-(const Bignum& a, const Bignum& b);
+  friend Bignum operator*(const Bignum& a, const Bignum& b);
+  friend Bignum operator/(const Bignum& a, const Bignum& b);
+  friend Bignum operator%(const Bignum& a, const Bignum& b);
+
+  friend bool operator==(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) == 0;
+  }
+  friend bool operator!=(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) != 0;
+  }
+  friend bool operator<(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const Bignum& a, const Bignum& b) noexcept {
+    return compare(a, b) >= 0;
+  }
+
+  /// Quotient and remainder in one pass; divisor must be non-zero
+  /// (throws std::domain_error otherwise).  Defined after the class body
+  /// because its fields need the complete Bignum type.
+  struct DivMod;
+  static DivMod divmod(const Bignum& a, const Bignum& b);
+
+  Bignum shifted_left(std::size_t bits) const;
+  Bignum shifted_right(std::size_t bits) const;
+
+  // -- modular arithmetic ---------------------------------------------------
+  /// (a + b) mod m, inputs already reduced mod m.
+  static Bignum mod_add(const Bignum& a, const Bignum& b, const Bignum& m);
+  /// (a - b) mod m, inputs already reduced mod m.
+  static Bignum mod_sub(const Bignum& a, const Bignum& b, const Bignum& m);
+  /// (a * b) mod m.
+  static Bignum mod_mul(const Bignum& a, const Bignum& b, const Bignum& m);
+  /// base^exp mod m (m > 1); 4-bit fixed-window square-and-multiply.
+  static Bignum mod_exp(const Bignum& base, const Bignum& exp, const Bignum& m);
+  /// Multiplicative inverse of a mod m via extended Euclid; throws
+  /// std::domain_error when gcd(a, m) != 1.
+  static Bignum mod_inv(const Bignum& a, const Bignum& m);
+  static Bignum gcd(Bignum a, Bignum b);
+
+  /// Uniform value in [0, bound) using the supplied byte source
+  /// (e.g. crypto::HmacDrbg::generate or a test stub); bound must be > 0.
+  using ByteSource = std::function<void(support::MutableByteView)>;
+  static Bignum random_below(const Bignum& bound, const ByteSource& source);
+
+  const std::vector<std::uint64_t>& limbs() const noexcept { return limbs_; }
+
+ private:
+  void normalize() noexcept;
+
+  std::vector<std::uint64_t> limbs_;  // little-endian
+};
+
+struct Bignum::DivMod {
+  Bignum quotient;
+  Bignum remainder;
+};
+
+}  // namespace rasc::bn

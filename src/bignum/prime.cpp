@@ -1,0 +1,99 @@
+#include "src/bignum/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <vector>
+
+namespace rasc::bn {
+
+namespace {
+
+// Small primes for trial division (everything below 1000).
+const std::vector<std::uint32_t>& small_primes() {
+  static const std::vector<std::uint32_t> primes = [] {
+    std::vector<std::uint32_t> out;
+    std::array<bool, 1000> composite{};
+    for (std::uint32_t p = 2; p < composite.size(); ++p) {
+      if (composite[p]) continue;
+      out.push_back(p);
+      for (std::uint32_t q = p * p; q < composite.size(); q += p) composite[q] = true;
+    }
+    return out;
+  }();
+  return primes;
+}
+
+}  // namespace
+
+bool has_small_factor(const Bignum& n) {
+  for (std::uint32_t p : small_primes()) {
+    const Bignum bp{p};
+    if (Bignum::compare(n, bp) <= 0) return false;  // n itself is small/prime
+    if ((n % bp).is_zero()) return true;
+  }
+  return false;
+}
+
+bool is_probable_prime(const Bignum& n, int rounds, const Bignum::ByteSource& source) {
+  if (n.is_zero() || n.is_one()) return false;
+  for (std::uint32_t p : small_primes()) {
+    const Bignum bp{p};
+    const int cmp = Bignum::compare(n, bp);
+    if (cmp == 0) return true;
+    if (cmp < 0) return false;
+    if ((n % bp).is_zero()) return false;
+  }
+  if (!n.is_odd()) return false;
+
+  // Write n - 1 = d * 2^s with d odd.
+  const Bignum n_minus_1 = n - Bignum{1};
+  Bignum d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++s;
+  }
+
+  const Bignum two{2};
+  const Bignum n_minus_3 = n - Bignum{3};
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    const Bignum a = Bignum::random_below(n_minus_3, source) + two;
+    Bignum x = Bignum::mod_exp(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t r = 1; r < s; ++r) {
+      x = Bignum::mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+Bignum generate_prime(std::size_t bits, const Bignum::ByteSource& source, int rounds) {
+  if (bits < 8) throw std::invalid_argument("generate_prime: need at least 8 bits");
+  const std::size_t nbytes = (bits + 7) / 8;
+  support::Bytes buf(nbytes);
+  for (;;) {
+    source(buf);
+    Bignum candidate = Bignum::from_bytes_be(buf);
+    // Trim to exactly `bits` bits, then force top-two and low bits.
+    const std::size_t excess = candidate.bit_length() > bits ? candidate.bit_length() - bits : 0;
+    if (excess > 0) candidate = candidate.shifted_right(excess);
+    Bignum top = Bignum{3}.shifted_left(bits - 2);
+    // candidate | top | 1: realize with arithmetic since we lack bit-or.
+    // Clear the top two bits by reducing mod 2^(bits-2), then add them back.
+    Bignum low = candidate % Bignum{1}.shifted_left(bits - 2);
+    candidate = top + low;
+    if (!candidate.is_odd()) candidate = candidate + Bignum{1};
+
+    if (has_small_factor(candidate)) continue;
+    if (is_probable_prime(candidate, rounds, source)) return candidate;
+  }
+}
+
+}  // namespace rasc::bn

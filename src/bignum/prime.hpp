@@ -1,0 +1,26 @@
+#pragma once
+/// \file prime.hpp
+/// Primality testing (Miller–Rabin with trial division) and random prime
+/// generation for RSA key generation.
+
+#include <cstddef>
+
+#include "src/bignum/bignum.hpp"
+
+namespace rasc::bn {
+
+/// Miller–Rabin probable-prime test with `rounds` random bases drawn from
+/// `source`; preceded by trial division against small primes.  Error
+/// probability <= 4^-rounds for composite inputs.
+bool is_probable_prime(const Bignum& n, int rounds, const Bignum::ByteSource& source);
+
+/// Generate a random probable prime of exactly `bits` bits (top two bits
+/// set so that the product of two such primes has exactly 2*bits bits;
+/// low bit set).  Deterministic given a deterministic source.
+Bignum generate_prime(std::size_t bits, const Bignum::ByteSource& source, int rounds = 20);
+
+/// Trial-divide by the built-in small-prime table; true if a factor found.
+/// Exposed for tests.
+bool has_small_factor(const Bignum& n);
+
+}  // namespace rasc::bn

@@ -1,0 +1,33 @@
+#pragma once
+/// \file aes.hpp
+/// AES-128/192/256 block cipher (FIPS 197), table-free byte-oriented
+/// implementation.  Used by the CBC-MAC measurement option (the paper's
+/// encryption-based MAC, AES-CBC-MAC per ISO 9797-1).
+
+#include <array>
+#include <cstdint>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+
+  /// Key must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(support::ByteView key);
+
+  void encrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const;
+  void decrypt_block(const std::uint8_t in[kBlockSize], std::uint8_t out[kBlockSize]) const;
+
+  std::size_t key_size() const noexcept { return key_size_; }
+
+ private:
+  std::size_t key_size_ = 0;
+  int rounds_ = 0;
+  // Maximum schedule: AES-256 has 15 round keys of 16 bytes.
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+}  // namespace rasc::crypto

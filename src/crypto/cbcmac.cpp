@@ -1,0 +1,60 @@
+#include "src/crypto/cbcmac.hpp"
+
+#include <cstring>
+
+namespace rasc::crypto {
+
+CbcMac::CbcMac(support::ByteView key) : cipher_(key) {}
+
+void CbcMac::absorb_block(const std::uint8_t block[Aes::kBlockSize]) {
+  std::uint8_t x[Aes::kBlockSize];
+  for (std::size_t i = 0; i < Aes::kBlockSize; ++i) x[i] = static_cast<std::uint8_t>(chain_[i] ^ block[i]);
+  cipher_.encrypt_block(x, chain_);
+}
+
+void CbcMac::update(support::ByteView data) {
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(Aes::kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == Aes::kBlockSize) {
+      absorb_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (offset + Aes::kBlockSize <= data.size()) {
+    absorb_block(data.data() + offset);
+    offset += Aes::kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+support::Bytes CbcMac::finalize() {
+  // Padding method 2: append 0x80 then zeros to a full block.
+  buffer_[buffered_] = 0x80;
+  std::memset(buffer_ + buffered_ + 1, 0, Aes::kBlockSize - buffered_ - 1);
+  absorb_block(buffer_);
+
+  support::Bytes tag(chain_, chain_ + Aes::kBlockSize);
+  std::memset(chain_, 0, sizeof(chain_));
+  buffered_ = 0;
+  return tag;
+}
+
+support::Bytes CbcMac::compute(support::ByteView key, support::ByteView message) {
+  CbcMac mac(key);
+  mac.update(message);
+  return mac.finalize();
+}
+
+bool CbcMac::verify(support::ByteView key, support::ByteView message,
+                    support::ByteView tag) {
+  return support::ct_equal(compute(key, message), tag);
+}
+
+}  // namespace rasc::crypto

@@ -1,0 +1,41 @@
+#pragma once
+/// \file cbcmac.hpp
+/// AES-CBC-MAC (ISO/IEC 9797-1 MAC Algorithm 1 with padding method 2,
+/// i.e. a mandatory 0x80 pad byte followed by zeros).  This is the paper's
+/// encryption-based MAC option for the measurement function.
+///
+/// Note: raw CBC-MAC is only secure for fixed-length or prefix-free
+/// messages; the attestation layer always MACs a fixed-format message
+/// (header + digest) so this is adequate, and matches the cipher-based
+/// construction the paper references.
+
+#include "src/crypto/aes.hpp"
+#include "src/support/bytes.hpp"
+
+namespace rasc::crypto {
+
+class CbcMac {
+ public:
+  static constexpr std::size_t kTagSize = Aes::kBlockSize;
+
+  explicit CbcMac(support::ByteView key);
+
+  void update(support::ByteView data);
+
+  /// Produce the tag and reset to the keyed initial state.
+  support::Bytes finalize();
+
+  static support::Bytes compute(support::ByteView key, support::ByteView message);
+  static bool verify(support::ByteView key, support::ByteView message,
+                     support::ByteView tag);
+
+ private:
+  void absorb_block(const std::uint8_t block[Aes::kBlockSize]);
+
+  Aes cipher_;
+  std::uint8_t chain_[Aes::kBlockSize] = {};
+  std::uint8_t buffer_[Aes::kBlockSize] = {};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace rasc::crypto

@@ -1,0 +1,78 @@
+#include "src/crypto/drbg.hpp"
+
+#include <stdexcept>
+
+namespace rasc::crypto {
+
+namespace {
+constexpr HashKind kKind = HashKind::kSha256;
+constexpr std::size_t kOutLen = 32;
+}  // namespace
+
+HmacDrbg::HmacDrbg(support::ByteView seed) : key_(kOutLen, 0x00), v_(kOutLen, 0x01) {
+  update(seed);
+}
+
+void HmacDrbg::update(support::ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  Hmac mac(kKind, key_);
+  mac.update(v_);
+  const std::uint8_t zero = 0x00;
+  mac.update(support::ByteView(&zero, 1));
+  mac.update(provided);
+  key_ = mac.finalize();
+  v_ = Hmac::compute(kKind, key_, v_);
+  if (provided.empty()) return;
+  // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+  Hmac mac2(kKind, key_);
+  mac2.update(v_);
+  const std::uint8_t one = 0x01;
+  mac2.update(support::ByteView(&one, 1));
+  mac2.update(provided);
+  key_ = mac2.finalize();
+  v_ = Hmac::compute(kKind, key_, v_);
+}
+
+void HmacDrbg::generate(support::MutableByteView out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    v_ = Hmac::compute(kKind, key_, v_);
+    const std::size_t take = std::min(kOutLen, out.size() - produced);
+    std::copy(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(take),
+              out.begin() + static_cast<std::ptrdiff_t>(produced));
+    produced += take;
+  }
+  update({});
+}
+
+support::Bytes HmacDrbg::generate(std::size_t n) {
+  support::Bytes out(n);
+  generate(out);
+  return out;
+}
+
+void HmacDrbg::reseed(support::ByteView seed) { update(seed); }
+
+std::uint64_t HmacDrbg::below(std::uint64_t bound) {
+  if (bound == 0) throw std::domain_error("HmacDrbg::below zero bound");
+  // Rejection sampling over the smallest power-of-two mask >= bound.
+  std::uint64_t mask = bound - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    std::uint8_t buf[8];
+    generate(buf);
+    const std::uint64_t v = support::get_u64_be(buf) & mask;
+    if (v < bound) return v;
+  }
+}
+
+bn::Bignum::ByteSource HmacDrbg::byte_source() {
+  return [this](support::MutableByteView out) { generate(out); };
+}
+
+}  // namespace rasc::crypto

@@ -1,0 +1,41 @@
+#pragma once
+/// \file drbg.hpp
+/// HMAC-DRBG (NIST SP 800-90A) instantiated with HMAC-SHA-256.  All
+/// cryptographic randomness in the library flows through this generator,
+/// which makes every protocol run reproducible from its seed — the SMARM
+/// secret permutation, ECDSA nonces, RSA prime search, and Vrf challenges.
+
+#include "src/bignum/bignum.hpp"
+#include "src/crypto/hmac.hpp"
+#include "src/support/bytes.hpp"
+
+namespace rasc::crypto {
+
+class HmacDrbg {
+ public:
+  /// Instantiate from seed material (entropy || nonce || personalization).
+  explicit HmacDrbg(support::ByteView seed);
+
+  /// Fill `out` with pseudo-random bytes.
+  void generate(support::MutableByteView out);
+
+  /// Convenience: n fresh bytes.
+  support::Bytes generate(std::size_t n);
+
+  /// Mix additional entropy into the state.
+  void reseed(support::ByteView seed);
+
+  /// Uniform integer in [0, bound), rejection-sampled.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Adapter for Bignum::random_below / prime generation.
+  bn::Bignum::ByteSource byte_source();
+
+ private:
+  void update(support::ByteView provided);
+
+  support::Bytes key_;  // K
+  support::Bytes v_;    // V
+};
+
+}  // namespace rasc::crypto

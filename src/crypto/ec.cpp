@@ -1,0 +1,135 @@
+#include "src/crypto/ec.hpp"
+
+#include <stdexcept>
+
+namespace rasc::crypto {
+
+using bn::Bignum;
+
+bool operator==(const EcPoint& a, const EcPoint& b) {
+  if (a.infinity || b.infinity) return a.infinity == b.infinity;
+  return a.x == b.x && a.y == b.y;
+}
+
+EcCurve::EcCurve(std::string name, Bignum p, Bignum a, Bignum b, EcPoint g, Bignum n)
+    : name_(std::move(name)),
+      p_(std::move(p)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      g_(std::move(g)),
+      n_(std::move(n)) {
+  if (!is_on_curve(g_)) throw std::invalid_argument("EcCurve: generator not on curve");
+}
+
+bool EcCurve::is_on_curve(const EcPoint& pt) const {
+  if (pt.infinity) return true;
+  const Bignum lhs = Bignum::mod_mul(pt.y, pt.y, p_);
+  Bignum rhs = Bignum::mod_mul(Bignum::mod_mul(pt.x, pt.x, p_), pt.x, p_);
+  rhs = Bignum::mod_add(rhs, Bignum::mod_mul(a_, pt.x, p_), p_);
+  rhs = Bignum::mod_add(rhs, b_ % p_, p_);
+  return lhs == rhs;
+}
+
+EcPoint EcCurve::double_point(const EcPoint& pt) const {
+  if (pt.infinity) return pt;
+  if (pt.y.is_zero()) return EcPoint::at_infinity();
+  // lambda = (3 x^2 + a) / (2 y)
+  const Bignum three{3};
+  const Bignum two{2};
+  Bignum num = Bignum::mod_mul(three, Bignum::mod_mul(pt.x, pt.x, p_), p_);
+  num = Bignum::mod_add(num, a_ % p_, p_);
+  const Bignum den = Bignum::mod_inv(Bignum::mod_mul(two, pt.y, p_), p_);
+  const Bignum lambda = Bignum::mod_mul(num, den, p_);
+  Bignum x3 = Bignum::mod_sub(Bignum::mod_mul(lambda, lambda, p_),
+                              Bignum::mod_add(pt.x, pt.x, p_), p_);
+  Bignum y3 = Bignum::mod_sub(Bignum::mod_mul(lambda, Bignum::mod_sub(pt.x, x3, p_), p_),
+                              pt.y, p_);
+  return EcPoint::affine(std::move(x3), std::move(y3));
+}
+
+EcPoint EcCurve::add(const EcPoint& p1, const EcPoint& p2) const {
+  if (p1.infinity) return p2;
+  if (p2.infinity) return p1;
+  if (p1.x == p2.x) {
+    if (p1.y == p2.y) return double_point(p1);
+    return EcPoint::at_infinity();  // P + (-P)
+  }
+  const Bignum lambda = Bignum::mod_mul(Bignum::mod_sub(p2.y, p1.y, p_),
+                                        Bignum::mod_inv(Bignum::mod_sub(p2.x, p1.x, p_), p_),
+                                        p_);
+  Bignum x3 = Bignum::mod_sub(Bignum::mod_mul(lambda, lambda, p_),
+                              Bignum::mod_add(p1.x, p2.x, p_), p_);
+  Bignum y3 = Bignum::mod_sub(Bignum::mod_mul(lambda, Bignum::mod_sub(p1.x, x3, p_), p_),
+                              p1.y, p_);
+  return EcPoint::affine(std::move(x3), std::move(y3));
+}
+
+EcPoint EcCurve::multiply(const Bignum& k, const EcPoint& pt) const {
+  EcPoint acc = EcPoint::at_infinity();
+  for (std::size_t i = k.bit_length(); i-- > 0;) {
+    acc = double_point(acc);
+    if (k.bit(i)) acc = add(acc, pt);
+  }
+  return acc;
+}
+
+namespace {
+
+EcCurve make_secp160r1() {
+  return EcCurve(
+      "secp160r1",
+      Bignum::from_hex("ffffffffffffffffffffffffffffffff7fffffff"),
+      Bignum::from_hex("ffffffffffffffffffffffffffffffff7ffffffc"),
+      Bignum::from_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45"),
+      EcPoint::affine(Bignum::from_hex("4a96b5688ef573284664698968c38bb913cbfc82"),
+                      Bignum::from_hex("23a628553168947d59dcc912042351377ac5fb32")),
+      Bignum::from_hex("0100000000000000000001f4c8f927aed3ca752257"));
+}
+
+EcCurve make_secp224r1() {
+  return EcCurve(
+      "secp224r1",
+      Bignum::from_hex("ffffffffffffffffffffffffffffffff000000000000000000000001"),
+      Bignum::from_hex("fffffffffffffffffffffffffffffffefffffffffffffffffffffffe"),
+      Bignum::from_hex("b4050a850c04b3abf54132565044b0b7d7bfd8ba270b39432355ffb4"),
+      EcPoint::affine(
+          Bignum::from_hex("b70e0cbd6bb4bf7f321390b94a03c1d356c21122343280d6115c1d21"),
+          Bignum::from_hex("bd376388b5f723fb4c22dfe6cd4375a05a07476444d5819985007e34")),
+      Bignum::from_hex("ffffffffffffffffffffffffffff16a2e0b8f03e13dd29455c5c2a3d"));
+}
+
+EcCurve make_secp256r1() {
+  return EcCurve(
+      "secp256r1",
+      Bignum::from_hex(
+          "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"),
+      Bignum::from_hex(
+          "ffffffff00000001000000000000000000000000fffffffffffffffffffffffc"),
+      Bignum::from_hex(
+          "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"),
+      EcPoint::affine(
+          Bignum::from_hex(
+              "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"),
+          Bignum::from_hex(
+              "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")),
+      Bignum::from_hex(
+          "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"));
+}
+
+}  // namespace
+
+const EcCurve& get_curve(CurveId id) {
+  static const EcCurve secp160r1 = make_secp160r1();
+  static const EcCurve secp224r1 = make_secp224r1();
+  static const EcCurve secp256r1 = make_secp256r1();
+  switch (id) {
+    case CurveId::kSecp160r1: return secp160r1;
+    case CurveId::kSecp224r1: return secp224r1;
+    case CurveId::kSecp256r1: return secp256r1;
+  }
+  throw std::invalid_argument("unknown CurveId");
+}
+
+std::string curve_name(CurveId id) { return get_curve(id).name(); }
+
+}  // namespace rasc::crypto

@@ -1,0 +1,66 @@
+#pragma once
+/// \file ec.hpp
+/// Short-Weierstrass elliptic-curve group arithmetic over prime fields,
+/// with the three SEC-2 curves the paper benchmarks: secp160r1
+/// ("ECDSA-160"), secp224r1 ("ECDSA-224") and secp256r1 ("ECDSA-256").
+
+#include <optional>
+#include <string>
+
+#include "src/bignum/bignum.hpp"
+
+namespace rasc::crypto {
+
+/// Affine point; the point at infinity is represented by infinity == true.
+struct EcPoint {
+  bn::Bignum x;
+  bn::Bignum y;
+  bool infinity = true;
+
+  static EcPoint at_infinity() { return EcPoint{}; }
+  static EcPoint affine(bn::Bignum x, bn::Bignum y) {
+    return EcPoint{std::move(x), std::move(y), false};
+  }
+};
+
+bool operator==(const EcPoint& a, const EcPoint& b);
+
+/// y^2 = x^3 + a*x + b over GF(p), with base point G of prime order n.
+class EcCurve {
+ public:
+  EcCurve(std::string name, bn::Bignum p, bn::Bignum a, bn::Bignum b, EcPoint g,
+          bn::Bignum n);
+
+  const std::string& name() const noexcept { return name_; }
+  const bn::Bignum& p() const noexcept { return p_; }
+  const bn::Bignum& a() const noexcept { return a_; }
+  const bn::Bignum& b() const noexcept { return b_; }
+  const EcPoint& generator() const noexcept { return g_; }
+  const bn::Bignum& order() const noexcept { return n_; }
+
+  /// Field size in bits.
+  std::size_t field_bits() const noexcept { return p_.bit_length(); }
+
+  bool is_on_curve(const EcPoint& pt) const;
+  EcPoint add(const EcPoint& p1, const EcPoint& p2) const;
+  EcPoint double_point(const EcPoint& pt) const;
+  /// Scalar multiplication k * pt (left-to-right double-and-add).
+  EcPoint multiply(const bn::Bignum& k, const EcPoint& pt) const;
+
+ private:
+  std::string name_;
+  bn::Bignum p_, a_, b_;
+  EcPoint g_;
+  bn::Bignum n_;
+};
+
+/// Named standard curves (SEC 2).
+enum class CurveId { kSecp160r1, kSecp224r1, kSecp256r1 };
+
+const EcCurve& get_curve(CurveId id);
+std::string curve_name(CurveId id);
+
+inline constexpr CurveId kAllCurves[] = {CurveId::kSecp160r1, CurveId::kSecp224r1,
+                                         CurveId::kSecp256r1};
+
+}  // namespace rasc::crypto

@@ -1,0 +1,84 @@
+#include "src/crypto/ecdsa.hpp"
+
+#include <stdexcept>
+
+namespace rasc::crypto {
+
+using bn::Bignum;
+
+namespace {
+
+/// Convert a digest to an integer, keeping only the leftmost order-bits
+/// bits (X9.62 bits2int).
+Bignum bits2int(support::ByteView digest, std::size_t order_bits) {
+  Bignum e = Bignum::from_bytes_be(digest);
+  const std::size_t digest_bits = digest.size() * 8;
+  if (digest_bits > order_bits) e = e.shifted_right(digest_bits - order_bits);
+  return e;
+}
+
+}  // namespace
+
+EcdsaKeyPair ecdsa_generate_key(CurveId curve, HmacDrbg& drbg) {
+  const EcCurve& c = get_curve(curve);
+  const Bignum n_minus_1 = c.order() - Bignum{1};
+  const Bignum d = Bignum::random_below(n_minus_1, drbg.byte_source()) + Bignum{1};
+  return EcdsaKeyPair{curve, d, c.multiply(d, c.generator())};
+}
+
+EcdsaSignature ecdsa_sign(const EcdsaKeyPair& key, support::ByteView digest) {
+  const EcCurve& c = get_curve(key.curve);
+  const Bignum& n = c.order();
+  const Bignum e = bits2int(digest, n.bit_length()) % n;
+
+  // Deterministic nonce derivation (RFC 6979 flavored): DRBG seeded with
+  // d || digest yields k; retry by continuing the stream.
+  auto seed = key.private_key.to_bytes_be((n.bit_length() + 7) / 8);
+  support::Bytes drbg_seed(seed.begin(), seed.end());
+  drbg_seed.insert(drbg_seed.end(), digest.begin(), digest.end());
+  HmacDrbg nonce_drbg(drbg_seed);
+  support::secure_wipe(seed);
+
+  const Bignum n_minus_1 = n - Bignum{1};
+  for (;;) {
+    const Bignum k = Bignum::random_below(n_minus_1, nonce_drbg.byte_source()) + Bignum{1};
+    const EcPoint kg = c.multiply(k, c.generator());
+    if (kg.infinity) continue;
+    const Bignum r = kg.x % n;
+    if (r.is_zero()) continue;
+    const Bignum k_inv = Bignum::mod_inv(k, n);
+    const Bignum rd = Bignum::mod_mul(r, key.private_key % n, n);
+    const Bignum s = Bignum::mod_mul(k_inv, Bignum::mod_add(e, rd, n), n);
+    if (s.is_zero()) continue;
+    return EcdsaSignature{r, s};
+  }
+}
+
+bool ecdsa_verify(CurveId curve, const EcPoint& public_key, support::ByteView digest,
+                  const EcdsaSignature& sig) {
+  const EcCurve& c = get_curve(curve);
+  const Bignum& n = c.order();
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (sig.r >= n || sig.s >= n) return false;
+  if (public_key.infinity || !c.is_on_curve(public_key)) return false;
+
+  const Bignum e = bits2int(digest, n.bit_length()) % n;
+  const Bignum w = Bignum::mod_inv(sig.s, n);
+  const Bignum u1 = Bignum::mod_mul(e, w, n);
+  const Bignum u2 = Bignum::mod_mul(sig.r, w, n);
+  const EcPoint point = c.add(c.multiply(u1, c.generator()), c.multiply(u2, public_key));
+  if (point.infinity) return false;
+  return (point.x % n) == sig.r;
+}
+
+EcdsaSignature ecdsa_sign_message(const EcdsaKeyPair& key, HashKind hash,
+                                  support::ByteView message) {
+  return ecdsa_sign(key, hash_oneshot(hash, message));
+}
+
+bool ecdsa_verify_message(CurveId curve, const EcPoint& public_key, HashKind hash,
+                          support::ByteView message, const EcdsaSignature& sig) {
+  return ecdsa_verify(curve, public_key, hash_oneshot(hash, message), sig);
+}
+
+}  // namespace rasc::crypto

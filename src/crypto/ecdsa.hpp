@@ -1,0 +1,42 @@
+#pragma once
+/// \file ecdsa.hpp
+/// ECDSA (X9.62 / FIPS 186-4) over the library's EC curves, with
+/// deterministic nonces in the style of RFC 6979 (HMAC-DRBG keyed by the
+/// private key and message digest) so signing needs no external RNG.
+
+#include <optional>
+
+#include "src/crypto/drbg.hpp"
+#include "src/crypto/ec.hpp"
+#include "src/crypto/hash.hpp"
+
+namespace rasc::crypto {
+
+struct EcdsaSignature {
+  bn::Bignum r;
+  bn::Bignum s;
+};
+
+struct EcdsaKeyPair {
+  CurveId curve;
+  bn::Bignum private_key;  // d in [1, n-1]
+  EcPoint public_key;      // Q = d*G
+};
+
+/// Generate a key pair using the supplied DRBG.
+EcdsaKeyPair ecdsa_generate_key(CurveId curve, HmacDrbg& drbg);
+
+/// Sign a message digest (any length; truncated/interpreted per X9.62).
+EcdsaSignature ecdsa_sign(const EcdsaKeyPair& key, support::ByteView digest);
+
+/// Verify a signature over a digest with the public key.
+bool ecdsa_verify(CurveId curve, const EcPoint& public_key, support::ByteView digest,
+                  const EcdsaSignature& sig);
+
+/// Hash-and-sign convenience (the paper's standard signature measurement).
+EcdsaSignature ecdsa_sign_message(const EcdsaKeyPair& key, HashKind hash,
+                                  support::ByteView message);
+bool ecdsa_verify_message(CurveId curve, const EcPoint& public_key, HashKind hash,
+                          support::ByteView message, const EcdsaSignature& sig);
+
+}  // namespace rasc::crypto

@@ -1,0 +1,73 @@
+#include "src/crypto/hmac.hpp"
+
+namespace rasc::crypto {
+
+Hmac::Hmac(HashKind kind, support::ByteView key)
+    : kind_(kind), inner_(make_hash(kind)), outer_(make_hash(kind)) {
+  rekey(key);
+}
+
+Hmac::Hmac(const Hmac& other)
+    : kind_(other.kind_),
+      inner_(other.inner_->clone()),
+      outer_(other.outer_->clone()),
+      ipad_key_(other.ipad_key_),
+      opad_key_(other.opad_key_) {}
+
+Hmac& Hmac::operator=(const Hmac& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  inner_ = other.inner_->clone();
+  outer_ = other.outer_->clone();
+  ipad_key_ = other.ipad_key_;
+  opad_key_ = other.opad_key_;
+  return *this;
+}
+
+void Hmac::rekey(support::ByteView key) {
+  const std::size_t block = inner_->block_size();
+  support::Bytes k0(block, 0);
+  if (key.size() > block) {
+    auto digest = hash_oneshot(kind_, key);
+    std::copy(digest.begin(), digest.end(), k0.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k0.begin());
+  }
+  ipad_key_.assign(block, 0);
+  opad_key_.assign(block, 0);
+  for (std::size_t i = 0; i < block; ++i) {
+    ipad_key_[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad_key_[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+  support::secure_wipe(k0);
+  inner_->reset();
+  inner_->update(ipad_key_);
+}
+
+void Hmac::update(support::ByteView data) { inner_->update(data); }
+
+support::Bytes Hmac::finalize() {
+  auto inner_digest = inner_->finalize();
+  outer_->reset();
+  outer_->update(opad_key_);
+  outer_->update(inner_digest);
+  auto tag = outer_->finalize();
+  // Reset for reuse with the same key.
+  inner_->reset();
+  inner_->update(ipad_key_);
+  return tag;
+}
+
+support::Bytes Hmac::compute(HashKind kind, support::ByteView key,
+                             support::ByteView message) {
+  Hmac mac(kind, key);
+  mac.update(message);
+  return mac.finalize();
+}
+
+bool Hmac::verify(HashKind kind, support::ByteView key, support::ByteView message,
+                  support::ByteView tag) {
+  return support::ct_equal(compute(kind, key, message), tag);
+}
+
+}  // namespace rasc::crypto

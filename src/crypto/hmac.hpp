@@ -1,0 +1,49 @@
+#pragma once
+/// \file hmac.hpp
+/// HMAC (RFC 2104 / FIPS 198-1) over any library hash.  This is the
+/// integrity-ensuring function F the paper's measurement process uses for
+/// hash-based MACs (e.g. HMAC-SHA-2).
+
+#include <memory>
+
+#include "src/crypto/hash.hpp"
+
+namespace rasc::crypto {
+
+/// Streaming HMAC; clone()-able so interruptible measurements can
+/// checkpoint MAC state mid-stream.
+class Hmac {
+ public:
+  Hmac(HashKind kind, support::ByteView key);
+  Hmac(const Hmac& other);
+  Hmac& operator=(const Hmac& other);
+  Hmac(Hmac&&) noexcept = default;
+  Hmac& operator=(Hmac&&) noexcept = default;
+
+  void update(support::ByteView data);
+
+  /// Produce the tag and reset to the keyed initial state.
+  support::Bytes finalize();
+
+  std::size_t tag_size() const noexcept { return inner_->digest_size(); }
+  HashKind kind() const noexcept { return kind_; }
+
+  /// One-shot convenience.
+  static support::Bytes compute(HashKind kind, support::ByteView key,
+                                support::ByteView message);
+
+  /// Constant-time verification of a tag.
+  static bool verify(HashKind kind, support::ByteView key, support::ByteView message,
+                     support::ByteView tag);
+
+ private:
+  void rekey(support::ByteView key);
+
+  HashKind kind_;
+  std::unique_ptr<Hash> inner_;
+  std::unique_ptr<Hash> outer_;
+  support::Bytes ipad_key_;  // key xor ipad, block-sized
+  support::Bytes opad_key_;  // key xor opad, block-sized
+};
+
+}  // namespace rasc::crypto

@@ -1,0 +1,128 @@
+#include "src/crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "src/bignum/prime.hpp"
+
+namespace rasc::crypto {
+
+using bn::Bignum;
+
+namespace {
+
+// ASN.1 DigestInfo prefixes for EMSA-PKCS1-v1_5 (RFC 8017 section 9.2).
+support::Bytes digest_info_prefix(HashKind hash) {
+  switch (hash) {
+    case HashKind::kSha256:
+      return {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+              0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+    case HashKind::kSha512:
+      return {0x30, 0x51, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+              0x65, 0x03, 0x04, 0x02, 0x03, 0x05, 0x00, 0x04, 0x40};
+    default:
+      throw std::invalid_argument("RSA PKCS#1 v1.5: unsupported hash kind");
+  }
+}
+
+support::Bytes emsa_pkcs1_v15_encode(HashKind hash, support::ByteView digest,
+                                     std::size_t em_len) {
+  const auto prefix = digest_info_prefix(hash);
+  if (digest.size() != hash_digest_size(hash)) {
+    throw std::invalid_argument("digest length does not match hash kind");
+  }
+  const std::size_t t_len = prefix.size() + digest.size();
+  if (em_len < t_len + 11) throw std::invalid_argument("RSA modulus too small for hash");
+  support::Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), prefix.begin(), prefix.end());
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+RsaKeyPair rsa_generate_key(std::size_t bits, HmacDrbg& drbg) {
+  if (bits < 128 || bits % 2 != 0) {
+    throw std::invalid_argument("RSA modulus bits must be even and >= 128");
+  }
+  const Bignum e{65537};
+  auto source = drbg.byte_source();
+  for (;;) {
+    const Bignum p = bn::generate_prime(bits / 2, source);
+    Bignum q = bn::generate_prime(bits / 2, source);
+    if (p == q) continue;
+    const Bignum n = p * q;
+    if (n.bit_length() != bits) continue;  // top-two-bits trick makes this rare
+    const Bignum p1 = p - Bignum{1};
+    const Bignum q1 = q - Bignum{1};
+    const Bignum phi = p1 * q1;
+    if (!Bignum::gcd(e, phi).is_one()) continue;
+    const Bignum d = Bignum::mod_inv(e, phi);
+
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = d;
+    // Keep p > q so q_inv = q^-1 mod p is well-defined.
+    if (p > q) {
+      priv.p = p;
+      priv.q = q;
+    } else {
+      priv.p = q;
+      priv.q = p;
+    }
+    priv.d_p = d % (priv.p - Bignum{1});
+    priv.d_q = d % (priv.q - Bignum{1});
+    priv.q_inv = Bignum::mod_inv(priv.q, priv.p);
+    return RsaKeyPair{priv, priv.public_key()};
+  }
+}
+
+Bignum rsa_private_op(const RsaPrivateKey& key, const Bignum& m) {
+  if (m >= key.n) throw std::invalid_argument("RSA input out of range");
+  // Garner's CRT recombination.
+  const Bignum m1 = Bignum::mod_exp(m % key.p, key.d_p, key.p);
+  const Bignum m2 = Bignum::mod_exp(m % key.q, key.d_q, key.q);
+  const Bignum h = Bignum::mod_mul(key.q_inv, Bignum::mod_sub(m1, m2 % key.p, key.p), key.p);
+  return m2 + key.q * h;
+}
+
+support::Bytes rsa_sign_digest(const RsaPrivateKey& key, HashKind hash,
+                               support::ByteView digest) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  const auto em = emsa_pkcs1_v15_encode(hash, digest, k);
+  const Bignum s = rsa_private_op(key, Bignum::from_bytes_be(em));
+  return s.to_bytes_be(k);
+}
+
+bool rsa_verify_digest(const RsaPublicKey& key, HashKind hash, support::ByteView digest,
+                       support::ByteView signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  const Bignum s = Bignum::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  const Bignum m = Bignum::mod_exp(s, key.e, key.n);
+  support::Bytes em;
+  try {
+    em = emsa_pkcs1_v15_encode(hash, digest, k);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return support::ct_equal(m.to_bytes_be(k), em);
+}
+
+support::Bytes rsa_sign_message(const RsaPrivateKey& key, HashKind hash,
+                                support::ByteView message) {
+  return rsa_sign_digest(key, hash, hash_oneshot(hash, message));
+}
+
+bool rsa_verify_message(const RsaPublicKey& key, HashKind hash, support::ByteView message,
+                        support::ByteView signature) {
+  return rsa_verify_digest(key, hash, hash_oneshot(hash, message), signature);
+}
+
+}  // namespace rasc::crypto

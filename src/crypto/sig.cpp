@@ -1,0 +1,103 @@
+#include "src/crypto/sig.hpp"
+
+#include <stdexcept>
+
+#include "src/crypto/ecdsa.hpp"
+#include "src/crypto/rsa.hpp"
+
+namespace rasc::crypto {
+
+std::string sig_name(SigKind kind) {
+  switch (kind) {
+    case SigKind::kRsa1024: return "RSA-1024";
+    case SigKind::kRsa2048: return "RSA-2048";
+    case SigKind::kRsa4096: return "RSA-4096";
+    case SigKind::kEcdsa160: return "ECDSA-160";
+    case SigKind::kEcdsa224: return "ECDSA-224";
+    case SigKind::kEcdsa256: return "ECDSA-256";
+  }
+  return "?";
+}
+
+namespace {
+
+class RsaSigner final : public Signer {
+ public:
+  RsaSigner(SigKind kind, std::size_t bits, HmacDrbg& drbg)
+      : kind_(kind), key_(rsa_generate_key(bits, drbg)) {}
+
+  support::Bytes sign(HashKind hash, support::ByteView message) override {
+    return rsa_sign_message(key_.priv, hash, message);
+  }
+  bool verify(HashKind hash, support::ByteView message,
+              support::ByteView signature) const override {
+    return rsa_verify_message(key_.pub, hash, message, signature);
+  }
+  support::Bytes sign_digest(HashKind hash, support::ByteView digest) override {
+    return rsa_sign_digest(key_.priv, hash, digest);
+  }
+  SigKind kind() const noexcept override { return kind_; }
+
+ private:
+  SigKind kind_;
+  RsaKeyPair key_;
+};
+
+class EcdsaSigner final : public Signer {
+ public:
+  EcdsaSigner(SigKind kind, CurveId curve, HmacDrbg& drbg)
+      : kind_(kind), key_(ecdsa_generate_key(curve, drbg)) {}
+
+  support::Bytes sign(HashKind hash, support::ByteView message) override {
+    return sign_digest(hash, hash_oneshot(hash, message));
+  }
+  bool verify(HashKind hash, support::ByteView message,
+              support::ByteView signature) const override {
+    const auto sig = decode(signature);
+    if (!sig) return false;
+    return ecdsa_verify(key_.curve, key_.public_key, hash_oneshot(hash, message), *sig);
+  }
+  support::Bytes sign_digest(HashKind, support::ByteView digest) override {
+    const auto sig = ecdsa_sign(key_, digest);
+    // Fixed-width r || s encoding.
+    const std::size_t w = scalar_bytes();
+    auto out = sig.r.to_bytes_be(w);
+    const auto s = sig.s.to_bytes_be(w);
+    out.insert(out.end(), s.begin(), s.end());
+    return out;
+  }
+  SigKind kind() const noexcept override { return kind_; }
+
+ private:
+  std::size_t scalar_bytes() const {
+    return (get_curve(key_.curve).order().bit_length() + 7) / 8;
+  }
+  std::optional<EcdsaSignature> decode(support::ByteView signature) const {
+    const std::size_t w = scalar_bytes();
+    if (signature.size() != 2 * w) return std::nullopt;
+    return EcdsaSignature{bn::Bignum::from_bytes_be(signature.subspan(0, w)),
+                          bn::Bignum::from_bytes_be(signature.subspan(w))};
+  }
+
+  SigKind kind_;
+  EcdsaKeyPair key_;
+};
+
+}  // namespace
+
+std::unique_ptr<Signer> make_signer(SigKind kind, HmacDrbg& drbg) {
+  switch (kind) {
+    case SigKind::kRsa1024: return std::make_unique<RsaSigner>(kind, 1024, drbg);
+    case SigKind::kRsa2048: return std::make_unique<RsaSigner>(kind, 2048, drbg);
+    case SigKind::kRsa4096: return std::make_unique<RsaSigner>(kind, 4096, drbg);
+    case SigKind::kEcdsa160:
+      return std::make_unique<EcdsaSigner>(kind, CurveId::kSecp160r1, drbg);
+    case SigKind::kEcdsa224:
+      return std::make_unique<EcdsaSigner>(kind, CurveId::kSecp224r1, drbg);
+    case SigKind::kEcdsa256:
+      return std::make_unique<EcdsaSigner>(kind, CurveId::kSecp256r1, drbg);
+  }
+  throw std::invalid_argument("unknown SigKind");
+}
+
+}  // namespace rasc::crypto

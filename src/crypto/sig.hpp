@@ -1,0 +1,56 @@
+#pragma once
+/// \file sig.hpp
+/// Unified signature-scheme interface covering the six schemes in the
+/// paper's Figure 2 (RSA-1024/2048/4096, ECDSA-160/224/256), so the
+/// attestation report layer and the benchmark harness can treat them
+/// uniformly via hash-and-sign.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/crypto/drbg.hpp"
+#include "src/crypto/hash.hpp"
+
+namespace rasc::crypto {
+
+enum class SigKind {
+  kRsa1024,
+  kRsa2048,
+  kRsa4096,
+  kEcdsa160,
+  kEcdsa224,
+  kEcdsa256,
+};
+
+inline constexpr SigKind kAllSigKinds[] = {SigKind::kRsa1024,  SigKind::kRsa2048,
+                                           SigKind::kRsa4096,  SigKind::kEcdsa160,
+                                           SigKind::kEcdsa224, SigKind::kEcdsa256};
+
+std::string sig_name(SigKind kind);
+
+/// Hash-and-sign signer with an opaque serialized signature.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+
+  /// Sign a message (the implementation hashes internally with `hash`).
+  virtual support::Bytes sign(HashKind hash, support::ByteView message) = 0;
+
+  /// Verify with the key pair's public half.
+  virtual bool verify(HashKind hash, support::ByteView message,
+                      support::ByteView signature) const = 0;
+
+  /// Sign an already-computed digest (isolates signature cost from hash
+  /// cost, as the paper's Figure 2 analysis requires).
+  virtual support::Bytes sign_digest(HashKind hash, support::ByteView digest) = 0;
+
+  virtual SigKind kind() const noexcept = 0;
+};
+
+/// Generate a fresh key pair for the given scheme (deterministic per DRBG).
+/// RSA key generation dominates setup time at 4096 bits; callers that need
+/// several schemes should reuse a single seeded DRBG for reproducibility.
+std::unique_ptr<Signer> make_signer(SigKind kind, HmacDrbg& drbg);
+
+}  // namespace rasc::crypto

@@ -1,0 +1,69 @@
+#include "src/locking/consistency.hpp"
+
+#include <algorithm>
+
+namespace rasc::locking {
+
+ConsistencyAnalyzer::ConsistencyAnalyzer(const attest::AttestationResult& result,
+                                         const std::vector<sim::WriteRecord>& write_log,
+                                         std::size_t first_block)
+    : result_(result), log_(write_log), first_block_(first_block) {}
+
+bool ConsistencyAnalyzer::consistent_at(sim::Time t) const {
+  for (const auto& rec : log_) {
+    if (rec.blocked) continue;  // the MPU rejected it: memory unchanged
+    if (rec.block < first_block_) continue;
+    const std::size_t rel = rec.block - first_block_;
+    if (rel >= result_.visit_times.size()) continue;
+    const auto& visit = result_.visit_times[rel];
+    if (!visit) continue;
+    const sim::Time v = *visit;
+    if (t == v) continue;
+    // snapshot(t) includes writes <= t; the visit read includes writes
+    // <= v.  The two contents differ iff a write lies in (min, max].
+    const sim::Time lo = std::min(t, v);
+    const sim::Time hi = std::max(t, v);
+    if (rec.time > lo && rec.time <= hi) return false;
+  }
+  return true;
+}
+
+ConsistencyVerdict ConsistencyAnalyzer::verdict() const {
+  ConsistencyVerdict out;
+  out.at_ts = consistent_at(result_.t_s);
+  out.at_te = consistent_at(result_.t_e);
+  out.at_tr = consistent_at(result_.t_r);
+
+  // Window: intersect, over all covered blocks, the interval between the
+  // last effective write at-or-before the visit and the first one after.
+  sim::Time begin = 0;
+  sim::Time end = std::numeric_limits<sim::Time>::max();
+  for (std::size_t rel = 0; rel < result_.visit_times.size(); ++rel) {
+    const auto& visit = result_.visit_times[rel];
+    if (!visit) continue;
+    const sim::Time v = *visit;
+    const std::size_t abs_block = first_block_ + rel;
+    sim::Time last_before = 0;
+    sim::Time first_after = std::numeric_limits<sim::Time>::max();
+    for (const auto& rec : log_) {
+      if (rec.blocked || rec.block != abs_block) continue;
+      if (rec.time <= v) {
+        last_before = std::max(last_before, rec.time);
+      } else {
+        first_after = std::min(first_after, rec.time);
+      }
+    }
+    begin = std::max(begin, last_before);
+    // Consistent strictly before the next write; the last consistent
+    // instant is first_after - 1 when a later write exists.
+    const sim::Time block_end =
+        first_after == std::numeric_limits<sim::Time>::max() ? first_after : first_after - 1;
+    end = std::min(end, block_end);
+  }
+  if (begin <= end) {
+    out.window = std::make_pair(begin, end);
+  }
+  return out;
+}
+
+}  // namespace rasc::locking

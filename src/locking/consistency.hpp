@@ -1,0 +1,50 @@
+#pragma once
+/// \file consistency.hpp
+/// Temporal-consistency analysis (paper Section 3.1 / Figure 4): given the
+/// per-block visit times of a measurement and the memory write log, decide
+/// with which instants of real memory state the report is consistent.
+///
+/// Block-level criterion: the report is consistent with the memory
+/// snapshot at time t iff for every covered block b (visited at v_b) no
+/// effective (non-blocked) write touched b strictly between t and v_b
+/// (whichever order).  A write at exactly time t is part of the snapshot
+/// at t, and a write at exactly v_b is part of what the visit read.
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "src/attest/prover.hpp"
+#include "src/sim/memory.hpp"
+
+namespace rasc::locking {
+
+struct ConsistencyVerdict {
+  bool at_ts = false;  ///< consistent with M at t_s (Dec/All-Lock property)
+  bool at_te = false;  ///< consistent with M at t_e (Inc/All-Lock property)
+  bool at_tr = false;  ///< consistent with M at t_r (-Ext property)
+  /// The maximal window [begin, end] of instants the report is consistent
+  /// with; nullopt when no instant qualifies (inconsistent measurement).
+  std::optional<std::pair<sim::Time, sim::Time>> window;
+};
+
+class ConsistencyAnalyzer {
+ public:
+  /// `first_block` anchors the coverage in absolute block indices.
+  ConsistencyAnalyzer(const attest::AttestationResult& result,
+                      const std::vector<sim::WriteRecord>& write_log,
+                      std::size_t first_block);
+
+  /// Is the report consistent with the memory snapshot at time t?
+  bool consistent_at(sim::Time t) const;
+
+  /// Full verdict at the three canonical instants plus the window.
+  ConsistencyVerdict verdict() const;
+
+ private:
+  const attest::AttestationResult& result_;
+  const std::vector<sim::WriteRecord>& log_;
+  std::size_t first_block_;
+};
+
+}  // namespace rasc::locking

@@ -1,0 +1,149 @@
+#include "src/locking/policies.hpp"
+
+#include <stdexcept>
+
+namespace rasc::locking {
+
+namespace {
+
+using attest::Coverage;
+using sim::DeviceMemory;
+
+void lock_covered(DeviceMemory& mem, const Coverage& cov) {
+  const std::size_t n = cov.resolve_count(mem);
+  for (std::size_t b = cov.first_block; b < cov.first_block + n; ++b) mem.lock_block(b);
+}
+
+void unlock_covered(DeviceMemory& mem, const Coverage& cov) {
+  const std::size_t n = cov.resolve_count(mem);
+  for (std::size_t b = cov.first_block; b < cov.first_block + n; ++b) mem.unlock_block(b);
+}
+
+class AllLock : public attest::LockPolicy {
+ public:
+  explicit AllLock(bool extended, sim::Duration release_delay)
+      : extended_(extended), release_delay_(release_delay) {}
+
+  std::string name() const override { return extended_ ? "All-Lock-Ext" : "All-Lock"; }
+  sim::Duration release_delay() const override { return extended_ ? release_delay_ : 0; }
+
+  void on_start(DeviceMemory& mem, const Coverage& cov) override { lock_covered(mem, cov); }
+  void on_end(DeviceMemory& mem, const Coverage& cov) override {
+    if (!extended_) unlock_covered(mem, cov);
+  }
+  void on_release(DeviceMemory& mem, const Coverage& cov) override {
+    if (extended_) unlock_covered(mem, cov);
+  }
+
+ private:
+  bool extended_;
+  sim::Duration release_delay_;
+};
+
+class DecLock : public attest::LockPolicy {
+ public:
+  std::string name() const override { return "Dec-Lock"; }
+  void on_start(DeviceMemory& mem, const Coverage& cov) override { lock_covered(mem, cov); }
+  void on_block_visited(DeviceMemory& mem, std::size_t block) override {
+    mem.unlock_block(block);  // released as soon as F has processed it
+  }
+};
+
+class IncLock : public attest::LockPolicy {
+ public:
+  explicit IncLock(bool extended, sim::Duration release_delay)
+      : extended_(extended), release_delay_(release_delay) {}
+
+  std::string name() const override { return extended_ ? "Inc-Lock-Ext" : "Inc-Lock"; }
+  sim::Duration release_delay() const override { return extended_ ? release_delay_ : 0; }
+
+  void on_block_visited(DeviceMemory& mem, std::size_t block) override {
+    mem.lock_block(block);  // locked once processed, held until the end
+  }
+  void on_end(DeviceMemory& mem, const Coverage& cov) override {
+    if (!extended_) unlock_covered(mem, cov);
+  }
+  void on_release(DeviceMemory& mem, const Coverage& cov) override {
+    if (extended_) unlock_covered(mem, cov);
+  }
+
+ private:
+  bool extended_;
+  sim::Duration release_delay_;
+};
+
+class CpyLock : public attest::LockPolicy {
+ public:
+  std::string name() const override { return "Cpy-Lock"; }
+
+  void on_start(DeviceMemory& mem, const Coverage& cov) override {
+    first_block_ = cov.first_block;
+    const std::size_t n = cov.resolve_count(mem);
+    const auto view =
+        mem.read(cov.first_block * mem.block_size(), n * mem.block_size());
+    snapshot_.assign(view.begin(), view.end());
+    block_size_ = mem.block_size();
+  }
+
+  void on_end(DeviceMemory&, const Coverage&) override {
+    snapshot_.clear();
+    snapshot_.shrink_to_fit();
+  }
+
+  sim::Duration start_cost(const sim::CpuModel& model,
+                           std::uint64_t covered_bytes) const override {
+    return model.copy_time(covered_bytes);
+  }
+
+  support::ByteView block_source(const DeviceMemory& memory,
+                                 std::size_t block) const override {
+    if (snapshot_.empty()) return memory.block_view(block);
+    return support::ByteView(snapshot_.data() + (block - first_block_) * block_size_,
+                             block_size_);
+  }
+
+  bool snapshots_at_start() const override { return true; }
+
+ private:
+  support::Bytes snapshot_;
+  std::size_t first_block_ = 0;
+  std::size_t block_size_ = 0;
+};
+
+}  // namespace
+
+std::string lock_mechanism_name(LockMechanism mechanism) {
+  switch (mechanism) {
+    case LockMechanism::kNoLock: return "No-Lock";
+    case LockMechanism::kAllLock: return "All-Lock";
+    case LockMechanism::kAllLockExt: return "All-Lock-Ext";
+    case LockMechanism::kDecLock: return "Dec-Lock";
+    case LockMechanism::kIncLock: return "Inc-Lock";
+    case LockMechanism::kIncLockExt: return "Inc-Lock-Ext";
+    case LockMechanism::kCpyLock: return "Cpy-Lock";
+  }
+  return "?";
+}
+
+std::unique_ptr<attest::LockPolicy> make_lock_policy(LockMechanism mechanism,
+                                                     sim::Duration release_delay) {
+  switch (mechanism) {
+    case LockMechanism::kNoLock:
+      return std::make_unique<attest::NullLockPolicy>();
+    case LockMechanism::kAllLock:
+      return std::make_unique<AllLock>(false, 0);
+    case LockMechanism::kAllLockExt:
+      return std::make_unique<AllLock>(true, release_delay);
+    case LockMechanism::kDecLock:
+      return std::make_unique<DecLock>();
+    case LockMechanism::kIncLock:
+      return std::make_unique<IncLock>(false, 0);
+    case LockMechanism::kIncLockExt:
+      return std::make_unique<IncLock>(true, release_delay);
+    case LockMechanism::kCpyLock:
+      return std::make_unique<CpyLock>();
+  }
+  throw std::invalid_argument("unknown LockMechanism");
+}
+
+}  // namespace rasc::locking

@@ -1,0 +1,49 @@
+#pragma once
+/// \file policies.hpp
+/// The memory-locking mechanisms of Section 3.1, as LockPolicy strategies:
+///
+///   No-Lock      — nothing locked; no consistency guarantee.
+///   All-Lock     — whole region locked t_s..t_e; consistent on [t_s, t_e].
+///   All-Lock-Ext — as All-Lock but held until t_r; consistent on [t_s, t_r].
+///   Dec-Lock     — all locked at t_s, each block released once measured;
+///                  consistent with M at t_s only (detects malware present
+///                  at t_s, including transient).
+///   Inc-Lock     — blocks locked as they are measured, all released at
+///                  t_e; consistent with M at t_e only (detects
+///                  self-relocating, not transient).
+///   Inc-Lock-Ext — as Inc-Lock but released at t_r; constant on [t_e, t_r].
+
+#include <memory>
+
+#include "src/attest/lock_policy.hpp"
+
+namespace rasc::locking {
+
+enum class LockMechanism {
+  kNoLock,
+  kAllLock,
+  kAllLockExt,
+  kDecLock,
+  kIncLock,
+  kIncLockExt,
+  /// Copy-based mechanism from [5]: the covered region is snapshotted at
+  /// t_s and F runs over the snapshot while the application keeps writing
+  /// live memory.  Full availability and t_s-consistency, at the price of
+  /// the copy time and 2x transient memory.
+  kCpyLock,
+};
+
+inline constexpr LockMechanism kAllLockMechanisms[] = {
+    LockMechanism::kNoLock,  LockMechanism::kAllLock, LockMechanism::kAllLockExt,
+    LockMechanism::kDecLock, LockMechanism::kIncLock, LockMechanism::kIncLockExt,
+    LockMechanism::kCpyLock,
+};
+
+std::string lock_mechanism_name(LockMechanism mechanism);
+
+/// Create a policy; `release_delay` is t_r - t_e and only meaningful for
+/// the -Ext variants (ignored otherwise).
+std::unique_ptr<attest::LockPolicy> make_lock_policy(
+    LockMechanism mechanism, sim::Duration release_delay = 0);
+
+}  // namespace rasc::locking

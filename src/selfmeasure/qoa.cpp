@@ -1,0 +1,53 @@
+#include "src/selfmeasure/qoa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rasc::selfm {
+
+InfectionAnalysis analyze_infection(std::span<const sim::Time> measurement_times,
+                                    std::span<const sim::Time> collection_times,
+                                    sim::Time begin, sim::Time end) {
+  InfectionAnalysis out;
+  for (const sim::Time m : measurement_times) {
+    if (m >= begin && m <= end) {
+      out.detected = true;
+      out.measured_at = m;
+      break;
+    }
+  }
+  if (!out.detected || !out.measured_at) return out;
+  for (const sim::Time c : collection_times) {
+    if (c >= *out.measured_at) {
+      out.reported_at = c;
+      out.detection_latency = c - begin;
+      break;
+    }
+  }
+  return out;
+}
+
+double analytic_detection_probability(sim::Duration t_m, sim::Duration dwell) {
+  if (t_m == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(dwell) / static_cast<double>(t_m));
+}
+
+sim::Duration worst_case_detection_latency(sim::Duration t_m, sim::Duration t_c) {
+  return t_m + t_c;
+}
+
+sim::Duration recommended_t_m(sim::Duration dwell, double target_probability) {
+  if (target_probability <= 0.0 || target_probability > 1.0) {
+    throw std::invalid_argument("target probability must be in (0, 1]");
+  }
+  return static_cast<sim::Duration>(static_cast<double>(dwell) / target_probability);
+}
+
+sim::Duration recommended_t_c(sim::Duration latency_budget, sim::Duration t_m) {
+  if (latency_budget <= t_m) {
+    throw std::invalid_argument("latency budget must exceed T_M");
+  }
+  return latency_budget - t_m;
+}
+
+}  // namespace rasc::selfm

@@ -1,0 +1,54 @@
+#pragma once
+/// \file qoa.hpp
+/// Quality of Attestation (paper Section 3.3, Figure 5): QoA has two
+/// components — how often memory is measured (T_M) and how often
+/// measurements are verified (T_C).  These helpers analyze a transient
+/// infection against a measurement/collection schedule and give the
+/// analytic detection probability for the T_M sweep.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace rasc::selfm {
+
+struct InfectionAnalysis {
+  bool detected = false;
+  /// First measurement that caught the infection (lands inside [begin, end]).
+  std::optional<sim::Time> measured_at;
+  /// First collection at-or-after the catching measurement: when Vrf learns.
+  std::optional<sim::Time> reported_at;
+  /// reported_at - begin, the end-to-end detection latency.
+  std::optional<sim::Duration> detection_latency;
+};
+
+/// Analyze one transient infection window [begin, end] against the times
+/// at which measurements completed and collections were verified.
+InfectionAnalysis analyze_infection(std::span<const sim::Time> measurement_times,
+                                    std::span<const sim::Time> collection_times,
+                                    sim::Time begin, sim::Time end);
+
+/// Analytic detection probability of a transient infection of duration
+/// `dwell` against period-T_M measurements with a uniformly random phase:
+/// min(1, dwell / T_M).
+double analytic_detection_probability(sim::Duration t_m, sim::Duration dwell);
+
+/// Worst-case time from infection start to Vrf awareness for an infection
+/// that IS detected: one full measurement period plus one collection
+/// period (measurement just missed, then wait for the next collection).
+sim::Duration worst_case_detection_latency(sim::Duration t_m, sim::Duration t_c);
+
+// -- QoA planning (inverting the Figure 5 relationships) ---------------------
+
+/// Largest T_M that detects a transient infection of duration `dwell`
+/// with at least `target_probability` (0 < p <= 1):  T_M <= dwell / p.
+sim::Duration recommended_t_m(sim::Duration dwell, double target_probability);
+
+/// Largest T_C honoring a worst-case detection-latency budget for a given
+/// T_M:  T_C <= budget - T_M.  Throws std::invalid_argument if the budget
+/// cannot be met even with continuous collection.
+sim::Duration recommended_t_c(sim::Duration latency_budget, sim::Duration t_m);
+
+}  // namespace rasc::selfm

@@ -1,0 +1,60 @@
+#include "src/sim/cpu.hpp"
+
+#include <algorithm>
+
+namespace rasc::sim {
+
+void Cpu::make_ready(Process& p) {
+  if (std::find(ready_.begin(), ready_.end(), &p) == ready_.end()) {
+    ready_.push_back(&p);
+  }
+  schedule_dispatch();
+}
+
+void Cpu::remove(Process& p) {
+  ready_.erase(std::remove(ready_.begin(), ready_.end(), &p), ready_.end());
+}
+
+Duration Cpu::consumed(const std::string& name) const {
+  const auto it = consumed_.find(name);
+  return it == consumed_.end() ? 0 : it->second;
+}
+
+void Cpu::schedule_dispatch() {
+  if (dispatch_pending_ || running_ != nullptr) return;
+  dispatch_pending_ = true;
+  sim_.schedule_at(sim_.now(), [this] {
+    dispatch_pending_ = false;
+    dispatch();
+  });
+}
+
+void Cpu::dispatch() {
+  while (running_ == nullptr && !ready_.empty()) {
+    // Highest priority wins; FIFO among equals (stable selection).
+    auto best = ready_.begin();
+    for (auto it = ready_.begin() + 1; it != ready_.end(); ++it) {
+      if ((*it)->priority() > (*best)->priority()) best = it;
+    }
+    Process* p = *best;
+    auto segment = p->next_segment();
+    if (!segment) {
+      // Parked: out of work until made ready again.
+      ready_.erase(best);
+      continue;
+    }
+    running_ = p;
+    busy_until_ = sim_.now() + segment->duration;
+    const Time start = sim_.now();
+    sim_.schedule_at(busy_until_, [this, p, start, seg = std::move(*segment)]() mutable {
+      consumed_[p->name()] += seg.duration;
+      if (trace_enabled_) trace_.push_back(ExecutionRecord{start, sim_.now(), p->name()});
+      running_ = nullptr;
+      if (seg.on_complete) seg.on_complete();
+      dispatch();
+    });
+    return;
+  }
+}
+
+}  // namespace rasc::sim

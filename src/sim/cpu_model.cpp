@@ -1,0 +1,83 @@
+#include "src/sim/cpu_model.hpp"
+
+#include <stdexcept>
+
+namespace rasc::sim {
+
+double CpuModel::hash_ns_per_byte(crypto::HashKind kind) const {
+  switch (kind) {
+    case crypto::HashKind::kSha256: return sha256_nspb_;
+    case crypto::HashKind::kSha512: return sha512_nspb_;
+    case crypto::HashKind::kBlake2b: return blake2b_nspb_;
+    case crypto::HashKind::kBlake2s: return blake2s_nspb_;
+  }
+  throw std::invalid_argument("unknown HashKind");
+}
+
+void CpuModel::set_hash_ns_per_byte(crypto::HashKind kind, double ns_per_byte) {
+  switch (kind) {
+    case crypto::HashKind::kSha256: sha256_nspb_ = ns_per_byte; return;
+    case crypto::HashKind::kSha512: sha512_nspb_ = ns_per_byte; return;
+    case crypto::HashKind::kBlake2b: blake2b_nspb_ = ns_per_byte; return;
+    case crypto::HashKind::kBlake2s: blake2s_nspb_ = ns_per_byte; return;
+  }
+  throw std::invalid_argument("unknown HashKind");
+}
+
+Duration CpuModel::hash_time(crypto::HashKind kind, std::uint64_t bytes) const {
+  return hash_setup_ + static_cast<Duration>(hash_time_scale_ * hash_ns_per_byte(kind) *
+                                             static_cast<double>(bytes));
+}
+
+Duration CpuModel::cbcmac_time(std::uint64_t bytes) const {
+  return hash_setup_ + static_cast<Duration>(hash_time_scale_ * aes_cbcmac_nspb_ *
+                                             static_cast<double>(bytes));
+}
+
+Duration CpuModel::mac_time(crypto::HashKind kind, std::uint64_t bytes) const {
+  // HMAC = inner hash over (pad || data) + outer hash over a digest; the
+  // outer contribution is one extra block, folded into a doubled setup.
+  return hash_time(kind, bytes) + hash_setup_;
+}
+
+Duration CpuModel::sign_time(crypto::SigKind kind) const {
+  switch (kind) {
+    case crypto::SigKind::kRsa1024: return rsa1024_sign_;
+    case crypto::SigKind::kRsa2048: return rsa2048_sign_;
+    case crypto::SigKind::kRsa4096: return rsa4096_sign_;
+    case crypto::SigKind::kEcdsa160: return ecdsa160_sign_;
+    case crypto::SigKind::kEcdsa224: return ecdsa224_sign_;
+    case crypto::SigKind::kEcdsa256: return ecdsa256_sign_;
+  }
+  throw std::invalid_argument("unknown SigKind");
+}
+
+Duration CpuModel::verify_time(crypto::SigKind kind) const {
+  switch (kind) {
+    case crypto::SigKind::kRsa1024: return rsa1024_verify_;
+    case crypto::SigKind::kRsa2048: return rsa2048_verify_;
+    case crypto::SigKind::kRsa4096: return rsa4096_verify_;
+    case crypto::SigKind::kEcdsa160: return ecdsa160_verify_;
+    case crypto::SigKind::kEcdsa224: return ecdsa224_verify_;
+    case crypto::SigKind::kEcdsa256: return ecdsa256_verify_;
+  }
+  throw std::invalid_argument("unknown SigKind");
+}
+
+void CpuModel::set_sign_cost(crypto::SigKind kind, Duration sign, Duration verify) {
+  switch (kind) {
+    case crypto::SigKind::kRsa1024: rsa1024_sign_ = sign; rsa1024_verify_ = verify; return;
+    case crypto::SigKind::kRsa2048: rsa2048_sign_ = sign; rsa2048_verify_ = verify; return;
+    case crypto::SigKind::kRsa4096: rsa4096_sign_ = sign; rsa4096_verify_ = verify; return;
+    case crypto::SigKind::kEcdsa160: ecdsa160_sign_ = sign; ecdsa160_verify_ = verify; return;
+    case crypto::SigKind::kEcdsa224: ecdsa224_sign_ = sign; ecdsa224_verify_ = verify; return;
+    case crypto::SigKind::kEcdsa256: ecdsa256_sign_ = sign; ecdsa256_verify_ = verify; return;
+  }
+  throw std::invalid_argument("unknown SigKind");
+}
+
+Duration CpuModel::copy_time(std::uint64_t bytes) const {
+  return static_cast<Duration>(copy_ns_per_byte_ * static_cast<double>(bytes)) + kMicrosecond;
+}
+
+}  // namespace rasc::sim

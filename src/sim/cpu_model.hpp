@@ -1,0 +1,93 @@
+#pragma once
+/// \file cpu_model.hpp
+/// Calibrated timing model of the prover CPU.  The default constants are
+/// fitted to the paper's ODROID-XU4 numbers (Figure 2 and Section 2.4/2.5):
+/// SHA-256 over 2 GB ~= 14 s, 100 MB ~= 0.9 s, 1 GB ~= 7 s, with signature
+/// costs flat in input size.  Absolute values only need to be plausible;
+/// the experiments depend on ratios and orders of magnitude.
+
+#include <cstdint>
+
+#include "src/crypto/hash.hpp"
+#include "src/crypto/sig.hpp"
+#include "src/sim/time.hpp"
+
+namespace rasc::sim {
+
+class CpuModel {
+ public:
+  /// Default: ODROID-XU4-calibrated.
+  CpuModel() = default;
+
+  /// Time to hash `bytes` bytes with `kind` (per-byte cost + fixed setup).
+  Duration hash_time(crypto::HashKind kind, std::uint64_t bytes) const;
+
+  /// Time to produce / verify a signature over a fixed-size digest.
+  Duration sign_time(crypto::SigKind kind) const;
+  Duration verify_time(crypto::SigKind kind) const;
+
+  /// Time to MAC `bytes` bytes with HMAC of the given hash (inner hash
+  /// dominates; outer hash folded into the fixed term).
+  Duration mac_time(crypto::HashKind kind, std::uint64_t bytes) const;
+
+  /// Time to MAC `bytes` bytes with AES-CBC-MAC (the paper's
+  /// encryption-based F; software AES on a Cortex-class core).
+  Duration cbcmac_time(std::uint64_t bytes) const;
+
+  /// memcpy-style block move (used by self-relocating malware).
+  Duration copy_time(std::uint64_t bytes) const;
+
+  /// Fixed scheduling overheads.
+  Duration context_switch() const noexcept { return context_switch_; }
+  Duration interrupt_latency() const noexcept { return interrupt_latency_; }
+
+  /// Per-block bookkeeping during a measurement (lock syscall, order
+  /// lookup, state save/restore when interruptible).
+  Duration measurement_block_overhead() const noexcept { return block_overhead_; }
+
+  // -- calibration knobs (ns per byte / ns per op) -------------------------
+  void set_hash_ns_per_byte(crypto::HashKind kind, double ns_per_byte);
+  void set_sign_cost(crypto::SigKind kind, Duration sign, Duration verify);
+  void set_copy_ns_per_byte(double ns_per_byte) { copy_ns_per_byte_ = ns_per_byte; }
+  /// Multiplier applied to hashing/MAC time only.  Lets a scenario model a
+  /// memory N times larger than what is physically allocated in the host
+  /// process (e.g. the paper's 1 GB prover backed by 16 MB of real bytes).
+  void set_hash_time_scale(double scale) { hash_time_scale_ = scale; }
+  double hash_time_scale() const noexcept { return hash_time_scale_; }
+  void set_context_switch(Duration d) { context_switch_ = d; }
+  void set_interrupt_latency(Duration d) { interrupt_latency_ = d; }
+  void set_measurement_block_overhead(Duration d) { block_overhead_ = d; }
+
+  double hash_ns_per_byte(crypto::HashKind kind) const;
+
+ private:
+  // Per-byte hashing costs (ns/byte), ODROID-XU4 ballpark.
+  double sha256_nspb_ = 7.0;   // 2 GB -> ~14.0 s ; 1 GB -> ~7.0 s
+  double sha512_nspb_ = 4.6;   // 64-bit pipeline: faster per byte
+  double blake2b_nspb_ = 3.6;  // paper: well suited for embedded
+  double blake2s_nspb_ = 5.4;
+  Duration hash_setup_ = 2 * kMicrosecond;
+  double aes_cbcmac_nspb_ = 12.0;  // table-based software AES
+
+  // Flat signature costs over a digest (sign, verify).
+  Duration rsa1024_sign_ = 2700 * kMicrosecond;
+  Duration rsa1024_verify_ = 130 * kMicrosecond;
+  Duration rsa2048_sign_ = 17 * kMillisecond;
+  Duration rsa2048_verify_ = 430 * kMicrosecond;
+  Duration rsa4096_sign_ = 115 * kMillisecond;
+  Duration rsa4096_verify_ = 1600 * kMicrosecond;
+  Duration ecdsa160_sign_ = 1100 * kMicrosecond;
+  Duration ecdsa160_verify_ = 2200 * kMicrosecond;
+  Duration ecdsa224_sign_ = 1900 * kMicrosecond;
+  Duration ecdsa224_verify_ = 3800 * kMicrosecond;
+  Duration ecdsa256_sign_ = 2400 * kMicrosecond;
+  Duration ecdsa256_verify_ = 4700 * kMicrosecond;
+
+  double hash_time_scale_ = 1.0;
+  double copy_ns_per_byte_ = 0.8;  // DRAM-to-DRAM copy
+  Duration context_switch_ = 5 * kMicrosecond;
+  Duration interrupt_latency_ = 1 * kMicrosecond;
+  Duration block_overhead_ = 3 * kMicrosecond;
+};
+
+}  // namespace rasc::sim

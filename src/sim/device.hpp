@@ -1,0 +1,49 @@
+#pragma once
+/// \file device.hpp
+/// The simulated prover: memory + CPU + timing model + the ROM-protected
+/// attestation key (SMART's hard-wired access rule is modeled by the key
+/// simply not being reachable from application/malware code).
+
+#include <memory>
+#include <string>
+
+#include "src/sim/cpu.hpp"
+#include "src/sim/cpu_model.hpp"
+#include "src/sim/memory.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace rasc::sim {
+
+struct DeviceConfig {
+  std::string id = "prv-0";
+  std::size_t memory_size = 1 << 20;  ///< 1 MiB default
+  std::size_t block_size = 4096;
+  support::Bytes attestation_key;  ///< shared symmetric key with Vrf
+};
+
+class Device {
+ public:
+  Device(Simulator& sim, DeviceConfig config)
+      : sim_(sim),
+        config_(std::move(config)),
+        memory_(config_.memory_size, config_.block_size),
+        cpu_(sim) {}
+
+  Simulator& sim() noexcept { return sim_; }
+  const std::string& id() const noexcept { return config_.id; }
+  DeviceMemory& memory() noexcept { return memory_; }
+  const DeviceMemory& memory() const noexcept { return memory_; }
+  Cpu& cpu() noexcept { return cpu_; }
+  CpuModel& model() noexcept { return model_; }
+  const CpuModel& model() const noexcept { return model_; }
+  const support::Bytes& attestation_key() const noexcept { return config_.attestation_key; }
+
+ private:
+  Simulator& sim_;
+  DeviceConfig config_;
+  DeviceMemory memory_;
+  CpuModel model_;
+  Cpu cpu_;
+};
+
+}  // namespace rasc::sim

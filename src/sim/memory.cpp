@@ -1,0 +1,87 @@
+#include "src/sim/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rasc::sim {
+
+DeviceMemory::DeviceMemory(std::size_t size, std::size_t block_size)
+    : block_size_(block_size) {
+  if (block_size == 0 || size == 0 || size % block_size != 0) {
+    throw std::invalid_argument("DeviceMemory: size must be a positive multiple of block_size");
+  }
+  data_.assign(size, 0);
+  locks_.assign(size / block_size, false);
+}
+
+void DeviceMemory::check_range(std::size_t addr, std::size_t len) const {
+  if (addr > data_.size() || len > data_.size() - addr) {
+    throw std::out_of_range("DeviceMemory access out of range");
+  }
+}
+
+support::ByteView DeviceMemory::read(std::size_t addr, std::size_t len) const {
+  check_range(addr, len);
+  return support::ByteView(data_.data() + addr, len);
+}
+
+support::ByteView DeviceMemory::block_view(std::size_t block) const {
+  if (block >= block_count()) throw std::out_of_range("block index out of range");
+  return support::ByteView(data_.data() + block * block_size_, block_size_);
+}
+
+bool DeviceMemory::write(std::size_t addr, support::ByteView bytes, Time now, Actor actor) {
+  if (bytes.empty()) return true;
+  check_range(addr, bytes.size());
+  const std::size_t first = block_of(addr);
+  const std::size_t last = block_of(addr + bytes.size() - 1);
+  bool any_locked = false;
+  for (std::size_t b = first; b <= last; ++b) any_locked |= locks_[b];
+  for (std::size_t b = first; b <= last; ++b) {
+    write_log_.push_back(WriteRecord{now, b, actor, any_locked});
+  }
+  if (any_locked) return false;
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
+  return true;
+}
+
+bool DeviceMemory::zero_region(std::size_t addr, std::size_t len, Time now, Actor actor) {
+  const support::Bytes zeros(len, 0);
+  return write(addr, zeros, now, actor);
+}
+
+void DeviceMemory::load(support::ByteView image, std::size_t addr) {
+  check_range(addr, image.size());
+  std::copy(image.begin(), image.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
+}
+
+void DeviceMemory::lock_block(std::size_t block) {
+  if (block >= block_count()) throw std::out_of_range("lock_block out of range");
+  locks_[block] = true;
+}
+
+void DeviceMemory::unlock_block(std::size_t block) {
+  if (block >= block_count()) throw std::out_of_range("unlock_block out of range");
+  locks_[block] = false;
+}
+
+bool DeviceMemory::locked(std::size_t block) const {
+  if (block >= block_count()) throw std::out_of_range("locked out of range");
+  return locks_[block];
+}
+
+void DeviceMemory::lock_all() { std::fill(locks_.begin(), locks_.end(), true); }
+
+void DeviceMemory::unlock_all() { std::fill(locks_.begin(), locks_.end(), false); }
+
+std::size_t DeviceMemory::locked_block_count() const noexcept {
+  return static_cast<std::size_t>(std::count(locks_.begin(), locks_.end(), true));
+}
+
+std::size_t DeviceMemory::blocked_write_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(write_log_.begin(), write_log_.end(),
+                    [](const WriteRecord& r) { return r.blocked; }));
+}
+
+}  // namespace rasc::sim

@@ -1,0 +1,85 @@
+#pragma once
+/// \file memory.hpp
+/// Block-granular prover memory with an MPU-style lock model and a write
+/// log.  Locks make blocks read-only (the HYDRA/seL4 capability mechanism
+/// the paper's memory-locking solutions rely on); the write log lets the
+/// consistency analyzer replay what changed during a measurement.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.hpp"
+#include "src/support/bytes.hpp"
+
+namespace rasc::sim {
+
+/// Who performed a memory access (for the write log and lock bypass:
+/// the measurement process itself never writes attested memory).
+enum class Actor : std::uint8_t {
+  kApplication,
+  kMalware,
+  kMeasurement,
+  kSystem,
+};
+
+struct WriteRecord {
+  Time time;
+  std::size_t block;
+  Actor actor;
+  bool blocked;  ///< true if the MPU rejected the write (block locked)
+};
+
+class DeviceMemory {
+ public:
+  /// `size` must be a positive multiple of `block_size`.
+  DeviceMemory(std::size_t size, std::size_t block_size);
+
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t block_size() const noexcept { return block_size_; }
+  std::size_t block_count() const noexcept { return locks_.size(); }
+
+  std::size_t block_of(std::size_t addr) const noexcept { return addr / block_size_; }
+
+  // -- data access ----------------------------------------------------------
+  support::ByteView read(std::size_t addr, std::size_t len) const;
+  support::ByteView block_view(std::size_t block) const;
+
+  /// Attempt a write at `now` by `actor`.  Fails atomically (no partial
+  /// write, returns false, logs a blocked record per touched block) if any
+  /// touched block is locked.
+  bool write(std::size_t addr, support::ByteView bytes, Time now, Actor actor);
+
+  /// Zero a whole region (the paper's D-region policy before measuring).
+  bool zero_region(std::size_t addr, std::size_t len, Time now, Actor actor);
+
+  /// Full copy of memory contents (golden images, snapshots).
+  support::Bytes snapshot() const { return data_; }
+
+  /// Restore contents without logging (test setup / device provisioning).
+  void load(support::ByteView image, std::size_t addr = 0);
+
+  // -- MPU locks --------------------------------------------------------------
+  void lock_block(std::size_t block);
+  void unlock_block(std::size_t block);
+  bool locked(std::size_t block) const;
+  void lock_all();
+  void unlock_all();
+  std::size_t locked_block_count() const noexcept;
+
+  // -- write log ---------------------------------------------------------------
+  const std::vector<WriteRecord>& write_log() const noexcept { return write_log_; }
+  void clear_write_log() { write_log_.clear(); }
+  /// Count of rejected writes since the log was last cleared (availability
+  /// metric for the locking mechanisms).
+  std::size_t blocked_write_count() const noexcept;
+
+ private:
+  void check_range(std::size_t addr, std::size_t len) const;
+
+  std::size_t block_size_;
+  support::Bytes data_;
+  std::vector<bool> locks_;
+  std::vector<WriteRecord> write_log_;
+};
+
+}  // namespace rasc::sim

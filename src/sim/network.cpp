@@ -1,0 +1,24 @@
+#include "src/sim/network.hpp"
+
+namespace rasc::sim {
+
+void Link::send(support::Bytes payload, Handler on_delivery) {
+  ++sent_;
+  if (rng_.chance(config_.drop_probability)) {
+    ++dropped_;
+    return;
+  }
+  Duration transit = config_.base_latency;
+  if (config_.jitter > 0) transit += rng_.below(config_.jitter + 1);
+  if (config_.bytes_per_second > 0) {
+    transit += static_cast<Duration>(static_cast<double>(payload.size()) /
+                                     config_.bytes_per_second * kSecond);
+  }
+  sim_.schedule_in(transit, [this, payload = std::move(payload),
+                             handler = std::move(on_delivery)]() mutable {
+    ++delivered_;
+    handler(std::move(payload));
+  });
+}
+
+}  // namespace rasc::sim

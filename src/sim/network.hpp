@@ -1,0 +1,50 @@
+#pragma once
+/// \file network.hpp
+/// Point-to-point link between verifier and prover with latency, jitter,
+/// serialization delay and loss — enough to model the paper's networking
+/// delays (Fig. 1 deferral) and SeED's dropped-response false positives.
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.hpp"
+#include "src/support/bytes.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::sim {
+
+struct LinkConfig {
+  Duration base_latency = 2 * kMillisecond;
+  Duration jitter = 500 * kMicrosecond;  ///< uniform extra delay in [0, jitter]
+  double drop_probability = 0.0;
+  double bytes_per_second = 1e6;  ///< serialization rate (1 MB/s default)
+  std::uint64_t seed = 0x11ce;
+};
+
+class Link {
+ public:
+  using Handler = std::function<void(support::Bytes)>;
+
+  Link(Simulator& sim, LinkConfig config = {})
+      : sim_(sim), config_(config), rng_(config.seed) {}
+
+  /// Queue a message; the handler fires after the simulated transit time
+  /// unless the message is dropped.
+  void send(support::Bytes payload, Handler on_delivery);
+
+  std::size_t sent() const noexcept { return sent_; }
+  std::size_t delivered() const noexcept { return delivered_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+
+  const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  Simulator& sim_;
+  LinkConfig config_;
+  support::Xoshiro256 rng_;
+  std::size_t sent_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace rasc::sim

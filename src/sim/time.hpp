@@ -1,0 +1,35 @@
+#pragma once
+/// \file time.hpp
+/// Virtual time for the discrete-event device simulator.  One tick is one
+/// nanosecond; 64 bits cover ~584 years of simulated time, ample for any
+/// attestation schedule.
+
+#include <cstdint>
+#include <string>
+
+namespace rasc::sim {
+
+using Time = std::uint64_t;      ///< absolute simulated time, ns
+using Duration = std::uint64_t;  ///< simulated time span, ns
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_millis(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+/// Human-readable rendering ("1.500 s", "3.2 ms", "750 ns").
+std::string format_duration(Duration d);
+
+}  // namespace rasc::sim

@@ -1,0 +1,76 @@
+#include "src/smarm/escape.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::smarm {
+
+double single_round_escape(std::size_t n_blocks) {
+  if (n_blocks == 0) throw std::invalid_argument("n_blocks must be positive");
+  return std::pow(1.0 - 1.0 / static_cast<double>(n_blocks),
+                  static_cast<double>(n_blocks));
+}
+
+double multi_round_escape(std::size_t n_blocks, std::size_t rounds) {
+  return std::pow(single_round_escape(n_blocks), static_cast<double>(rounds));
+}
+
+std::size_t rounds_for_target(std::size_t n_blocks, double target) {
+  if (target <= 0.0 || target >= 1.0) throw std::invalid_argument("target in (0,1)");
+  const double per_round = single_round_escape(n_blocks);
+  return static_cast<std::size_t>(std::ceil(std::log(target) / std::log(per_round)));
+}
+
+namespace {
+
+/// Play one shuffled measurement; returns true if the malware escapes.
+bool play_round(std::size_t n, support::Xoshiro256& rng, std::size_t& pos) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    if (order[k] == pos) return false;  // measured while resident
+    pos = rng.below(n);                 // optimal blind relocation
+  }
+  return true;
+}
+
+}  // namespace
+
+double simulate_single_round_escape(std::size_t n_blocks, std::size_t trials,
+                                    std::uint64_t seed) {
+  if (n_blocks == 0 || trials == 0) throw std::invalid_argument("need blocks and trials");
+  support::Xoshiro256 rng(seed);
+  std::size_t escapes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t pos = rng.below(n_blocks);
+    escapes += play_round(n_blocks, rng, pos) ? 1 : 0;
+  }
+  return static_cast<double>(escapes) / static_cast<double>(trials);
+}
+
+double simulate_multi_round_escape(std::size_t n_blocks, std::size_t rounds,
+                                   std::size_t trials, std::uint64_t seed) {
+  if (n_blocks == 0 || trials == 0 || rounds == 0) {
+    throw std::invalid_argument("need blocks, rounds and trials");
+  }
+  support::Xoshiro256 rng(seed);
+  std::size_t escapes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t pos = rng.below(n_blocks);
+    bool escaped_all = true;
+    for (std::size_t r = 0; r < rounds && escaped_all; ++r) {
+      escaped_all = play_round(n_blocks, rng, pos);
+    }
+    escapes += escaped_all ? 1 : 0;
+  }
+  return static_cast<double>(escapes) / static_cast<double>(trials);
+}
+
+}  // namespace rasc::smarm

@@ -1,0 +1,38 @@
+#pragma once
+/// \file escape.hpp
+/// SMARM escape-probability analysis (paper Section 3.2).  The adversary
+/// knows how many blocks have been measured but not which; its optimal
+/// strategy is to relocate to a uniformly random block during every block
+/// measurement.  Each of the n steps then catches it with probability 1/n,
+/// so a single pass lets it escape with probability (1 - 1/n)^n -> e^-1,
+/// and r independent passes with ((1-1/n)^n)^r — hence the paper's "~13
+/// checks for < 10^-6".
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rasc::smarm {
+
+/// Closed-form single-round escape probability (1 - 1/n)^n.
+double single_round_escape(std::size_t n_blocks);
+
+/// Escape probability after `rounds` independent shuffled measurements.
+double multi_round_escape(std::size_t n_blocks, std::size_t rounds);
+
+/// Smallest number of rounds driving escape below `target` (e.g. 1e-6).
+std::size_t rounds_for_target(std::size_t n_blocks, double target);
+
+/// Monte-Carlo estimate of the single-round escape probability by playing
+/// the abstract SMARM game `trials` times: a secret permutation is drawn,
+/// the malware starts in a uniform block and relocates uniformly after
+/// every measured block; it escapes the round iff it is never resident in
+/// the block being measured.
+double simulate_single_round_escape(std::size_t n_blocks, std::size_t trials,
+                                    std::uint64_t seed);
+
+/// Monte-Carlo estimate of the probability of escaping ALL of `rounds`
+/// consecutive shuffled measurements.
+double simulate_multi_round_escape(std::size_t n_blocks, std::size_t rounds,
+                                   std::size_t trials, std::uint64_t seed);
+
+}  // namespace rasc::smarm

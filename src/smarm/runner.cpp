@@ -1,0 +1,86 @@
+#include "src/smarm/runner.hpp"
+
+#include "src/support/rng.hpp"
+
+namespace rasc::smarm {
+
+namespace {
+
+/// Fill device memory with deterministic benign "firmware".
+void provision(sim::Device& device, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  support::Bytes image(device.memory().size());
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+  device.memory().load(image);
+}
+
+}  // namespace
+
+RunnerOutcome run_rounds(const RunnerConfig& config) {
+  sim::Simulator simulator;
+  sim::DeviceConfig dev_config;
+  dev_config.id = "prv-smarm";
+  dev_config.memory_size = config.blocks * config.block_size;
+  dev_config.block_size = config.block_size;
+  dev_config.attestation_key = support::to_bytes("smarm-shared-key");
+  sim::Device device(simulator, dev_config);
+  provision(device, /*seed=*/0xf1f0 + config.seed);
+
+  attest::Verifier verifier(config.hash, dev_config.attestation_key,
+                            device.memory().snapshot(), config.block_size);
+
+  attest::ProverConfig prover_config;
+  prover_config.hash = config.hash;
+  prover_config.mode = config.mode;
+  prover_config.order = config.order;
+  prover_config.priority = 10;
+  attest::AttestationProcess mp(device, prover_config);
+
+  malware::RelocatingConfig mal_config;
+  mal_config.initial_block = config.seed % config.blocks;
+  mal_config.strategy = config.strategy;
+  mal_config.priority = 50;  // can interrupt the measurement
+  mal_config.seed = 0x5eed0000 + config.seed;
+  malware::SelfRelocatingMalware malware(device, mal_config);
+  malware.infect_initial();
+  mp.set_observer([&malware](std::size_t done, std::size_t total) {
+    malware.on_measurement_progress(done, total);
+  });
+
+  RunnerOutcome outcome;
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    malware.on_measurement_start();
+    const support::Bytes challenge = verifier.issue_challenge();
+    attest::MeasurementContext context{device.id(), challenge, round + 1};
+    bool done = false;
+    attest::VerifyOutcome verdict;
+    mp.start(std::move(context), [&](attest::AttestationResult result) {
+      verdict = verifier.verify(result.report, /*expect_challenge=*/true);
+      done = true;
+    });
+    simulator.run();
+    if (!done) break;  // should not happen: the simulation quiesced early
+    ++outcome.rounds_run;
+    if (!verdict.ok()) {
+      ++outcome.detections;
+      outcome.ever_detected = true;
+    }
+  }
+  outcome.malware_relocations = malware.relocations();
+  outcome.malware_blocked_relocations = malware.blocked_relocations();
+  return outcome;
+}
+
+double full_stack_single_round_escape(const RunnerConfig& base, std::size_t trials) {
+  std::size_t escapes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    RunnerConfig config = base;
+    config.rounds = 1;
+    config.seed = base.seed * 1000003 + t;
+    const RunnerOutcome outcome = run_rounds(config);
+    if (outcome.rounds_run == 1 && outcome.detections == 0) ++escapes;
+  }
+  return static_cast<double>(escapes) / static_cast<double>(trials);
+}
+
+}  // namespace rasc::smarm

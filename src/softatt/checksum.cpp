@@ -1,0 +1,77 @@
+#include "src/softatt/checksum.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <vector>
+
+#include "src/crypto/hash.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::softatt {
+
+namespace {
+
+/// Seed the address generator from the challenge (the real SWATT uses an
+/// RC4 stream; any challenge-keyed generator with full-range addresses
+/// preserves the construction's structure).
+std::uint64_t seed_from_challenge(support::ByteView challenge) {
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, challenge);
+  return support::get_u64_be(support::ByteView(digest.data(), 8));
+}
+
+}  // namespace
+
+std::size_t resolve_iterations(std::size_t memory_size, const ChecksumConfig& config) {
+  return config.iterations == 0 ? memory_size * 4 : config.iterations;
+}
+
+support::Bytes compute_checksum(support::ByteView memory, support::ByteView challenge,
+                                const ChecksumConfig& config) {
+  if (memory.empty()) throw std::invalid_argument("compute_checksum: empty memory");
+  const std::size_t iterations = resolve_iterations(memory.size(), config);
+  support::Xoshiro256 rng(seed_from_challenge(challenge));
+
+  // Eight-lane state initialized from the challenge; each read perturbs
+  // one lane, and lanes are cross-mixed so reordering reads changes the
+  // result (the checksum is strongly order-dependent).
+  std::uint64_t state[8];
+  {
+    const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha512, challenge);
+    for (int i = 0; i < 8; ++i) {
+      state[i] = support::get_u64_be(support::ByteView(digest.data() + 8 * i, 8));
+    }
+  }
+
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const std::size_t addr = rng.below(memory.size());
+    const std::uint64_t value = memory[addr];
+    std::uint64_t& lane = state[k & 7];
+    lane += value ^ std::rotl(state[(k + 1) & 7], 13) ^ (addr * 0x9e3779b97f4a7c15ULL);
+    lane = std::rotl(lane, 29);
+    state[(k + 5) & 7] ^= lane;
+  }
+
+  support::Bytes out(64);
+  for (int i = 0; i < 8; ++i) {
+    support::put_u64_be(support::MutableByteView(out.data() + 8 * i, 8), state[i]);
+  }
+  return out;
+}
+
+double traversal_coverage(std::size_t memory_size, support::ByteView challenge,
+                          const ChecksumConfig& config) {
+  const std::size_t iterations = resolve_iterations(memory_size, config);
+  support::Xoshiro256 rng(seed_from_challenge(challenge));
+  std::vector<bool> touched(memory_size, false);
+  std::size_t distinct = 0;
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const std::size_t addr = rng.below(memory_size);
+    if (!touched[addr]) {
+      touched[addr] = true;
+      ++distinct;
+    }
+  }
+  return static_cast<double>(distinct) / static_cast<double>(memory_size);
+}
+
+}  // namespace rasc::softatt

@@ -1,0 +1,35 @@
+#pragma once
+/// \file checksum.hpp
+/// Software-based attestation checksum in the SWATT/Pioneer tradition
+/// (paper Section 2.1): a one-time function that traverses memory in a
+/// pseudorandom, challenge-dependent order and folds each read into a
+/// running state with add-rotate-xor mixing.  Security rests not on
+/// cryptographic strength but on the *time* an adversary loses when every
+/// memory access must be checked or redirected.
+
+#include <cstdint>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::softatt {
+
+struct ChecksumConfig {
+  /// Number of pseudorandom memory reads.  SWATT needs O(n ln n) accesses
+  /// for full coverage with high probability.
+  std::size_t iterations = 0;  ///< 0 = 4 * memory_size (coupon-collector safe)
+};
+
+/// Compute the checksum of `memory` under `challenge`.
+/// Deterministic: the verifier evaluates the same function on its copy.
+support::Bytes compute_checksum(support::ByteView memory, support::ByteView challenge,
+                                const ChecksumConfig& config = {});
+
+/// Effective iteration count for a memory size (resolves the 0 default).
+std::size_t resolve_iterations(std::size_t memory_size, const ChecksumConfig& config);
+
+/// Fraction of distinct memory addresses touched by the traversal —
+/// coverage diagnostic used by tests and the bench.
+double traversal_coverage(std::size_t memory_size, support::ByteView challenge,
+                          const ChecksumConfig& config = {});
+
+}  // namespace rasc::softatt

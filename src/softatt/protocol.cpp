@@ -1,0 +1,105 @@
+#include "src/softatt/protocol.hpp"
+
+#include "src/crypto/drbg.hpp"
+
+namespace rasc::softatt {
+
+/// The checksum computation as a single non-preemptible CPU segment (the
+/// whole point of software attestation is that nothing else may run).
+class SoftwareAttestation::ChecksumProcess final : public sim::Process {
+ public:
+  ChecksumProcess(sim::Device& device, int priority)
+      : sim::Process("softatt/checksum", priority), device_(device) {}
+
+  void begin(sim::Duration duration, std::function<void()> on_done) {
+    duration_ = duration;
+    on_done_ = std::move(on_done);
+    pending_ = true;
+    device_.cpu().make_ready(*this);
+  }
+
+  std::optional<sim::Segment> next_segment() override {
+    if (!pending_) return std::nullopt;
+    pending_ = false;
+    return sim::Segment{duration_, [this] {
+                          if (on_done_) on_done_();
+                        }};
+  }
+
+ private:
+  sim::Device& device_;
+  sim::Duration duration_ = 0;
+  std::function<void()> on_done_;
+  bool pending_ = false;
+};
+
+SoftwareAttestation::SoftwareAttestation(sim::Device& device, support::Bytes golden,
+                                         sim::Link& vrf_to_prv, sim::Link& prv_to_vrf,
+                                         SoftAttConfig config)
+    : device_(device),
+      golden_(std::move(golden)),
+      vrf_to_prv_(vrf_to_prv),
+      prv_to_vrf_(prv_to_vrf),
+      config_(config),
+      process_(std::make_unique<ChecksumProcess>(device, config.prover_priority)) {}
+
+SoftwareAttestation::~SoftwareAttestation() = default;
+
+sim::Duration SoftwareAttestation::honest_compute_time() const {
+  const std::size_t iterations =
+      resolve_iterations(device_.memory().size(), config_.checksum);
+  return config_.per_access * iterations;
+}
+
+void SoftwareAttestation::run(ProverBehavior behavior, std::uint64_t round,
+                              std::function<void(SoftAttOutcome)> done) {
+  auto& sim = device_.sim();
+
+  support::Bytes seed(8);
+  support::put_u64_be(seed, 0x50f7a77 + round);
+  crypto::HmacDrbg drbg(seed);
+  auto challenge = drbg.generate(config_.challenge_size);
+
+  auto outcome = std::make_shared<SoftAttOutcome>();
+  const sim::Time t_sent = sim.now();
+  // Deadline known to Vrf: honest compute + generous two base latencies.
+  outcome->deadline = honest_compute_time() + 2 * vrf_to_prv_.config().base_latency +
+                      config_.deadline_slack;
+
+  vrf_to_prv_.send(challenge, [this, outcome, behavior, t_sent, challenge,
+                               done = std::move(done)](support::Bytes) mutable {
+    // Prover computes the checksum as one uninterruptible segment.
+    sim::Duration compute = honest_compute_time();
+    if (behavior == ProverBehavior::kShadowing) {
+      compute = static_cast<sim::Duration>(static_cast<double>(compute) *
+                                           config_.shadowing_overhead);
+    }
+    process_->begin(compute, [this, outcome, behavior, t_sent,
+                              challenge = std::move(challenge),
+                              done = std::move(done)]() mutable {
+      // The value is computed over live memory (honest) or the pristine
+      // shadow copy (adversary).
+      const support::ByteView source =
+          behavior == ProverBehavior::kHonest
+              ? support::ByteView(device_.memory().read(0, device_.memory().size()))
+              : support::ByteView(golden_);
+      auto checksum = compute_checksum(source, challenge, config_.checksum);
+
+      prv_to_vrf_.send(std::move(checksum), [this, outcome, t_sent,
+                                             challenge = std::move(challenge),
+                                             done = std::move(done)](
+                                                support::Bytes response) mutable {
+        auto& sim = device_.sim();
+        outcome->completed = true;
+        outcome->response_time = sim.now() - t_sent;
+        const auto expected = compute_checksum(golden_, challenge, config_.checksum);
+        outcome->checksum_ok = support::ct_equal(response, expected);
+        outcome->on_time = outcome->response_time <= outcome->deadline;
+        outcome->accepted = outcome->checksum_ok && outcome->on_time;
+        done(*outcome);
+      });
+    });
+  });
+}
+
+}  // namespace rasc::softatt

@@ -1,0 +1,79 @@
+#pragma once
+/// \file protocol.hpp
+/// Timing-based software attestation protocol (Pioneer-style, paper
+/// Section 2.1): the verifier challenges the prover, the prover computes
+/// the checksum over its memory, and the verifier accepts iff the value is
+/// right AND the response arrived within a deadline.  A memory-shadowing
+/// adversary (malware keeps a pristine copy and redirects the checksum's
+/// reads) returns the correct value but pays a per-access penalty — the
+/// latency by which it is "caught".  The module also reproduces the
+/// papers' caveat ([8]): with enough network jitter or a generous
+/// deadline, the timing gap drowns and the scheme fails.
+
+#include <functional>
+#include <optional>
+
+#include "src/sim/device.hpp"
+#include "src/sim/network.hpp"
+#include "src/softatt/checksum.hpp"
+
+namespace rasc::softatt {
+
+/// How the prover executes the checksum.
+enum class ProverBehavior {
+  kHonest,     ///< reads live memory directly
+  kShadowing,  ///< malware redirects reads to a pristine copy (correct
+               ///< value, slower) — the classic evasion attempt
+};
+
+struct SoftAttConfig {
+  ChecksumConfig checksum{};
+  /// Honest per-read cost on the prover (address gen + load + mix).
+  sim::Duration per_access = 60;  // ns
+  /// Multiplicative slowdown of every read under shadowing (bounds-check
+  /// plus redirection, the Pioneer argument).
+  double shadowing_overhead = 1.30;
+  /// Verifier deadline: expected honest compute time + RTT + this slack.
+  sim::Duration deadline_slack = 500 * sim::kMicrosecond;
+  int prover_priority = 10;
+  std::size_t challenge_size = 16;
+};
+
+struct SoftAttOutcome {
+  bool completed = false;
+  bool checksum_ok = false;
+  bool on_time = false;
+  bool accepted = false;  ///< checksum_ok && on_time
+  sim::Duration response_time = 0;  ///< challenge sent -> response received
+  sim::Duration deadline = 0;
+};
+
+/// One software-attestation round over the given links.  The verifier
+/// holds `golden` (the expected memory image).  If `behavior` is
+/// kShadowing, the prover computes over `golden` regardless of the actual
+/// (possibly infected) memory content, at the shadowing overhead.
+class SoftwareAttestation {
+ public:
+  SoftwareAttestation(sim::Device& device, support::Bytes golden,
+                      sim::Link& vrf_to_prv, sim::Link& prv_to_vrf,
+                      SoftAttConfig config = {});
+  ~SoftwareAttestation();  // out-of-line: ChecksumProcess is incomplete here
+
+  void run(ProverBehavior behavior, std::uint64_t round,
+           std::function<void(SoftAttOutcome)> done);
+
+  /// Expected honest computation time (exposed for tests/benches).
+  sim::Duration honest_compute_time() const;
+
+ private:
+  class ChecksumProcess;
+
+  sim::Device& device_;
+  support::Bytes golden_;
+  sim::Link& vrf_to_prv_;
+  sim::Link& prv_to_vrf_;
+  SoftAttConfig config_;
+  std::unique_ptr<ChecksumProcess> process_;
+};
+
+}  // namespace rasc::softatt

@@ -1,0 +1,98 @@
+#include "src/support/bytes.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace rasc::support {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+bool ct_equal(ByteView a, ByteView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void secure_wipe(MutableByteView b) noexcept {
+  // A volatile write loop plus a compiler fence keeps the stores alive.
+  volatile std::uint8_t* p = b.data();
+  for (std::size_t i = 0; i < b.size(); ++i) p[i] = 0;
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+}
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+void put_u32_be(MutableByteView out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+void put_u64_be(MutableByteView out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+}
+
+std::uint32_t get_u32_be(ByteView in) noexcept {
+  return (std::uint32_t{in[0]} << 24) | (std::uint32_t{in[1]} << 16) |
+         (std::uint32_t{in[2]} << 8) | std::uint32_t{in[3]};
+}
+
+std::uint64_t get_u64_be(ByteView in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[i];
+  return v;
+}
+
+void put_u32_le(MutableByteView out, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64_le(MutableByteView out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32_le(ByteView in) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+std::uint64_t get_u64_le(ByteView in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | in[i];
+  return v;
+}
+
+void append_u32_be(Bytes& out, std::uint32_t v) {
+  std::uint8_t tmp[4];
+  put_u32_be(tmp, v);
+  out.insert(out.end(), tmp, tmp + 4);
+}
+
+void append_u64_be(Bytes& out, std::uint64_t v) {
+  std::uint8_t tmp[8];
+  put_u64_be(tmp, v);
+  out.insert(out.end(), tmp, tmp + 8);
+}
+
+void append(Bytes& out, ByteView b) {
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+}  // namespace rasc::support

@@ -1,0 +1,23 @@
+#pragma once
+/// \file hex.hpp
+/// Hexadecimal encoding/decoding for test vectors and diagnostics.
+
+#include <optional>
+#include <string>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::support {
+
+/// Lowercase hex encoding of a byte buffer.
+std::string hex_encode(ByteView data);
+
+/// Decode a hex string (case-insensitive, even length, no separators).
+/// Returns std::nullopt on malformed input.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Decode a hex string that is known-good at the call site (test vectors);
+/// throws std::invalid_argument on malformed input.
+Bytes hex_decode_or_throw(std::string_view hex);
+
+}  // namespace rasc::support

@@ -1,0 +1,88 @@
+#include "src/support/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace rasc::support {
+
+namespace {
+constexpr char kGlyphs[] = "*o+x#@%&sd";
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opt) {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double tx = transform(s.x[i], opt.log_x);
+      const double ty = transform(s.y[i], opt.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+    }
+  }
+  if (!(xmin <= xmax) || !(ymin <= ymax)) return "(empty plot)\n";
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(opt.height),
+                                std::string(static_cast<std::size_t>(opt.width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      const double tx = transform(s.x[i], opt.log_x);
+      const double ty = transform(s.y[i], opt.log_y);
+      int col = static_cast<int>(std::lround((tx - xmin) / (xmax - xmin) * (opt.width - 1)));
+      int row = static_cast<int>(std::lround((ty - ymin) / (ymax - ymin) * (opt.height - 1)));
+      col = std::clamp(col, 0, opt.width - 1);
+      row = std::clamp(row, 0, opt.height - 1);
+      // Row 0 of the grid is the top of the chart.
+      grid[static_cast<std::size_t>(opt.height - 1 - row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  auto fmt_tick = [](double v, bool log_scale) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", log_scale ? std::pow(10.0, v) : v);
+    return std::string(buf);
+  };
+
+  std::string out;
+  if (!opt.y_label.empty()) out += opt.y_label + "\n";
+  for (int r = 0; r < opt.height; ++r) {
+    std::string prefix = "          ";
+    if (r == 0) {
+      prefix = fmt_tick(ymax, opt.log_y);
+      prefix.resize(10, ' ');
+    } else if (r == opt.height - 1) {
+      prefix = fmt_tick(ymin, opt.log_y);
+      prefix.resize(10, ' ');
+    }
+    out += prefix + "|" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(10, ' ') + "+" + std::string(static_cast<std::size_t>(opt.width), '-') + "\n";
+  std::string xticks = std::string(11, ' ') + fmt_tick(xmin, opt.log_x);
+  std::string right = fmt_tick(xmax, opt.log_x);
+  const std::size_t pad_to = 11 + static_cast<std::size_t>(opt.width) - right.size();
+  if (xticks.size() < pad_to) xticks.append(pad_to - xticks.size(), ' ');
+  xticks += right;
+  out += xticks + "\n";
+  if (!opt.x_label.empty()) out += std::string(11, ' ') + opt.x_label + "\n";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += "  ";
+    out += kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    out += " = " + series[si].name + "\n";
+  }
+  return out;
+}
+
+}  // namespace rasc::support

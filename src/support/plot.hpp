@@ -1,0 +1,32 @@
+#pragma once
+/// \file plot.hpp
+/// Terminal line-plot renderer for figure-style benchmark output.
+/// Renders one or more (x, y) series on a shared log/linear grid so the
+/// *shape* of a paper figure (linearity, flatness, crossover) is visible
+/// directly in the bench output.
+
+#include <string>
+#include <vector>
+
+namespace rasc::support {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;          ///< plot area columns
+  int height = 20;         ///< plot area rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render series as an ASCII scatter/line chart; each series is drawn with
+/// its own glyph and listed in a legend below the chart.
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& opt);
+
+}  // namespace rasc::support

@@ -1,0 +1,46 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random generators for *simulation* purposes
+/// (event jitter, Monte-Carlo adversary moves).  Cryptographic randomness
+/// lives in src/crypto/drbg.hpp; never use this generator for keys.
+
+#include <cstdint>
+#include <limits>
+
+namespace rasc::support {
+
+/// SplitMix64: used to expand a user seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Unbiased integer in [0, bound) via Lemire rejection; bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rasc::support

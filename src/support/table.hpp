@@ -1,0 +1,35 @@
+#pragma once
+/// \file table.hpp
+/// Minimal ASCII table renderer used by the benchmark harnesses to print
+/// paper tables/figure series in a uniform format.
+
+#include <string>
+#include <vector>
+
+namespace rasc::support {
+
+/// Column-aligned ASCII table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with single-space-padded `|` separators and a rule under the
+  /// header, e.g. for terminal and EXPERIMENTS.md consumption.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace rasc::support

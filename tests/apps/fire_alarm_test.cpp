@@ -1,0 +1,105 @@
+#include "src/apps/fire_alarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/scenario.hpp"
+
+namespace rasc::apps {
+namespace {
+
+using support::to_bytes;
+
+TEST(FireAlarm, SamplesAtConfiguredPeriod) {
+  sim::Simulator simulator;
+  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
+  FireAlarmConfig config;
+  config.period = 100 * sim::kMillisecond;
+  FireAlarmTask alarm(device, config);
+  alarm.arm(sim::from_seconds(1));
+  simulator.run();
+  EXPECT_EQ(alarm.samples_taken(), 10u);
+  EXPECT_LT(alarm.max_sample_delay(), sim::kMillisecond);
+}
+
+TEST(FireAlarm, DetectsFireAtNextSample) {
+  sim::Simulator simulator;
+  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
+  FireAlarmConfig config;
+  config.period = sim::kSecond;
+  FireAlarmTask alarm(device, config);
+  alarm.set_fire_time(sim::from_seconds(2.5));
+  alarm.arm(sim::from_seconds(10));
+  simulator.run();
+  ASSERT_TRUE(alarm.alarm_latency().has_value());
+  // Fire at 2.5 s, next sample at 3 s (plus the tiny sample cost).
+  EXPECT_NEAR(sim::to_seconds(*alarm.alarm_latency()), 0.5, 0.01);
+}
+
+TEST(FireAlarm, NoFireNoAlarm) {
+  sim::Simulator simulator;
+  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
+  FireAlarmTask alarm(device);
+  alarm.arm(sim::from_seconds(3));
+  simulator.run();
+  EXPECT_FALSE(alarm.alarm_raised_at().has_value());
+  EXPECT_FALSE(alarm.alarm_latency().has_value());
+}
+
+// ---- the Section 2.5 worked example -----------------------------------------
+
+TEST(FireAlarmScenario, AtomicMeasurementOf1GbTakesAbout7Seconds) {
+  FireAlarmScenarioConfig config;
+  config.mode = attest::ExecutionMode::kAtomic;
+  const auto outcome = run_fire_alarm_scenario(config);
+  EXPECT_NEAR(sim::to_seconds(outcome.measurement_duration), 7.0, 1.0);
+  EXPECT_TRUE(outcome.attestation_ok);
+}
+
+TEST(FireAlarmScenario, AtomicMeasurementDelaysAlarmBySeconds) {
+  // The paper's disaster case: fire breaks out just after MP starts; the
+  // app regains control only at t_e, so the alarm is ~7 s late.
+  FireAlarmScenarioConfig config;
+  config.mode = attest::ExecutionMode::kAtomic;
+  config.fire_after_mp_start = 100 * sim::kMillisecond;
+  const auto outcome = run_fire_alarm_scenario(config);
+  EXPECT_GT(sim::to_seconds(outcome.alarm_latency), 5.0);
+  EXPECT_GT(sim::to_seconds(outcome.max_sample_delay), 5.0);
+}
+
+TEST(FireAlarmScenario, InterruptibleMeasurementKeepsAlarmPrompt) {
+  FireAlarmScenarioConfig config;
+  config.mode = attest::ExecutionMode::kInterruptible;
+  config.fire_after_mp_start = 100 * sim::kMillisecond;
+  const auto outcome = run_fire_alarm_scenario(config);
+  // Alarm latency bounded by the sensor period + one block measurement.
+  EXPECT_LT(sim::to_seconds(outcome.alarm_latency), 1.2);
+  EXPECT_LT(sim::to_seconds(outcome.max_sample_delay), 0.5);
+  EXPECT_TRUE(outcome.attestation_ok);
+}
+
+TEST(FireAlarmScenario, LatencyScalesWithMemorySize) {
+  FireAlarmScenarioConfig small;
+  small.modeled_memory_bytes = 100ull << 20;  // 100 MB
+  small.mode = attest::ExecutionMode::kAtomic;
+  FireAlarmScenarioConfig large;
+  large.modeled_memory_bytes = 2ull << 30;  // 2 GB
+  large.mode = attest::ExecutionMode::kAtomic;
+  const auto s = run_fire_alarm_scenario(small);
+  const auto l = run_fire_alarm_scenario(large);
+  EXPECT_NEAR(sim::to_seconds(s.measurement_duration), 0.7, 0.3);
+  EXPECT_NEAR(sim::to_seconds(l.measurement_duration), 14.0, 2.0);
+  EXPECT_GT(l.alarm_latency, s.alarm_latency);
+}
+
+TEST(FireAlarmScenario, InterruptibleStillCompletesAttestation) {
+  FireAlarmScenarioConfig config;
+  config.mode = attest::ExecutionMode::kInterruptible;
+  config.modeled_memory_bytes = 1ull << 30;
+  const auto outcome = run_fire_alarm_scenario(config);
+  EXPECT_TRUE(outcome.attestation_ok);
+  // Total measurement wall time is still ~7 s of CPU plus app slices.
+  EXPECT_GT(sim::to_seconds(outcome.measurement_duration), 6.0);
+}
+
+}  // namespace
+}  // namespace rasc::apps

@@ -1,0 +1,72 @@
+#include "src/apps/tytan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::apps {
+namespace {
+
+TEST(Tytan, SingleProcessMalwareIsCaught) {
+  // The measured process is frozen during its own measurement: the
+  // malware cannot move and its region's digest convicts it.
+  TytanConfig config;
+  config.colluding = false;
+  const auto outcome = run_tytan_scenario(config);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_TRUE(outcome.detected_in_a);
+  EXPECT_FALSE(outcome.detected_in_b);
+  EXPECT_FALSE(outcome.malware_escaped);
+  EXPECT_EQ(outcome.relocations, 0u);
+}
+
+TEST(Tytan, CollusiveMalwareDefeatsPerProcessMeasurement) {
+  // Paper Section 3.1: "malware that is spread over several colluding
+  // processes can defeat this countermeasure" — the body shuttles into
+  // whichever region is not frozen.
+  TytanConfig config;
+  config.colluding = true;
+  const auto outcome = run_tytan_scenario(config);
+  ASSERT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.detected_in_a);
+  EXPECT_FALSE(outcome.detected_in_b);
+  EXPECT_TRUE(outcome.malware_escaped);
+  EXPECT_GE(outcome.relocations, 2u);  // A -> B and back
+}
+
+TEST(Tytan, CollusionRequiresIsolationViolation) {
+  // With MPU isolation intact (lock the other region as the OS would
+  // enforce), the cross-process write fails and the malware is caught.
+  // We model this by shrinking region B to zero writable room: the
+  // simplest check here is that the non-colluding path (isolation held)
+  // detects, which the first test covers; this test pins the relocation
+  // count to confirm moves only happen when collusion is enabled.
+  TytanConfig honest;
+  honest.colluding = false;
+  EXPECT_EQ(run_tytan_scenario(honest).relocations, 0u);
+  TytanConfig colluding;
+  colluding.colluding = true;
+  EXPECT_GT(run_tytan_scenario(colluding).relocations, 0u);
+}
+
+TEST(Tytan, DifferentRegionSizesWork) {
+  for (std::size_t blocks : {4u, 8u, 32u}) {
+    TytanConfig config;
+    config.region_blocks = blocks;
+    config.colluding = true;
+    const auto outcome = run_tytan_scenario(config);
+    ASSERT_TRUE(outcome.completed) << blocks;
+    EXPECT_TRUE(outcome.malware_escaped) << blocks;
+  }
+}
+
+TEST(Tytan, DeterministicPerSeed) {
+  TytanConfig config;
+  config.colluding = true;
+  config.seed = 9;
+  const auto a = run_tytan_scenario(config);
+  const auto b = run_tytan_scenario(config);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.relocations, b.relocations);
+}
+
+}  // namespace
+}  // namespace rasc::apps

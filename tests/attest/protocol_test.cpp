@@ -1,0 +1,117 @@
+#include "src/attest/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::attest {
+namespace {
+
+using support::to_bytes;
+
+struct ProtocolFixture {
+  sim::Simulator simulator;
+  sim::Device device;
+  Verifier verifier;
+  AttestationProcess mp;
+  sim::Link vrf_to_prv;
+  sim::Link prv_to_vrf;
+  OnDemandProtocol protocol;
+
+  ProtocolFixture()
+      : device(simulator, sim::DeviceConfig{"dev-proto", 16 * 256, 256,
+                                            to_bytes("proto-key")}),
+        verifier(crypto::HashKind::kSha256, to_bytes("proto-key"),
+                 [&] {
+                   support::Xoshiro256 rng(5);
+                   support::Bytes image(16 * 256);
+                   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+                   device.memory().load(image);
+                   return image;
+                 }(),
+                 256),
+        mp(device, {}),
+        vrf_to_prv(simulator, {}),
+        prv_to_vrf(simulator, {}),
+        protocol(device, verifier, mp, vrf_to_prv, prv_to_vrf) {}
+};
+
+TEST(Protocol, TimelineIsOrderedLikeFigure1) {
+  ProtocolFixture fx;
+  OnDemandTimings timings;
+  bool done = false;
+  fx.protocol.run(1, [&](OnDemandTimings t) {
+    timings = t;
+    done = true;
+  });
+  fx.simulator.run();
+  ASSERT_TRUE(done);
+  // Figure 1 ordering: request sent < received < MP start <= t_s < t_e
+  // <= report received < verified.
+  EXPECT_LT(timings.t_challenge_sent, timings.t_request_received);
+  EXPECT_LT(timings.t_request_received, timings.t_mp_started);
+  EXPECT_LE(timings.t_mp_started, timings.t_s);
+  EXPECT_LT(timings.t_s, timings.t_e);
+  EXPECT_LE(timings.t_e, timings.t_report_received);
+  EXPECT_LT(timings.t_report_received, timings.t_verified);
+}
+
+TEST(Protocol, HonestProverPasses) {
+  ProtocolFixture fx;
+  bool ok = false;
+  fx.protocol.run(1, [&](OnDemandTimings t) { ok = t.outcome.ok(); });
+  fx.simulator.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Protocol, InfectedProverFails) {
+  ProtocolFixture fx;
+  (void)fx.device.memory().write(100, to_bytes("evil"), 0, sim::Actor::kMalware);
+  bool done = false;
+  VerifyOutcome outcome;
+  fx.protocol.run(1, [&](OnDemandTimings t) {
+    outcome = t.outcome;
+    done = true;
+  });
+  fx.simulator.run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(outcome.mac_ok);
+  EXPECT_FALSE(outcome.digest_ok);
+}
+
+TEST(Protocol, DeferralReflectsAuthDelay) {
+  ProtocolFixture fx;
+  OnDemandTimings timings;
+  fx.protocol.run(1, [&](OnDemandTimings t) { timings = t; });
+  fx.simulator.run();
+  EXPECT_EQ(timings.t_mp_started - timings.t_request_received,
+            300 * sim::kMicrosecond);
+}
+
+TEST(Protocol, SuccessiveRoundsWork) {
+  ProtocolFixture fx;
+  int passes = 0;
+  fx.protocol.run(1, [&](OnDemandTimings t1) {
+    if (t1.outcome.ok()) ++passes;
+    fx.protocol.run(2, [&](OnDemandTimings t2) {
+      if (t2.outcome.ok()) ++passes;
+    });
+  });
+  fx.simulator.run();
+  EXPECT_EQ(passes, 2);
+}
+
+TEST(Protocol, DroppedRequestNeverCompletes) {
+  ProtocolFixture fx;
+  sim::LinkConfig lossy;
+  lossy.drop_probability = 1.0;
+  sim::Link dead_link(fx.simulator, lossy);
+  OnDemandProtocol broken(fx.device, fx.verifier, fx.mp, dead_link, fx.prv_to_vrf);
+  bool done = false;
+  broken.run(1, [&](OnDemandTimings) { done = true; });
+  fx.simulator.run();
+  EXPECT_FALSE(done);
+}
+
+}  // namespace
+}  // namespace rasc::attest

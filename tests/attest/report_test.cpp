@@ -1,0 +1,89 @@
+#include "src/attest/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::attest {
+namespace {
+
+using support::to_bytes;
+
+Report make_report() {
+  Report r;
+  r.device_id = "dev-7";
+  r.challenge = to_bytes("nonce");
+  r.counter = 42;
+  r.t_start = 1000;
+  r.t_end = 2000;
+  r.hash = crypto::HashKind::kSha256;
+  r.measurement = to_bytes("measurement-bytes");
+  return r;
+}
+
+TEST(Report, MacRoundTrip) {
+  Report r = make_report();
+  authenticate_report(r, to_bytes("key"));
+  EXPECT_TRUE(report_mac_valid(r, to_bytes("key")));
+}
+
+TEST(Report, MacRejectsWrongKey) {
+  Report r = make_report();
+  authenticate_report(r, to_bytes("key"));
+  EXPECT_FALSE(report_mac_valid(r, to_bytes("other-key")));
+}
+
+TEST(Report, MacCoversEveryField) {
+  Report base = make_report();
+  authenticate_report(base, to_bytes("key"));
+
+  auto tampered_fails = [&](auto mutate) {
+    Report r = base;
+    mutate(r);
+    return !report_mac_valid(r, to_bytes("key"));
+  };
+  EXPECT_TRUE(tampered_fails([](Report& r) { r.device_id = "dev-8"; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { r.challenge[0] ^= 1; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { ++r.counter; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { ++r.t_start; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { ++r.t_end; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { r.hash = crypto::HashKind::kSha512; }));
+  EXPECT_TRUE(tampered_fails([](Report& r) { r.measurement[3] ^= 1; }));
+}
+
+TEST(Report, SerializationUnambiguous) {
+  // Moving a byte between adjacent variable-length fields must change the
+  // serialization (length prefixes prevent ambiguity).
+  Report a = make_report();
+  a.device_id = "ab";
+  a.challenge = to_bytes("cd");
+  Report b = make_report();
+  b.device_id = "abc";
+  b.challenge = to_bytes("d");
+  EXPECT_NE(a.serialize_body(), b.serialize_body());
+}
+
+TEST(Report, SignatureRoundTrip) {
+  crypto::HmacDrbg drbg(to_bytes("report-signer"));
+  auto signer = crypto::make_signer(crypto::SigKind::kEcdsa256, drbg);
+  Report r = make_report();
+  sign_report(r, *signer);
+  EXPECT_TRUE(report_signature_valid(r, *signer));
+}
+
+TEST(Report, SignatureRejectsTamper) {
+  crypto::HmacDrbg drbg(to_bytes("report-signer"));
+  auto signer = crypto::make_signer(crypto::SigKind::kEcdsa256, drbg);
+  Report r = make_report();
+  sign_report(r, *signer);
+  r.counter ^= 1;
+  EXPECT_FALSE(report_signature_valid(r, *signer));
+}
+
+TEST(Report, MissingSignatureIsInvalid) {
+  crypto::HmacDrbg drbg(to_bytes("report-signer"));
+  auto signer = crypto::make_signer(crypto::SigKind::kEcdsa160, drbg);
+  const Report r = make_report();
+  EXPECT_FALSE(report_signature_valid(r, *signer));
+}
+
+}  // namespace
+}  // namespace rasc::attest

@@ -1,0 +1,298 @@
+#include "src/bignum/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::bn {
+namespace {
+
+using support::Xoshiro256;
+
+Bignum random_bignum(Xoshiro256& rng, std::size_t max_limbs) {
+  const std::size_t n = rng.below(max_limbs) + 1;
+  support::Bytes bytes(n * 8);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return Bignum::from_bytes_be(bytes);
+}
+
+TEST(Bignum, ZeroProperties) {
+  const Bignum z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(Bignum, FromU64) {
+  const Bignum v{0xdeadbeefULL};
+  EXPECT_EQ(v.to_hex(), "deadbeef");
+  EXPECT_EQ(v.low_u64(), 0xdeadbeefULL);
+  EXPECT_EQ(v.bit_length(), 32u);
+}
+
+TEST(Bignum, HexRoundTrip) {
+  const std::string hex = "123456789abcdef0fedcba9876543210aabbccdd";
+  EXPECT_EQ(Bignum::from_hex(hex).to_hex(), hex);
+}
+
+TEST(Bignum, HexWithPrefixAndCase) {
+  EXPECT_EQ(Bignum::from_hex("0xABCDEF").to_hex(), "abcdef");
+}
+
+TEST(Bignum, HexRejectsGarbage) {
+  EXPECT_THROW(Bignum::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(Bignum::from_hex(""), std::invalid_argument);
+}
+
+TEST(Bignum, BytesRoundTrip) {
+  const support::Bytes bytes = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  const Bignum v = Bignum::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_bytes_be(9), bytes);
+}
+
+TEST(Bignum, BytesLeadingZerosIgnored) {
+  const support::Bytes a = {0x00, 0x00, 0x12, 0x34};
+  const support::Bytes b = {0x12, 0x34};
+  EXPECT_EQ(Bignum::from_bytes_be(a), Bignum::from_bytes_be(b));
+}
+
+TEST(Bignum, ToBytesTooSmallThrows) {
+  EXPECT_THROW(Bignum::from_hex("010000").to_bytes_be(2), std::length_error);
+}
+
+TEST(Bignum, AdditionCarriesAcrossLimbs) {
+  const Bignum a = Bignum::from_hex("ffffffffffffffffffffffffffffffff");
+  const Bignum one{1};
+  EXPECT_EQ((a + one).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(Bignum, SubtractionBorrowsAcrossLimbs) {
+  const Bignum a = Bignum::from_hex("100000000000000000000000000000000");
+  const Bignum one{1};
+  EXPECT_EQ((a - one).to_hex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(Bignum, SubtractionUnderflowThrows) {
+  EXPECT_THROW(Bignum{1} - Bignum{2}, std::underflow_error);
+}
+
+TEST(Bignum, AddSubRoundTripRandom) {
+  Xoshiro256 rng(101);
+  for (int i = 0; i < 200; ++i) {
+    const Bignum a = random_bignum(rng, 6);
+    const Bignum b = random_bignum(rng, 6);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST(Bignum, MultiplicationKnownValue) {
+  // 0xffffffffffffffff * 0xffffffffffffffff = 0xfffffffffffffffe0000000000000001
+  const Bignum a = Bignum::from_hex("ffffffffffffffff");
+  EXPECT_EQ((a * a).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(Bignum, MultiplicationByZero) {
+  const Bignum a = Bignum::from_hex("123456789");
+  EXPECT_TRUE((a * Bignum{}).is_zero());
+}
+
+TEST(Bignum, MultiplicationCommutesRandom) {
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = random_bignum(rng, 5);
+    const Bignum b = random_bignum(rng, 5);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(Bignum, DistributiveLawRandom) {
+  Xoshiro256 rng(103);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = random_bignum(rng, 4);
+    const Bignum b = random_bignum(rng, 4);
+    const Bignum c = random_bignum(rng, 4);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Bignum, DivisionIdentityRandom) {
+  Xoshiro256 rng(104);
+  for (int i = 0; i < 300; ++i) {
+    const Bignum a = random_bignum(rng, 8);
+    Bignum b = random_bignum(rng, 4);
+    if (b.is_zero()) b = Bignum{1};
+    const auto qr = Bignum::divmod(a, b);
+    EXPECT_EQ(qr.quotient * b + qr.remainder, a);
+    EXPECT_LT(qr.remainder, b);
+  }
+}
+
+TEST(Bignum, DivisionByZeroThrows) {
+  EXPECT_THROW(Bignum{1} / Bignum{}, std::domain_error);
+}
+
+TEST(Bignum, DivisionSmallerDividend) {
+  const auto qr = Bignum::divmod(Bignum{5}, Bignum{7});
+  EXPECT_TRUE(qr.quotient.is_zero());
+  EXPECT_EQ(qr.remainder, Bignum{5});
+}
+
+TEST(Bignum, DivisionSingleLimbFastPath) {
+  const Bignum a = Bignum::from_hex("123456789abcdef0123456789abcdef0");
+  const Bignum b{0x10};
+  EXPECT_EQ((a / b).to_hex(), "123456789abcdef0123456789abcdef");
+  EXPECT_EQ((a % b), Bignum{0});
+}
+
+TEST(Bignum, KnuthAddBackCase) {
+  // Construct a case that stresses the qhat correction: divisor with high
+  // limb 0x8000...0 pattern and dividend just below a multiple.
+  const Bignum b = Bignum::from_hex("80000000000000000000000000000001");
+  const Bignum q = Bignum::from_hex("ffffffffffffffff");
+  const Bignum a = b * q;  // remainder zero
+  const auto qr = Bignum::divmod(a, b);
+  EXPECT_EQ(qr.quotient, q);
+  EXPECT_TRUE(qr.remainder.is_zero());
+}
+
+TEST(Bignum, ShiftLeftRightInverse) {
+  Xoshiro256 rng(105);
+  for (int i = 0; i < 50; ++i) {
+    const Bignum a = random_bignum(rng, 4);
+    const std::size_t s = rng.below(130);
+    EXPECT_EQ(a.shifted_left(s).shifted_right(s), a);
+  }
+}
+
+TEST(Bignum, ShiftRightDropsBits) {
+  EXPECT_EQ(Bignum{0b1011}.shifted_right(2), Bignum{0b10});
+  EXPECT_TRUE(Bignum{1}.shifted_right(1).is_zero());
+}
+
+TEST(Bignum, BitAccess) {
+  const Bignum v = Bignum{1}.shifted_left(100);
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_FALSE(v.bit(99));
+  EXPECT_FALSE(v.bit(101));
+  EXPECT_FALSE(v.bit(100000));
+  EXPECT_EQ(v.bit_length(), 101u);
+}
+
+TEST(Bignum, CompareOrdering) {
+  const Bignum a{1}, b{2};
+  const Bignum big = Bignum::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, big);
+  EXPECT_GT(big, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Bignum, ModAddSubInverse) {
+  const Bignum m = Bignum::from_hex("ffffffffffffffffffffffff000001");
+  Xoshiro256 rng(106);
+  for (int i = 0; i < 100; ++i) {
+    const Bignum a = random_bignum(rng, 2) % m;
+    const Bignum b = random_bignum(rng, 2) % m;
+    const Bignum sum = Bignum::mod_add(a, b, m);
+    EXPECT_LT(sum, m);
+    EXPECT_EQ(Bignum::mod_sub(sum, b, m), a);
+  }
+}
+
+TEST(Bignum, ModExpSmallKnown) {
+  // 3^7 mod 5 = 2187 mod 5 = 2
+  EXPECT_EQ(Bignum::mod_exp(Bignum{3}, Bignum{7}, Bignum{5}), Bignum{2});
+  // anything^0 = 1
+  EXPECT_EQ(Bignum::mod_exp(Bignum{12345}, Bignum{}, Bignum{7}), Bignum{1});
+  // mod 1 = 0
+  EXPECT_TRUE(Bignum::mod_exp(Bignum{3}, Bignum{4}, Bignum{1}).is_zero());
+}
+
+TEST(Bignum, ModExpFermatLittleTheorem) {
+  // p prime => a^(p-1) = 1 mod p.
+  const Bignum p = Bignum::from_hex("fffffffffffffffffffffffffffffffeffffffffffffffff");
+  // ^ this is the NIST P-192 prime, known prime.
+  Xoshiro256 rng(107);
+  for (int i = 0; i < 10; ++i) {
+    Bignum a = random_bignum(rng, 3) % p;
+    if (a.is_zero()) a = Bignum{2};
+    EXPECT_EQ(Bignum::mod_exp(a, p - Bignum{1}, p), Bignum{1});
+  }
+}
+
+TEST(Bignum, ModExpMatchesRepeatedMultiplication) {
+  Xoshiro256 rng(108);
+  const Bignum m = Bignum::from_hex("fedcba9876543211");
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bignum base = random_bignum(rng, 2) % m;
+    const std::uint64_t e = rng.below(30);
+    Bignum expect{1};
+    for (std::uint64_t i = 0; i < e; ++i) expect = Bignum::mod_mul(expect, base, m);
+    EXPECT_EQ(Bignum::mod_exp(base, Bignum{e}, m), expect);
+  }
+}
+
+TEST(Bignum, ModInvInvertsRandom) {
+  const Bignum p = Bignum::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  Xoshiro256 rng(109);
+  for (int i = 0; i < 30; ++i) {
+    Bignum a = random_bignum(rng, 4) % p;
+    if (a.is_zero()) a = Bignum{3};
+    const Bignum inv = Bignum::mod_inv(a, p);
+    EXPECT_EQ(Bignum::mod_mul(a, inv, p), Bignum{1});
+  }
+}
+
+TEST(Bignum, ModInvNonInvertibleThrows) {
+  EXPECT_THROW(Bignum::mod_inv(Bignum{6}, Bignum{9}), std::domain_error);
+  EXPECT_THROW(Bignum::mod_inv(Bignum{0}, Bignum{9}), std::domain_error);
+}
+
+TEST(Bignum, GcdKnownValues) {
+  EXPECT_EQ(Bignum::gcd(Bignum{12}, Bignum{18}), Bignum{6});
+  EXPECT_EQ(Bignum::gcd(Bignum{17}, Bignum{5}), Bignum{1});
+  EXPECT_EQ(Bignum::gcd(Bignum{0}, Bignum{5}), Bignum{5});
+}
+
+TEST(Bignum, RandomBelowIsInRangeAndCoversValues) {
+  Xoshiro256 rng(110);
+  const auto source = [&rng](support::MutableByteView out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(256));
+  };
+  const Bignum bound{1000};
+  bool small_seen = false, large_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const Bignum v = Bignum::random_below(bound, source);
+    ASSERT_LT(v, bound);
+    if (v < Bignum{100}) small_seen = true;
+    if (v > Bignum{900}) large_seen = true;
+  }
+  EXPECT_TRUE(small_seen);
+  EXPECT_TRUE(large_seen);
+}
+
+TEST(Bignum, RandomBelowZeroBoundThrows) {
+  const auto source = [](support::MutableByteView out) {
+    for (auto& b : out) b = 0;
+  };
+  EXPECT_THROW(Bignum::random_below(Bignum{}, source), std::domain_error);
+}
+
+TEST(Bignum, LargeMultiplyDivideStress) {
+  Xoshiro256 rng(111);
+  for (int i = 0; i < 20; ++i) {
+    const Bignum a = random_bignum(rng, 64);  // up to 4096 bits
+    Bignum b = random_bignum(rng, 32);
+    if (b.is_zero()) b = Bignum{7};
+    const auto qr = Bignum::divmod(a, b);
+    EXPECT_EQ(qr.quotient * b + qr.remainder, a);
+    EXPECT_LT(qr.remainder, b);
+  }
+}
+
+}  // namespace
+}  // namespace rasc::bn

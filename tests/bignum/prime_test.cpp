@@ -1,0 +1,102 @@
+#include "src/bignum/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::bn {
+namespace {
+
+Bignum::ByteSource test_source(std::uint64_t seed) {
+  auto rng = std::make_shared<support::Xoshiro256>(seed);
+  return [rng](support::MutableByteView out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng->below(256));
+  };
+}
+
+TEST(Prime, SmallPrimesAccepted) {
+  const auto src = test_source(1);
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 97ull, 541ull}) {
+    EXPECT_TRUE(is_probable_prime(Bignum{p}, 10, src)) << p;
+  }
+}
+
+TEST(Prime, SmallCompositesRejected) {
+  const auto src = test_source(2);
+  for (std::uint64_t c : {1ull, 4ull, 6ull, 9ull, 15ull, 21ull, 91ull, 561ull, 1105ull}) {
+    EXPECT_FALSE(is_probable_prime(Bignum{c}, 10, src)) << c;
+  }
+}
+
+TEST(Prime, ZeroAndOneRejected) {
+  const auto src = test_source(3);
+  EXPECT_FALSE(is_probable_prime(Bignum{}, 5, src));
+  EXPECT_FALSE(is_probable_prime(Bignum{1}, 5, src));
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  const auto src = test_source(4);
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull, 8911ull}) {
+    EXPECT_FALSE(is_probable_prime(Bignum{c}, 20, src)) << c;
+  }
+}
+
+TEST(Prime, KnownLargePrimeAccepted) {
+  // 2^127 - 1 is a Mersenne prime.
+  const Bignum m127 = Bignum{1}.shifted_left(127) - Bignum{1};
+  EXPECT_TRUE(is_probable_prime(m127, 20, test_source(5)));
+}
+
+TEST(Prime, KnownLargeCompositeRejected) {
+  // 2^128 - 1 factors as 3 * 5 * 17 * ...
+  const Bignum m128 = Bignum{1}.shifted_left(128) - Bignum{1};
+  EXPECT_FALSE(is_probable_prime(m128, 20, test_source(6)));
+}
+
+TEST(Prime, NistCurvePrimesAccepted) {
+  const Bignum p256 = Bignum::from_hex(
+      "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+  const Bignum p224 = Bignum::from_hex(
+      "ffffffffffffffffffffffffffffffff000000000000000000000001");
+  EXPECT_TRUE(is_probable_prime(p256, 10, test_source(7)));
+  EXPECT_TRUE(is_probable_prime(p224, 10, test_source(8)));
+}
+
+TEST(Prime, HasSmallFactorDetects) {
+  EXPECT_TRUE(has_small_factor(Bignum{7 * 1009}));
+  // A prime larger than the table has no small factor.
+  const Bignum m127 = Bignum{1}.shifted_left(127) - Bignum{1};
+  EXPECT_FALSE(has_small_factor(m127));
+}
+
+TEST(Prime, GeneratePrimeHasExactBitLengthAndTopBits) {
+  const auto src = test_source(9);
+  for (std::size_t bits : {64u, 96u, 128u}) {
+    const Bignum p = generate_prime(bits, src, 10);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.bit(bits - 1));
+    EXPECT_TRUE(p.bit(bits - 2));  // top-two-bits convention for RSA
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, 20, src));
+  }
+}
+
+TEST(Prime, GeneratePrimeDeterministicPerSource) {
+  EXPECT_EQ(generate_prime(80, test_source(42), 10),
+            generate_prime(80, test_source(42), 10));
+}
+
+TEST(Prime, GeneratePrimeTooSmallThrows) {
+  EXPECT_THROW(generate_prime(4, test_source(10)), std::invalid_argument);
+}
+
+TEST(Prime, Generate256BitPrime) {
+  const auto src = test_source(11);
+  const Bignum p = generate_prime(256, src, 10);
+  EXPECT_EQ(p.bit_length(), 256u);
+  EXPECT_TRUE(is_probable_prime(p, 10, src));
+}
+
+}  // namespace
+}  // namespace rasc::bn

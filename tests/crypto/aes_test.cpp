@@ -1,0 +1,98 @@
+#include "src/crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+
+#include "src/support/hex.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::crypto {
+namespace {
+
+using support::Bytes;
+using support::hex_decode_or_throw;
+using support::hex_encode;
+
+TEST(Aes, Fips197Aes128KnownAnswer) {
+  const Bytes key = hex_decode_or_throw("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = hex_decode_or_throw("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(support::ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192KnownAnswer) {
+  const Bytes key = hex_decode_or_throw("000102030405060708090a0b0c0d0e0f1011121314151617");
+  const Bytes pt = hex_decode_or_throw("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(support::ByteView(ct, 16)), "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256KnownAnswer) {
+  const Bytes key =
+      hex_decode_or_throw("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes pt = hex_decode_or_throw("00112233445566778899aabbccddeeff");
+  Aes aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(support::ByteView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, BadKeySizeThrows) {
+  EXPECT_THROW(Aes(Bytes(15, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(17, 0)), std::invalid_argument);
+  EXPECT_THROW(Aes(Bytes(0, 0)), std::invalid_argument);
+}
+
+class AesKeySizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, AesKeySizes, ::testing::Values(16, 24, 32));
+
+TEST_P(AesKeySizes, DecryptInvertsEncrypt) {
+  support::Xoshiro256 rng(GetParam());
+  Bytes key(GetParam());
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.below(256));
+  Aes aes(key);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint8_t pt[16], ct[16], back[16];
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.below(256));
+    aes.encrypt_block(pt, ct);
+    aes.decrypt_block(ct, back);
+    EXPECT_EQ(std::memcmp(pt, back, 16), 0);
+  }
+}
+
+TEST_P(AesKeySizes, EncryptIsDeterministicAndKeyed) {
+  Bytes key1(GetParam(), 0x11), key2(GetParam(), 0x22);
+  Aes a1(key1), a1b(key1), a2(key2);
+  std::uint8_t pt[16] = {1, 2, 3};
+  std::uint8_t c1[16], c1b[16], c2[16];
+  a1.encrypt_block(pt, c1);
+  a1b.encrypt_block(pt, c1b);
+  a2.encrypt_block(pt, c2);
+  EXPECT_EQ(std::memcmp(c1, c1b, 16), 0);
+  EXPECT_NE(std::memcmp(c1, c2, 16), 0);
+}
+
+TEST(Aes, AvalancheOnPlaintextBitFlip) {
+  Aes aes(Bytes(16, 0x42));
+  std::uint8_t pt[16] = {};
+  std::uint8_t ct0[16], ct1[16];
+  aes.encrypt_block(pt, ct0);
+  pt[0] ^= 1;
+  aes.encrypt_block(pt, ct1);
+  int differing_bits = 0;
+  for (int i = 0; i < 16; ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(ct0[i] ^ ct1[i]));
+  }
+  // Expect roughly half of 128 bits to flip; accept a broad window.
+  EXPECT_GT(differing_bits, 40);
+  EXPECT_LT(differing_bits, 90);
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,81 @@
+#include "src/crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::crypto {
+namespace {
+
+using support::to_bytes;
+
+TEST(Drbg, DeterministicForSeed) {
+  HmacDrbg a(to_bytes("seed"));
+  HmacDrbg b(to_bytes("seed"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(Drbg, DifferentSeedsDiverge) {
+  HmacDrbg a(to_bytes("seed-a"));
+  HmacDrbg b(to_bytes("seed-b"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, SuccessiveOutputsDiffer) {
+  HmacDrbg d(to_bytes("s"));
+  EXPECT_NE(d.generate(32), d.generate(32));
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  HmacDrbg a(to_bytes("s"));
+  HmacDrbg b(to_bytes("s"));
+  (void)a.generate(16);
+  (void)b.generate(16);
+  b.reseed(to_bytes("extra-entropy"));
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, GeneratesRequestedLengths) {
+  HmacDrbg d(to_bytes("len"));
+  for (std::size_t n : {0u, 1u, 31u, 32u, 33u, 100u, 1000u}) {
+    EXPECT_EQ(d.generate(n).size(), n);
+  }
+}
+
+TEST(Drbg, BelowInRange) {
+  HmacDrbg d(to_bytes("below"));
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(d.below(37), 37u);
+}
+
+TEST(Drbg, BelowZeroThrows) {
+  HmacDrbg d(to_bytes("z"));
+  EXPECT_THROW(d.below(0), std::domain_error);
+}
+
+TEST(Drbg, BelowCoversRange) {
+  HmacDrbg d(to_bytes("cover"));
+  bool seen[8] = {};
+  for (int i = 0; i < 500; ++i) seen[d.below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Drbg, ByteSourceFeedsBignum) {
+  HmacDrbg d(to_bytes("bn"));
+  const bn::Bignum bound = bn::Bignum::from_hex("ffffffffffffffffffffffff");
+  const bn::Bignum v = bn::Bignum::random_below(bound, d.byte_source());
+  EXPECT_LT(v, bound);
+}
+
+TEST(Drbg, OutputLooksBalanced) {
+  HmacDrbg d(to_bytes("balance"));
+  const auto out = d.generate(4096);
+  std::size_t ones = 0;
+  for (auto b : out) ones += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(b)));
+  const double frac = static_cast<double>(ones) / (4096 * 8);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,121 @@
+#include "src/crypto/ec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/bignum/prime.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::crypto {
+namespace {
+
+using bn::Bignum;
+
+bn::Bignum::ByteSource test_source(std::uint64_t seed) {
+  auto rng = std::make_shared<support::Xoshiro256>(seed);
+  return [rng](support::MutableByteView out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(rng->below(256));
+  };
+}
+
+class AllCurvesTest : public ::testing::TestWithParam<CurveId> {};
+INSTANTIATE_TEST_SUITE_P(Curves, AllCurvesTest, ::testing::ValuesIn(kAllCurves),
+                         [](const auto& info) { return curve_name(info.param); });
+
+TEST_P(AllCurvesTest, GeneratorIsOnCurve) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_TRUE(c.is_on_curve(c.generator()));
+}
+
+TEST_P(AllCurvesTest, FieldPrimeIsPrime) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_TRUE(bn::is_probable_prime(c.p(), 10, test_source(1)));
+}
+
+TEST_P(AllCurvesTest, OrderIsPrime) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_TRUE(bn::is_probable_prime(c.order(), 10, test_source(2)));
+}
+
+TEST_P(AllCurvesTest, OrderAnnihilatesGenerator) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_TRUE(c.multiply(c.order(), c.generator()).infinity);
+}
+
+TEST_P(AllCurvesTest, ScalarOneIsIdentityMap) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_EQ(c.multiply(Bignum{1}, c.generator()), c.generator());
+}
+
+TEST_P(AllCurvesTest, ScalarZeroGivesInfinity) {
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_TRUE(c.multiply(Bignum{}, c.generator()).infinity);
+}
+
+TEST_P(AllCurvesTest, AdditionMatchesScalarMultiplication) {
+  const EcCurve& c = get_curve(GetParam());
+  const EcPoint g = c.generator();
+  const EcPoint g2 = c.double_point(g);
+  const EcPoint g3 = c.add(g2, g);
+  EXPECT_EQ(c.multiply(Bignum{2}, g), g2);
+  EXPECT_EQ(c.multiply(Bignum{3}, g), g3);
+  EXPECT_TRUE(c.is_on_curve(g2));
+  EXPECT_TRUE(c.is_on_curve(g3));
+}
+
+TEST_P(AllCurvesTest, AdditionIsCommutative) {
+  const EcCurve& c = get_curve(GetParam());
+  const EcPoint a = c.multiply(Bignum{12345}, c.generator());
+  const EcPoint b = c.multiply(Bignum{67890}, c.generator());
+  EXPECT_EQ(c.add(a, b), c.add(b, a));
+}
+
+TEST_P(AllCurvesTest, ScalarMultiplicationDistributes) {
+  // (k1 + k2) G == k1 G + k2 G for random scalars.
+  const EcCurve& c = get_curve(GetParam());
+  auto src = test_source(7);
+  for (int i = 0; i < 3; ++i) {
+    const Bignum k1 = Bignum::random_below(c.order(), src);
+    const Bignum k2 = Bignum::random_below(c.order(), src);
+    const EcPoint lhs = c.multiply((k1 + k2) % c.order(), c.generator());
+    const EcPoint rhs = c.add(c.multiply(k1, c.generator()), c.multiply(k2, c.generator()));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(AllCurvesTest, PointPlusNegationIsInfinity) {
+  const EcCurve& c = get_curve(GetParam());
+  const EcPoint pt = c.multiply(Bignum{999}, c.generator());
+  const EcPoint neg = EcPoint::affine(pt.x, c.p() - pt.y);
+  EXPECT_TRUE(c.is_on_curve(neg));
+  EXPECT_TRUE(c.add(pt, neg).infinity);
+}
+
+TEST_P(AllCurvesTest, InfinityIsNeutralElement) {
+  const EcCurve& c = get_curve(GetParam());
+  const EcPoint pt = c.multiply(Bignum{42}, c.generator());
+  EXPECT_EQ(c.add(pt, EcPoint::at_infinity()), pt);
+  EXPECT_EQ(c.add(EcPoint::at_infinity(), pt), pt);
+  EXPECT_TRUE(c.double_point(EcPoint::at_infinity()).infinity);
+}
+
+TEST_P(AllCurvesTest, IsOnCurveRejectsOffCurvePoint) {
+  const EcCurve& c = get_curve(GetParam());
+  const EcPoint bogus = EcPoint::affine(Bignum{1}, Bignum{1});
+  EXPECT_FALSE(c.is_on_curve(bogus));
+}
+
+TEST(EcCurve, FieldBitsMatchNames) {
+  EXPECT_EQ(get_curve(CurveId::kSecp160r1).field_bits(), 160u);
+  EXPECT_EQ(get_curve(CurveId::kSecp224r1).field_bits(), 224u);
+  EXPECT_EQ(get_curve(CurveId::kSecp256r1).field_bits(), 256u);
+}
+
+TEST(EcCurve, BogusGeneratorRejectedAtConstruction) {
+  const EcCurve& p256 = get_curve(CurveId::kSecp256r1);
+  EXPECT_THROW(EcCurve("bad", p256.p(), p256.a(), p256.b(),
+                       EcPoint::affine(Bignum{1}, Bignum{2}), p256.order()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,115 @@
+#include "src/crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::crypto {
+namespace {
+
+using support::to_bytes;
+
+class EcdsaCurves : public ::testing::TestWithParam<CurveId> {
+ protected:
+  EcdsaKeyPair make_key() {
+    HmacDrbg drbg(to_bytes("ecdsa-test-key"));
+    return ecdsa_generate_key(GetParam(), drbg);
+  }
+};
+INSTANTIATE_TEST_SUITE_P(Curves, EcdsaCurves, ::testing::ValuesIn(kAllCurves),
+                         [](const auto& info) { return curve_name(info.param); });
+
+TEST_P(EcdsaCurves, KeyGenProducesValidKey) {
+  const auto key = make_key();
+  const EcCurve& c = get_curve(GetParam());
+  EXPECT_FALSE(key.private_key.is_zero());
+  EXPECT_LT(key.private_key, c.order());
+  EXPECT_TRUE(c.is_on_curve(key.public_key));
+  EXPECT_FALSE(key.public_key.infinity);
+  // Q = dG.
+  EXPECT_EQ(c.multiply(key.private_key, c.generator()), key.public_key);
+}
+
+TEST_P(EcdsaCurves, SignVerifyRoundTrip) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("attest me"));
+  const auto sig = ecdsa_sign(key, digest);
+  EXPECT_TRUE(ecdsa_verify(GetParam(), key.public_key, digest, sig));
+}
+
+TEST_P(EcdsaCurves, VerifyRejectsWrongDigest) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("message A"));
+  const auto other = hash_oneshot(HashKind::kSha256, to_bytes("message B"));
+  const auto sig = ecdsa_sign(key, digest);
+  EXPECT_FALSE(ecdsa_verify(GetParam(), key.public_key, other, sig));
+}
+
+TEST_P(EcdsaCurves, VerifyRejectsTamperedSignature) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("m"));
+  auto sig = ecdsa_sign(key, digest);
+  sig.r = bn::Bignum::mod_add(sig.r, bn::Bignum{1}, get_curve(GetParam()).order());
+  EXPECT_FALSE(ecdsa_verify(GetParam(), key.public_key, digest, sig));
+}
+
+TEST_P(EcdsaCurves, VerifyRejectsWrongKey) {
+  const auto key = make_key();
+  HmacDrbg drbg2(to_bytes("another-key"));
+  const auto key2 = ecdsa_generate_key(GetParam(), drbg2);
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("m"));
+  const auto sig = ecdsa_sign(key, digest);
+  EXPECT_FALSE(ecdsa_verify(GetParam(), key2.public_key, digest, sig));
+}
+
+TEST_P(EcdsaCurves, VerifyRejectsOutOfRangeComponents) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("m"));
+  auto sig = ecdsa_sign(key, digest);
+  EcdsaSignature zero_r{bn::Bignum{}, sig.s};
+  EXPECT_FALSE(ecdsa_verify(GetParam(), key.public_key, digest, zero_r));
+  EcdsaSignature big_s{sig.r, get_curve(GetParam()).order()};
+  EXPECT_FALSE(ecdsa_verify(GetParam(), key.public_key, digest, big_s));
+}
+
+TEST_P(EcdsaCurves, VerifyRejectsOffCurvePublicKey) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("m"));
+  const auto sig = ecdsa_sign(key, digest);
+  const EcPoint bogus = EcPoint::affine(bn::Bignum{1}, bn::Bignum{1});
+  EXPECT_FALSE(ecdsa_verify(GetParam(), bogus, digest, sig));
+}
+
+TEST_P(EcdsaCurves, DeterministicNonceGivesStableSignature) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha256, to_bytes("same message"));
+  const auto s1 = ecdsa_sign(key, digest);
+  const auto s2 = ecdsa_sign(key, digest);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST_P(EcdsaCurves, DifferentMessagesUseDifferentNonces) {
+  const auto key = make_key();
+  const auto s1 = ecdsa_sign(key, hash_oneshot(HashKind::kSha256, to_bytes("m1")));
+  const auto s2 = ecdsa_sign(key, hash_oneshot(HashKind::kSha256, to_bytes("m2")));
+  // Equal r would mean the nonce repeated (catastrophic for ECDSA).
+  EXPECT_NE(s1.r, s2.r);
+}
+
+TEST_P(EcdsaCurves, SignVerifyWithSha512Digest) {
+  const auto key = make_key();
+  const auto digest = hash_oneshot(HashKind::kSha512, to_bytes("long digest"));
+  const auto sig = ecdsa_sign(key, digest);
+  EXPECT_TRUE(ecdsa_verify(GetParam(), key.public_key, digest, sig));
+}
+
+TEST_P(EcdsaCurves, MessageLevelHelpers) {
+  const auto key = make_key();
+  const auto msg = to_bytes("the whole message");
+  const auto sig = ecdsa_sign_message(key, HashKind::kSha256, msg);
+  EXPECT_TRUE(ecdsa_verify_message(GetParam(), key.public_key, HashKind::kSha256, msg, sig));
+  EXPECT_FALSE(ecdsa_verify_message(GetParam(), key.public_key, HashKind::kSha256,
+                                    to_bytes("another message"), sig));
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,102 @@
+#include "src/crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/hex.hpp"
+
+namespace rasc::crypto {
+namespace {
+
+using support::Bytes;
+using support::hex_decode_or_throw;
+using support::hex_encode;
+using support::to_bytes;
+
+// RFC 4231 test cases.
+TEST(Hmac, Rfc4231Case1Sha256) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(Hmac::compute(HashKind::kSha256, key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case1Sha512) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(Hmac::compute(HashKind::kSha512, key, to_bytes("Hi There"))),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde"
+            "daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854");
+}
+
+TEST(Hmac, Rfc4231Case2Sha256) {
+  EXPECT_EQ(hex_encode(Hmac::compute(HashKind::kSha256, to_bytes("Jefe"),
+                                     to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3Sha256) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_encode(Hmac::compute(HashKind::kSha256, key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_encode(Hmac::compute(HashKind::kSha256, key,
+                                     to_bytes("Test Using Larger Than Block-Size Key - "
+                                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+class HmacAllHashes : public ::testing::TestWithParam<HashKind> {};
+INSTANTIATE_TEST_SUITE_P(Kinds, HmacAllHashes, ::testing::ValuesIn(kAllHashKinds));
+
+TEST_P(HmacAllHashes, StreamingEqualsOneShot) {
+  const Bytes key = to_bytes("attestation-key");
+  Hmac mac(GetParam(), key);
+  mac.update(to_bytes("part1-"));
+  mac.update(to_bytes("part2"));
+  EXPECT_EQ(mac.finalize(), Hmac::compute(GetParam(), key, to_bytes("part1-part2")));
+}
+
+TEST_P(HmacAllHashes, FinalizeRekeysForReuse) {
+  Hmac mac(GetParam(), to_bytes("k"));
+  mac.update(to_bytes("msg"));
+  const auto t1 = mac.finalize();
+  mac.update(to_bytes("msg"));
+  EXPECT_EQ(mac.finalize(), t1);
+}
+
+TEST_P(HmacAllHashes, DifferentKeysDiffer) {
+  const auto msg = to_bytes("m");
+  EXPECT_NE(Hmac::compute(GetParam(), to_bytes("k1"), msg),
+            Hmac::compute(GetParam(), to_bytes("k2"), msg));
+}
+
+TEST_P(HmacAllHashes, VerifyAcceptsAndRejects) {
+  const Bytes key = to_bytes("key");
+  const Bytes msg = to_bytes("protected message");
+  auto tag = Hmac::compute(GetParam(), key, msg);
+  EXPECT_TRUE(Hmac::verify(GetParam(), key, msg, tag));
+  tag[0] ^= 1;
+  EXPECT_FALSE(Hmac::verify(GetParam(), key, msg, tag));
+  EXPECT_FALSE(Hmac::verify(GetParam(), key, to_bytes("other message"),
+                            Hmac::compute(GetParam(), key, msg)));
+}
+
+TEST_P(HmacAllHashes, CopyPreservesState) {
+  Hmac mac(GetParam(), to_bytes("k"));
+  mac.update(to_bytes("prefix"));
+  Hmac copy = mac;
+  mac.update(to_bytes("-suffix"));
+  copy.update(to_bytes("-suffix"));
+  EXPECT_EQ(mac.finalize(), copy.finalize());
+}
+
+TEST_P(HmacAllHashes, TagSizeMatchesDigest) {
+  Hmac mac(GetParam(), to_bytes("k"));
+  EXPECT_EQ(mac.tag_size(), hash_digest_size(GetParam()));
+}
+
+}  // namespace
+}  // namespace rasc::crypto

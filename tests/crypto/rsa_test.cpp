@@ -1,0 +1,136 @@
+#include "src/crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/bignum/prime.hpp"
+
+namespace rasc::crypto {
+namespace {
+
+using bn::Bignum;
+using support::to_bytes;
+
+// Key generation is the slow part; share a 1024-bit key across tests.
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair key = [] {
+    HmacDrbg drbg(to_bytes("rsa-unit-test-seed"));
+    return rsa_generate_key(1024, drbg);
+  }();
+  return key;
+}
+
+TEST(Rsa, KeyHasRequestedModulusSize) {
+  EXPECT_EQ(test_key().pub.n.bit_length(), 1024u);
+  EXPECT_EQ(test_key().pub.e, Bignum{65537});
+}
+
+TEST(Rsa, PrimesAreActuallyPrime) {
+  HmacDrbg drbg(to_bytes("prime-check"));
+  auto src = drbg.byte_source();
+  EXPECT_TRUE(bn::is_probable_prime(test_key().priv.p, 10, src));
+  EXPECT_TRUE(bn::is_probable_prime(test_key().priv.q, 10, src));
+  EXPECT_EQ(test_key().priv.p * test_key().priv.q, test_key().pub.n);
+}
+
+TEST(Rsa, CrtComponentsConsistent) {
+  const auto& k = test_key().priv;
+  EXPECT_EQ(k.d_p, k.d % (k.p - Bignum{1}));
+  EXPECT_EQ(k.d_q, k.d % (k.q - Bignum{1}));
+  EXPECT_EQ(Bignum::mod_mul(k.q_inv, k.q % k.p, k.p), Bignum{1});
+}
+
+TEST(Rsa, PrivateOpInvertsPublicOp) {
+  const auto& kp = test_key();
+  const Bignum m = Bignum::from_hex("123456789abcdef0112233445566778899");
+  const Bignum c = Bignum::mod_exp(m, kp.pub.e, kp.pub.n);
+  EXPECT_EQ(rsa_private_op(kp.priv, c), m);
+}
+
+TEST(Rsa, PrivateOpMatchesPlainModExp) {
+  const auto& kp = test_key();
+  const Bignum m = Bignum::from_hex("deadbeefcafebabe");
+  EXPECT_EQ(rsa_private_op(kp.priv, m), Bignum::mod_exp(m, kp.priv.d, kp.priv.n));
+}
+
+TEST(Rsa, PrivateOpRejectsOversizedInput) {
+  EXPECT_THROW(rsa_private_op(test_key().priv, test_key().pub.n), std::invalid_argument);
+}
+
+TEST(Rsa, SignVerifyRoundTripSha256) {
+  const auto msg = to_bytes("attestation report");
+  const auto sig = rsa_sign_message(test_key().priv, HashKind::kSha256, msg);
+  EXPECT_EQ(sig.size(), 128u);  // 1024-bit modulus
+  EXPECT_TRUE(rsa_verify_message(test_key().pub, HashKind::kSha256, msg, sig));
+}
+
+TEST(Rsa, SignVerifyRoundTripSha512) {
+  const auto msg = to_bytes("attestation report 512");
+  const auto sig = rsa_sign_message(test_key().priv, HashKind::kSha512, msg);
+  EXPECT_TRUE(rsa_verify_message(test_key().pub, HashKind::kSha512, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedMessage) {
+  const auto sig = rsa_sign_message(test_key().priv, HashKind::kSha256, to_bytes("m"));
+  EXPECT_FALSE(rsa_verify_message(test_key().pub, HashKind::kSha256, to_bytes("n"), sig));
+}
+
+TEST(Rsa, VerifyRejectsTamperedSignature) {
+  const auto msg = to_bytes("m");
+  auto sig = rsa_sign_message(test_key().priv, HashKind::kSha256, msg);
+  sig[10] ^= 1;
+  EXPECT_FALSE(rsa_verify_message(test_key().pub, HashKind::kSha256, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongLengthSignature) {
+  const auto msg = to_bytes("m");
+  auto sig = rsa_sign_message(test_key().priv, HashKind::kSha256, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify_message(test_key().pub, HashKind::kSha256, msg, sig));
+}
+
+TEST(Rsa, VerifyRejectsWrongHashKind) {
+  const auto msg = to_bytes("m");
+  const auto sig = rsa_sign_message(test_key().priv, HashKind::kSha256, msg);
+  EXPECT_FALSE(rsa_verify_message(test_key().pub, HashKind::kSha512, msg, sig));
+}
+
+TEST(Rsa, SignatureIsDeterministic) {
+  const auto msg = to_bytes("pkcs1-v1.5 is deterministic");
+  EXPECT_EQ(rsa_sign_message(test_key().priv, HashKind::kSha256, msg),
+            rsa_sign_message(test_key().priv, HashKind::kSha256, msg));
+}
+
+TEST(Rsa, UnsupportedHashThrows) {
+  const auto digest = hash_oneshot(HashKind::kBlake2s, to_bytes("m"));
+  EXPECT_THROW(rsa_sign_digest(test_key().priv, HashKind::kBlake2s, digest),
+               std::invalid_argument);
+}
+
+TEST(Rsa, DigestLengthMismatchThrows) {
+  EXPECT_THROW(rsa_sign_digest(test_key().priv, HashKind::kSha256, support::Bytes(16, 0)),
+               std::invalid_argument);
+}
+
+TEST(Rsa, KeyGenDeterministicPerSeed) {
+  HmacDrbg a(to_bytes("same-seed")), b(to_bytes("same-seed"));
+  const auto ka = rsa_generate_key(512, a);
+  const auto kb = rsa_generate_key(512, b);
+  EXPECT_EQ(ka.pub.n, kb.pub.n);
+}
+
+TEST(Rsa, KeyGenRejectsBadSizes) {
+  HmacDrbg drbg(to_bytes("x"));
+  EXPECT_THROW(rsa_generate_key(100, drbg), std::invalid_argument);
+  EXPECT_THROW(rsa_generate_key(129, drbg), std::invalid_argument);
+}
+
+TEST(Rsa, SmallKeyEndToEnd) {
+  HmacDrbg drbg(to_bytes("small-key"));
+  const auto kp = rsa_generate_key(512, drbg);
+  const auto msg = to_bytes("short");
+  const auto sig = rsa_sign_message(kp.priv, HashKind::kSha256, msg);
+  EXPECT_TRUE(rsa_verify_message(kp.pub, HashKind::kSha256, msg, sig));
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,79 @@
+#include "src/crypto/sig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::crypto {
+namespace {
+
+using support::to_bytes;
+
+// RSA-4096 keygen is expensive; cover the fast schemes parameterized and
+// exercise big RSA once in the benches.
+class SignerTest : public ::testing::TestWithParam<SigKind> {
+ protected:
+  std::unique_ptr<Signer> make() {
+    HmacDrbg drbg(to_bytes("signer-test"));
+    return make_signer(GetParam(), drbg);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SignerTest,
+                         ::testing::Values(SigKind::kRsa1024, SigKind::kEcdsa160,
+                                           SigKind::kEcdsa224, SigKind::kEcdsa256),
+                         [](const auto& info) {
+                           std::string n = sig_name(info.param);
+                           std::erase(n, '-');
+                           return n;
+                         });
+
+TEST_P(SignerTest, RoundTrip) {
+  auto signer = make();
+  const auto msg = to_bytes("measured memory digest");
+  const auto sig = signer->sign(HashKind::kSha256, msg);
+  EXPECT_TRUE(signer->verify(HashKind::kSha256, msg, sig));
+}
+
+TEST_P(SignerTest, RejectsTamperedMessage) {
+  auto signer = make();
+  const auto sig = signer->sign(HashKind::kSha256, to_bytes("a"));
+  EXPECT_FALSE(signer->verify(HashKind::kSha256, to_bytes("b"), sig));
+}
+
+TEST_P(SignerTest, RejectsTamperedSignature) {
+  auto signer = make();
+  const auto msg = to_bytes("m");
+  auto sig = signer->sign(HashKind::kSha256, msg);
+  sig[sig.size() / 2] ^= 1;
+  EXPECT_FALSE(signer->verify(HashKind::kSha256, msg, sig));
+}
+
+TEST_P(SignerTest, RejectsTruncatedSignature) {
+  auto signer = make();
+  const auto msg = to_bytes("m");
+  auto sig = signer->sign(HashKind::kSha256, msg);
+  sig.pop_back();
+  EXPECT_FALSE(signer->verify(HashKind::kSha256, msg, sig));
+}
+
+TEST_P(SignerTest, SignDigestMatchesSign) {
+  auto signer = make();
+  const auto msg = to_bytes("same content");
+  const auto via_msg = signer->sign(HashKind::kSha256, msg);
+  const auto via_digest =
+      signer->sign_digest(HashKind::kSha256, hash_oneshot(HashKind::kSha256, msg));
+  EXPECT_TRUE(signer->verify(HashKind::kSha256, msg, via_digest));
+  EXPECT_EQ(via_msg, via_digest);  // both schemes are deterministic here
+}
+
+TEST_P(SignerTest, KindIsReported) {
+  EXPECT_EQ(make()->kind(), GetParam());
+}
+
+TEST(SignerNames, AllDistinct) {
+  std::set<std::string> names;
+  for (SigKind kind : kAllSigKinds) names.insert(sig_name(kind));
+  EXPECT_EQ(names.size(), std::size(kAllSigKinds));
+}
+
+}  // namespace
+}  // namespace rasc::crypto

@@ -1,0 +1,138 @@
+/// Property test: the ConsistencyAnalyzer's verdict must coincide with a
+/// brute-force ground truth computed by replaying the write log — for
+/// random visit schedules, random write schedules, and arbitrary probe
+/// instants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/locking/consistency.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::locking {
+namespace {
+
+struct RandomCase {
+  attest::AttestationResult result;
+  std::vector<sim::WriteRecord> log;
+  std::size_t blocks;
+};
+
+RandomCase make_case(support::Xoshiro256& rng) {
+  RandomCase out;
+  out.blocks = 2 + rng.below(6);
+  out.result.t_s = 100;
+  out.result.visit_times.resize(out.blocks);
+  out.result.order.resize(out.blocks);
+  sim::Time t = out.result.t_s;
+  for (std::size_t b = 0; b < out.blocks; ++b) {
+    t += 1 + rng.below(20);
+    out.result.order[b] = b;
+    out.result.visit_times[b] = t;
+  }
+  out.result.t_e = t + 1 + rng.below(10);
+  out.result.t_r = out.result.t_e + rng.below(30);
+
+  const std::size_t writes = rng.below(8);
+  for (std::size_t w = 0; w < writes; ++w) {
+    sim::WriteRecord rec;
+    rec.time = 50 + rng.below(250);
+    rec.block = rng.below(out.blocks);
+    rec.actor = sim::Actor::kApplication;
+    rec.blocked = rng.chance(0.2);
+    out.log.push_back(rec);
+  }
+  return out;
+}
+
+/// Ground truth: "content version" of block b at time t = number of
+/// effective writes to b with time <= t.  The report is consistent with
+/// the snapshot at t iff every block's version at its visit time equals
+/// its version at t.
+bool brute_force_consistent_at(const RandomCase& c, sim::Time t) {
+  auto version_at = [&](std::size_t block, sim::Time when) {
+    std::size_t version = 0;
+    for (const auto& rec : c.log) {
+      if (!rec.blocked && rec.block == block && rec.time <= when) ++version;
+    }
+    return version;
+  };
+  for (std::size_t b = 0; b < c.blocks; ++b) {
+    if (!c.result.visit_times[b]) continue;
+    if (version_at(b, *c.result.visit_times[b]) != version_at(b, t)) return false;
+  }
+  return true;
+}
+
+TEST(ConsistencyProperty, AnalyzerMatchesBruteForceOnRandomSchedules) {
+  support::Xoshiro256 rng(20240707);
+  for (int trial = 0; trial < 300; ++trial) {
+    const RandomCase c = make_case(rng);
+    ConsistencyAnalyzer analyzer(c.result, c.log, 0);
+    // Probe a spread of instants including the canonical ones and every
+    // write time +- 1.
+    std::vector<sim::Time> probes = {0,          c.result.t_s, c.result.t_e,
+                                     c.result.t_r, 1000};
+    for (const auto& rec : c.log) {
+      probes.push_back(rec.time > 0 ? rec.time - 1 : 0);
+      probes.push_back(rec.time);
+      probes.push_back(rec.time + 1);
+    }
+    for (const auto& visit : c.result.visit_times) {
+      if (visit) probes.push_back(*visit);
+    }
+    for (sim::Time t : probes) {
+      EXPECT_EQ(analyzer.consistent_at(t), brute_force_consistent_at(c, t))
+          << "trial " << trial << " probe t=" << t;
+    }
+  }
+}
+
+TEST(ConsistencyProperty, WindowAgreesWithPointQueries) {
+  support::Xoshiro256 rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RandomCase c = make_case(rng);
+    ConsistencyAnalyzer analyzer(c.result, c.log, 0);
+    const auto verdict = analyzer.verdict();
+    if (verdict.window) {
+      // Window endpoints are consistent; just outside is not (when the
+      // boundary is not 0 / infinity).
+      EXPECT_TRUE(analyzer.consistent_at(verdict.window->first)) << trial;
+      EXPECT_TRUE(analyzer.consistent_at(verdict.window->second)) << trial;
+      if (verdict.window->first > 0) {
+        EXPECT_FALSE(analyzer.consistent_at(verdict.window->first - 1)) << trial;
+      }
+      if (verdict.window->second < std::numeric_limits<sim::Time>::max()) {
+        EXPECT_FALSE(analyzer.consistent_at(verdict.window->second + 1)) << trial;
+      }
+    } else {
+      // No window: none of the canonical instants should be consistent...
+      // stronger: sample many instants and find none consistent.
+      for (sim::Time t = 0; t < 400; t += 7) {
+        EXPECT_FALSE(analyzer.consistent_at(t)) << trial << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ConsistencyProperty, BlockedWritesNeverAffectVerdict) {
+  support::Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomCase c = make_case(rng);
+    // Verdict with the full log...
+    ConsistencyAnalyzer with_blocked(c.result, c.log, 0);
+    // ...equals the verdict with blocked records stripped.
+    std::vector<sim::WriteRecord> effective;
+    for (const auto& rec : c.log) {
+      if (!rec.blocked) effective.push_back(rec);
+    }
+    ConsistencyAnalyzer without_blocked(c.result, effective, 0);
+    for (sim::Time t : {c.result.t_s, c.result.t_e, c.result.t_r}) {
+      EXPECT_EQ(with_blocked.consistent_at(t), without_blocked.consistent_at(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rasc::locking

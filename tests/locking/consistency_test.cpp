@@ -1,0 +1,147 @@
+#include "src/locking/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::locking {
+namespace {
+
+/// Build a synthetic AttestationResult with sequential visit times.
+attest::AttestationResult make_result(std::size_t blocks, sim::Time t_s,
+                                      sim::Duration per_block, sim::Duration release = 0) {
+  attest::AttestationResult out;
+  out.t_s = t_s;
+  out.t_e = t_s + per_block * blocks;
+  out.t_r = out.t_e + release;
+  out.visit_times.resize(blocks);
+  out.order.resize(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    out.order[b] = b;
+    out.visit_times[b] = t_s + per_block * (b + 1);
+  }
+  return out;
+}
+
+sim::WriteRecord write_at(sim::Time t, std::size_t block, bool blocked = false) {
+  return sim::WriteRecord{t, block, sim::Actor::kApplication, blocked};
+}
+
+TEST(Consistency, NoWritesConsistentEverywhere) {
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log;
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  EXPECT_TRUE(analyzer.consistent_at(0));
+  EXPECT_TRUE(analyzer.consistent_at(result.t_s));
+  EXPECT_TRUE(analyzer.consistent_at(result.t_e));
+  EXPECT_TRUE(analyzer.consistent_at(result.t_e + 1000));
+  const auto verdict = analyzer.verdict();
+  EXPECT_TRUE(verdict.at_ts);
+  EXPECT_TRUE(verdict.at_te);
+  EXPECT_TRUE(verdict.at_tr);
+  ASSERT_TRUE(verdict.window.has_value());
+  EXPECT_EQ(verdict.window->first, 0u);
+}
+
+TEST(Consistency, WriteBeforeVisitBreaksConsistencyAtTs) {
+  // Block 3 visited at 140; a write to it at 120 (after t_s=100) means the
+  // report does not reflect the t_s snapshot.
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {write_at(120, 3)};
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  EXPECT_FALSE(analyzer.consistent_at(result.t_s));
+  EXPECT_TRUE(analyzer.consistent_at(result.t_e));  // no writes after visit
+}
+
+TEST(Consistency, WriteAfterVisitBreaksConsistencyAtTe) {
+  // Block 0 visited at 110; write at 125 < t_e=140.
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {write_at(125, 0)};
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  EXPECT_TRUE(analyzer.consistent_at(result.t_s));
+  EXPECT_FALSE(analyzer.consistent_at(result.t_e));
+}
+
+TEST(Consistency, InterleavedWritesConsistentNowhere) {
+  // The TrustLite scenario: write to an already-visited block AND to a
+  // not-yet-visited block -> report matches no instant at all.
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {
+      write_at(115, 0),  // block 0 visited at 110: breaks t >= 115
+      write_at(125, 3),  // block 3 visited at 140: breaks t <= 125
+  };
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  const auto verdict = analyzer.verdict();
+  EXPECT_FALSE(verdict.at_ts);
+  EXPECT_FALSE(verdict.at_te);
+  EXPECT_FALSE(verdict.at_tr);
+  EXPECT_FALSE(verdict.window.has_value());
+}
+
+TEST(Consistency, BlockedWritesDoNotCount) {
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {
+      write_at(115, 0, /*blocked=*/true),
+      write_at(125, 3, /*blocked=*/true),
+  };
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  const auto verdict = analyzer.verdict();
+  EXPECT_TRUE(verdict.at_ts);
+  EXPECT_TRUE(verdict.at_te);
+}
+
+TEST(Consistency, WritesOutsideCoverageIgnored) {
+  attest::AttestationResult result = make_result(4, 100, 10);
+  // Coverage starts at block 10; a write to block 2 is outside it.
+  const std::vector<sim::WriteRecord> log = {write_at(120, 2)};
+  ConsistencyAnalyzer analyzer(result, log, /*first_block=*/10);
+  EXPECT_TRUE(analyzer.consistent_at(result.t_s));
+}
+
+TEST(Consistency, WindowBoundsMatchWrites) {
+  // Single write to block 1 (visited at 120) at time 105: consistent
+  // exactly from 105 onwards (until infinity).
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {write_at(105, 1)};
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  const auto verdict = analyzer.verdict();
+  ASSERT_TRUE(verdict.window.has_value());
+  EXPECT_EQ(verdict.window->first, 105u);
+  EXPECT_FALSE(analyzer.consistent_at(104));
+  EXPECT_TRUE(analyzer.consistent_at(105));
+}
+
+TEST(Consistency, WindowEndsBeforeLaterWrite) {
+  // Write to block 0 (visited 110) at time 200: consistent until 199.
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {write_at(200, 0)};
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  const auto verdict = analyzer.verdict();
+  ASSERT_TRUE(verdict.window.has_value());
+  EXPECT_EQ(verdict.window->second, 199u);
+  EXPECT_TRUE(analyzer.consistent_at(199));
+  EXPECT_FALSE(analyzer.consistent_at(200));
+}
+
+TEST(Consistency, WriteAtExactVisitTimeIsCaptured) {
+  // A write at exactly the visit instant is part of what was measured, so
+  // it does not break consistency with later times.
+  const auto result = make_result(4, 100, 10);
+  const std::vector<sim::WriteRecord> log = {write_at(110, 0)};  // visit at 110
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  EXPECT_TRUE(analyzer.consistent_at(result.t_e));
+  EXPECT_FALSE(analyzer.consistent_at(109));
+  EXPECT_TRUE(analyzer.consistent_at(110));
+}
+
+TEST(Consistency, ExtendedWindowCoversTr) {
+  // All-Lock-Ext style: no writes until after t_r.
+  const auto result = make_result(4, 100, 10, /*release=*/50);
+  const std::vector<sim::WriteRecord> log = {write_at(result.t_r + 10, 2)};
+  ConsistencyAnalyzer analyzer(result, log, 0);
+  const auto verdict = analyzer.verdict();
+  EXPECT_TRUE(verdict.at_ts);
+  EXPECT_TRUE(verdict.at_te);
+  EXPECT_TRUE(verdict.at_tr);
+}
+
+}  // namespace
+}  // namespace rasc::locking

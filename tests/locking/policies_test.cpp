@@ -1,0 +1,118 @@
+#include "src/locking/policies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::locking {
+namespace {
+
+using attest::Coverage;
+
+struct PolicyFixture {
+  sim::DeviceMemory mem{8 * 64, 64};
+  Coverage cov{0, 8};
+};
+
+TEST(LockNames, AllDistinctAndStable) {
+  std::set<std::string> names;
+  for (LockMechanism m : kAllLockMechanisms) {
+    names.insert(lock_mechanism_name(m));
+    EXPECT_EQ(make_lock_policy(m)->name(), lock_mechanism_name(m));
+  }
+  EXPECT_EQ(names.size(), std::size(kAllLockMechanisms));
+}
+
+TEST(NoLock, NeverLocks) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kNoLock);
+  policy->on_start(fx.mem, fx.cov);
+  policy->on_block_visited(fx.mem, 3);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+  policy->on_end(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+  EXPECT_EQ(policy->release_delay(), 0u);
+}
+
+TEST(AllLock, LocksEverythingDuringMeasurement) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kAllLock);
+  policy->on_start(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 8u);
+  policy->on_block_visited(fx.mem, 0);
+  EXPECT_EQ(fx.mem.locked_block_count(), 8u);  // visits change nothing
+  policy->on_end(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+}
+
+TEST(AllLockExt, HoldsUntilRelease) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kAllLockExt, 500);
+  EXPECT_EQ(policy->release_delay(), 500u);
+  policy->on_start(fx.mem, fx.cov);
+  policy->on_end(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 8u);  // still held at t_e
+  policy->on_release(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+}
+
+TEST(DecLock, UnlocksAsBlocksAreVisited) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kDecLock);
+  policy->on_start(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 8u);
+  policy->on_block_visited(fx.mem, 0);
+  policy->on_block_visited(fx.mem, 5);
+  EXPECT_EQ(fx.mem.locked_block_count(), 6u);
+  EXPECT_FALSE(fx.mem.locked(0));
+  EXPECT_FALSE(fx.mem.locked(5));
+  EXPECT_TRUE(fx.mem.locked(3));
+  for (std::size_t b : {1u, 2u, 3u, 4u, 6u, 7u}) policy->on_block_visited(fx.mem, b);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);  // all released before t_e
+}
+
+TEST(IncLock, LocksAsBlocksAreVisited) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kIncLock);
+  policy->on_start(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);  // starts fully unlocked
+  policy->on_block_visited(fx.mem, 2);
+  policy->on_block_visited(fx.mem, 7);
+  EXPECT_TRUE(fx.mem.locked(2));
+  EXPECT_TRUE(fx.mem.locked(7));
+  EXPECT_EQ(fx.mem.locked_block_count(), 2u);
+  policy->on_end(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+}
+
+TEST(IncLockExt, HoldsUntilRelease) {
+  PolicyFixture fx;
+  auto policy = make_lock_policy(LockMechanism::kIncLockExt, 700);
+  EXPECT_EQ(policy->release_delay(), 700u);
+  for (std::size_t b = 0; b < 8; ++b) policy->on_block_visited(fx.mem, b);
+  policy->on_end(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 8u);
+  policy->on_release(fx.mem, fx.cov);
+  EXPECT_EQ(fx.mem.locked_block_count(), 0u);
+}
+
+TEST(Policies, RespectPartialCoverage) {
+  sim::DeviceMemory mem(8 * 64, 64);
+  const Coverage cov{2, 4};  // blocks 2..5
+  auto policy = make_lock_policy(LockMechanism::kAllLock);
+  policy->on_start(mem, cov);
+  EXPECT_FALSE(mem.locked(0));
+  EXPECT_FALSE(mem.locked(1));
+  EXPECT_TRUE(mem.locked(2));
+  EXPECT_TRUE(mem.locked(5));
+  EXPECT_FALSE(mem.locked(6));
+  policy->on_end(mem, cov);
+  EXPECT_EQ(mem.locked_block_count(), 0u);
+}
+
+TEST(Policies, NonExtVariantsIgnoreReleaseDelay) {
+  EXPECT_EQ(make_lock_policy(LockMechanism::kAllLock, 999)->release_delay(), 0u);
+  EXPECT_EQ(make_lock_policy(LockMechanism::kIncLock, 999)->release_delay(), 0u);
+  EXPECT_EQ(make_lock_policy(LockMechanism::kDecLock, 999)->release_delay(), 0u);
+}
+
+}  // namespace
+}  // namespace rasc::locking

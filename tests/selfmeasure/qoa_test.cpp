@@ -1,0 +1,112 @@
+#include "src/selfmeasure/qoa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::selfm {
+namespace {
+
+const std::vector<sim::Time> kMeasurements = {100, 200, 300, 400, 500};
+const std::vector<sim::Time> kCollections = {250, 550};
+
+TEST(Qoa, DetectsInfectionSpanningMeasurement) {
+  const auto a = analyze_infection(kMeasurements, kCollections, 150, 250);
+  EXPECT_TRUE(a.detected);
+  ASSERT_TRUE(a.measured_at.has_value());
+  EXPECT_EQ(*a.measured_at, 200u);
+  ASSERT_TRUE(a.reported_at.has_value());
+  EXPECT_EQ(*a.reported_at, 250u);
+  ASSERT_TRUE(a.detection_latency.has_value());
+  EXPECT_EQ(*a.detection_latency, 100u);
+}
+
+TEST(Qoa, MissesInfectionBetweenMeasurements) {
+  // Figure 5's Infection 1: begins and ends inside one T_M gap.
+  const auto a = analyze_infection(kMeasurements, kCollections, 210, 290);
+  EXPECT_FALSE(a.detected);
+  EXPECT_FALSE(a.measured_at.has_value());
+}
+
+TEST(Qoa, BoundaryTimesCount) {
+  EXPECT_TRUE(analyze_infection(kMeasurements, kCollections, 300, 300).detected);
+  EXPECT_TRUE(analyze_infection(kMeasurements, kCollections, 290, 300).detected);
+  EXPECT_TRUE(analyze_infection(kMeasurements, kCollections, 300, 310).detected);
+}
+
+TEST(Qoa, ReportingWaitsForNextCollection) {
+  // Measured at 400, first collection at-or-after is 550.
+  const auto a = analyze_infection(kMeasurements, kCollections, 390, 450);
+  ASSERT_TRUE(a.reported_at.has_value());
+  EXPECT_EQ(*a.reported_at, 550u);
+  EXPECT_EQ(*a.detection_latency, 160u);
+}
+
+TEST(Qoa, NoCollectionAfterMeasurementMeansNoReport) {
+  const std::vector<sim::Time> early_collections = {150};
+  const auto a = analyze_infection(kMeasurements, early_collections, 390, 450);
+  EXPECT_TRUE(a.detected);
+  EXPECT_FALSE(a.reported_at.has_value());
+}
+
+TEST(Qoa, AnalyticProbabilityShape) {
+  EXPECT_DOUBLE_EQ(analytic_detection_probability(sim::kSecond, sim::kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(analytic_detection_probability(sim::kSecond, 2 * sim::kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(analytic_detection_probability(2 * sim::kSecond, sim::kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(analytic_detection_probability(0, sim::kSecond), 1.0);
+  // Halving T_M doubles the detection probability (until saturation) —
+  // the reason measurements "can be performed more often without
+  // increased Vrf participation".
+  const double p1 = analytic_detection_probability(10 * sim::kSecond, sim::kSecond);
+  const double p2 = analytic_detection_probability(5 * sim::kSecond, sim::kSecond);
+  EXPECT_DOUBLE_EQ(p2, 2 * p1);
+}
+
+TEST(Qoa, WorstCaseLatencyIsTmPlusTc) {
+  EXPECT_EQ(worst_case_detection_latency(sim::kSecond, 5 * sim::kSecond),
+            6 * sim::kSecond);
+}
+
+TEST(Qoa, EmptySchedulesDetectNothing) {
+  const auto a = analyze_infection({}, {}, 0, 1000);
+  EXPECT_FALSE(a.detected);
+}
+
+}  // namespace
+}  // namespace rasc::selfm
+
+namespace rasc::selfm {
+namespace {
+
+TEST(QoaPlanner, RecommendedTmInvertsDetectionProbability) {
+  // T_M chosen for (dwell, p) must yield detection probability >= p.
+  for (double p : {0.1, 0.5, 0.9, 1.0}) {
+    const sim::Duration dwell = 3 * sim::kSecond;
+    const sim::Duration t_m = recommended_t_m(dwell, p);
+    EXPECT_GE(analytic_detection_probability(t_m, dwell), p - 1e-9);
+    // And it is the *largest* such period (a 1% longer one falls short).
+    if (p < 1.0) {
+      const auto longer = static_cast<sim::Duration>(static_cast<double>(t_m) * 1.01);
+      EXPECT_LT(analytic_detection_probability(longer, dwell), p);
+    }
+  }
+}
+
+TEST(QoaPlanner, CertainDetectionMeansTmEqualsDwell) {
+  EXPECT_EQ(recommended_t_m(5 * sim::kSecond, 1.0), 5 * sim::kSecond);
+}
+
+TEST(QoaPlanner, RecommendedTcMeetsLatencyBudget) {
+  const sim::Duration t_m = 10 * sim::kSecond;
+  const sim::Duration budget = 60 * sim::kSecond;
+  const sim::Duration t_c = recommended_t_c(budget, t_m);
+  EXPECT_EQ(worst_case_detection_latency(t_m, t_c), budget);
+}
+
+TEST(QoaPlanner, InvalidInputsThrow) {
+  EXPECT_THROW(recommended_t_m(sim::kSecond, 0.0), std::invalid_argument);
+  EXPECT_THROW(recommended_t_m(sim::kSecond, 1.5), std::invalid_argument);
+  EXPECT_THROW(recommended_t_c(sim::kSecond, 2 * sim::kSecond), std::invalid_argument);
+  EXPECT_THROW(recommended_t_c(sim::kSecond, sim::kSecond), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasc::selfm

@@ -1,0 +1,101 @@
+#include "src/sim/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::sim {
+namespace {
+
+using crypto::HashKind;
+using crypto::SigKind;
+
+TEST(CpuModel, HashTimeScalesLinearly) {
+  CpuModel model;
+  const Duration t1 = model.hash_time(HashKind::kSha256, 1 << 20);
+  const Duration t2 = model.hash_time(HashKind::kSha256, 2 << 20);
+  // Fixed setup is tiny relative to 1 MiB of hashing.
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.01);
+}
+
+TEST(CpuModel, CalibrationMatchesPaperNumbers) {
+  // Paper Section 2.4: ~0.9 s for 100 MB, ~14 s for 2 GB, ~7 s for 1 GB
+  // on the ODROID-XU4 with SHA-256 (we calibrate at 7 ns/byte).
+  CpuModel model;
+  const double t_100mb = to_seconds(model.hash_time(HashKind::kSha256, 100ull << 20));
+  const double t_1gb = to_seconds(model.hash_time(HashKind::kSha256, 1ull << 30));
+  const double t_2gb = to_seconds(model.hash_time(HashKind::kSha256, 2ull << 30));
+  EXPECT_NEAR(t_100mb, 0.9, 0.25);
+  EXPECT_NEAR(t_1gb, 7.0, 1.0);
+  EXPECT_NEAR(t_2gb, 14.0, 2.0);
+}
+
+TEST(CpuModel, SignatureCostsAreFlat) {
+  CpuModel model;
+  // Signing cost does not depend on message size by construction; verify
+  // the relative ordering the paper reports: RSA sign grows steeply with
+  // modulus, ECDSA sits between RSA-1024 and RSA-2048 territory.
+  EXPECT_LT(model.sign_time(SigKind::kRsa1024), model.sign_time(SigKind::kRsa2048));
+  EXPECT_LT(model.sign_time(SigKind::kRsa2048), model.sign_time(SigKind::kRsa4096));
+  EXPECT_LT(model.sign_time(SigKind::kEcdsa160), model.sign_time(SigKind::kEcdsa256));
+  // RSA verification with e = 65537 is much cheaper than signing.
+  EXPECT_LT(model.verify_time(SigKind::kRsa2048), model.sign_time(SigKind::kRsa2048) / 10);
+}
+
+TEST(CpuModel, HashSignCrossoverNearOneMegabyte) {
+  // Figure 2: above ~1 MB the hashing cost dominates most signatures.
+  CpuModel model;
+  const Duration hash_1mb = model.hash_time(HashKind::kSha256, 1 << 20);
+  EXPECT_GT(hash_1mb, model.sign_time(SigKind::kEcdsa160));
+  EXPECT_GT(model.hash_time(HashKind::kSha256, 64 << 20),
+            model.sign_time(SigKind::kRsa4096));
+}
+
+TEST(CpuModel, MacCostsSlightlyMoreThanHash) {
+  CpuModel model;
+  EXPECT_GT(model.mac_time(HashKind::kSha256, 1000),
+            model.hash_time(HashKind::kSha256, 1000));
+}
+
+TEST(CpuModel, AllKindsHaveCosts) {
+  CpuModel model;
+  for (HashKind kind : crypto::kAllHashKinds) {
+    EXPECT_GT(model.hash_time(kind, 1024), 0u);
+    EXPECT_GT(model.hash_ns_per_byte(kind), 0.0);
+  }
+  for (SigKind kind : crypto::kAllSigKinds) {
+    EXPECT_GT(model.sign_time(kind), 0u);
+    EXPECT_GT(model.verify_time(kind), 0u);
+  }
+}
+
+TEST(CpuModel, SettersOverrideDefaults) {
+  CpuModel model;
+  model.set_hash_ns_per_byte(HashKind::kSha256, 100.0);
+  EXPECT_DOUBLE_EQ(model.hash_ns_per_byte(HashKind::kSha256), 100.0);
+  model.set_sign_cost(SigKind::kRsa1024, 1000, 500);
+  EXPECT_EQ(model.sign_time(SigKind::kRsa1024), 1000u);
+  EXPECT_EQ(model.verify_time(SigKind::kRsa1024), 500u);
+  model.set_context_switch(42);
+  EXPECT_EQ(model.context_switch(), 42u);
+  model.set_interrupt_latency(7);
+  EXPECT_EQ(model.interrupt_latency(), 7u);
+  model.set_measurement_block_overhead(9);
+  EXPECT_EQ(model.measurement_block_overhead(), 9u);
+}
+
+TEST(CpuModel, HashTimeScaleMultiplies) {
+  CpuModel model;
+  const Duration base = model.hash_time(HashKind::kSha256, 1 << 20);
+  model.set_hash_time_scale(64.0);
+  const Duration scaled = model.hash_time(HashKind::kSha256, 1 << 20);
+  EXPECT_NEAR(static_cast<double>(scaled) / static_cast<double>(base), 64.0, 0.5);
+  // Signature costs are not scaled (the scale models memory size).
+  EXPECT_EQ(model.sign_time(SigKind::kRsa2048), CpuModel().sign_time(SigKind::kRsa2048));
+}
+
+TEST(CpuModel, CopyTimeScalesWithBytes) {
+  CpuModel model;
+  EXPECT_LT(model.copy_time(1024), model.copy_time(1024 * 1024));
+}
+
+}  // namespace
+}  // namespace rasc::sim

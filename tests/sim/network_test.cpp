@@ -1,0 +1,101 @@
+#include "src/sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::sim {
+namespace {
+
+TEST(Link, DeliversAfterLatency) {
+  Simulator sim;
+  LinkConfig config;
+  config.base_latency = 5 * kMillisecond;
+  config.jitter = 0;
+  config.bytes_per_second = 0;  // disable serialization delay
+  Link link(sim, config);
+  Time delivered_at = 0;
+  link.send(support::to_bytes("ping"), [&](support::Bytes payload) {
+    delivered_at = sim.now();
+    EXPECT_EQ(support::to_string(payload), "ping");
+  });
+  sim.run();
+  EXPECT_EQ(delivered_at, 5 * kMillisecond);
+  EXPECT_EQ(link.sent(), 1u);
+  EXPECT_EQ(link.delivered(), 1u);
+}
+
+TEST(Link, SerializationDelayScalesWithSize) {
+  Simulator sim;
+  LinkConfig config;
+  config.base_latency = 0;
+  config.jitter = 0;
+  config.bytes_per_second = 1e6;  // 1 MB/s
+  Link link(sim, config);
+  Time t_small = 0, t_large = 0;
+  link.send(support::Bytes(1000, 0), [&](support::Bytes) { t_small = sim.now(); });
+  sim.run();
+  Simulator sim2;
+  Link link2(sim2, config);
+  link2.send(support::Bytes(100000, 0), [&](support::Bytes) { t_large = sim2.now(); });
+  sim2.run();
+  EXPECT_NEAR(static_cast<double>(t_large) / static_cast<double>(t_small), 100.0, 2.0);
+}
+
+TEST(Link, JitterStaysWithinBound) {
+  Simulator sim;
+  LinkConfig config;
+  config.base_latency = kMillisecond;
+  config.jitter = kMillisecond;
+  config.bytes_per_second = 0;
+  Link link(sim, config);
+  for (int i = 0; i < 100; ++i) {
+    const Time sent_at = sim.now();
+    link.send({}, [&, sent_at](support::Bytes) {
+      const Duration transit = sim.now() - sent_at;
+      EXPECT_GE(transit, kMillisecond);
+      EXPECT_LE(transit, 2 * kMillisecond);
+    });
+    sim.run();
+  }
+}
+
+TEST(Link, DropsApproximatelyAtConfiguredRate) {
+  Simulator sim;
+  LinkConfig config;
+  config.drop_probability = 0.3;
+  config.seed = 7;
+  Link link(sim, config);
+  int delivered = 0;
+  constexpr int kSends = 5000;
+  for (int i = 0; i < kSends; ++i) link.send({}, [&](support::Bytes) { ++delivered; });
+  sim.run();
+  EXPECT_EQ(link.sent(), static_cast<std::size_t>(kSends));
+  EXPECT_EQ(link.delivered() + link.dropped(), static_cast<std::size_t>(kSends));
+  EXPECT_NEAR(static_cast<double>(link.dropped()) / kSends, 0.3, 0.03);
+}
+
+TEST(Link, ZeroDropDeliversEverything) {
+  Simulator sim;
+  Link link(sim, {});
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) link.send({}, [&](support::Bytes) { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(link.dropped(), 0u);
+}
+
+TEST(Link, MessagesMayReorderOnlyWithJitter) {
+  // With zero jitter and equal sizes, FIFO order is preserved.
+  Simulator sim;
+  LinkConfig config;
+  config.jitter = 0;
+  Link link(sim, config);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    link.send({}, [&, i](support::Bytes) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace rasc::sim

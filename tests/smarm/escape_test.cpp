@@ -1,0 +1,80 @@
+#include "src/smarm/escape.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rasc::smarm {
+namespace {
+
+TEST(Escape, SingleRoundApproachesEInverse) {
+  // Paper Section 3.2: probability of escape is e^-1 ~ 0.37.
+  EXPECT_NEAR(single_round_escape(1000), std::exp(-1.0), 0.001);
+  EXPECT_NEAR(single_round_escape(100000), std::exp(-1.0), 0.0001);
+}
+
+TEST(Escape, SmallBlockCountsBelowEInverse) {
+  // (1-1/n)^n increases towards 1/e from below.
+  EXPECT_LT(single_round_escape(8), single_round_escape(16));
+  EXPECT_LT(single_round_escape(16), single_round_escape(64));
+  EXPECT_LT(single_round_escape(64), std::exp(-1.0));
+}
+
+TEST(Escape, DegenerateSingleBlockAlwaysCaught) {
+  EXPECT_DOUBLE_EQ(single_round_escape(1), 0.0);
+}
+
+TEST(Escape, MultiRoundDecaysExponentially) {
+  const double p1 = multi_round_escape(64, 1);
+  const double p2 = multi_round_escape(64, 2);
+  const double p4 = multi_round_escape(64, 4);
+  EXPECT_NEAR(p2, p1 * p1, 1e-12);
+  EXPECT_NEAR(p4, p2 * p2, 1e-12);
+}
+
+TEST(Escape, ThirteenRoundsNearTenToMinusSix) {
+  // Paper: "after 13 checks that probability is below 10^-6".  With the
+  // exact blind-relocation model this holds for moderate block counts and
+  // 14 rounds suffice even as n -> infinity (e^-14 < 1e-6 < e^-13).
+  EXPECT_LT(multi_round_escape(8, 13), 1e-6);
+  EXPECT_LT(multi_round_escape(16, 14), 1e-6);
+  EXPECT_NEAR(std::log10(multi_round_escape(1000000, 13)), -6.0, 0.4);
+}
+
+TEST(Escape, RoundsForTargetMatchesPaperBallpark) {
+  const std::size_t rounds = rounds_for_target(1024, 1e-6);
+  EXPECT_GE(rounds, 13u);
+  EXPECT_LE(rounds, 14u);
+  EXPECT_LT(multi_round_escape(1024, rounds), 1e-6);
+  EXPECT_GE(multi_round_escape(1024, rounds - 1), 1e-6);
+}
+
+TEST(Escape, InvalidArgumentsThrow) {
+  EXPECT_THROW(single_round_escape(0), std::invalid_argument);
+  EXPECT_THROW(rounds_for_target(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(rounds_for_target(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(simulate_single_round_escape(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(simulate_multi_round_escape(4, 0, 10, 1), std::invalid_argument);
+}
+
+TEST(Escape, MonteCarloMatchesAnalyticSingleRound) {
+  for (std::size_t n : {8u, 32u, 128u}) {
+    const double analytic = single_round_escape(n);
+    const double simulated = simulate_single_round_escape(n, 20000, 42 + n);
+    EXPECT_NEAR(simulated, analytic, 0.015) << "n=" << n;
+  }
+}
+
+TEST(Escape, MonteCarloMatchesAnalyticMultiRound) {
+  const double analytic = multi_round_escape(32, 3);
+  const double simulated = simulate_multi_round_escape(32, 3, 40000, 7);
+  EXPECT_NEAR(simulated, analytic, 0.01);
+}
+
+TEST(Escape, MonteCarloDeterministicPerSeed) {
+  EXPECT_DOUBLE_EQ(simulate_single_round_escape(16, 1000, 5),
+                   simulate_single_round_escape(16, 1000, 5));
+}
+
+}  // namespace
+}  // namespace rasc::smarm

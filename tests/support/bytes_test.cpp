@@ -1,0 +1,90 @@
+#include "src/support/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::support {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, CtEqualMatches) {
+  const Bytes a = to_bytes("same-content");
+  const Bytes b = to_bytes("same-content");
+  EXPECT_TRUE(ct_equal(a, b));
+}
+
+TEST(Bytes, CtEqualDetectsDifference) {
+  const Bytes a = to_bytes("same-content");
+  Bytes b = a;
+  b.back() ^= 1;
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(Bytes, CtEqualLengthMismatch) {
+  EXPECT_FALSE(ct_equal(to_bytes("abc"), to_bytes("abcd")));
+}
+
+TEST(Bytes, CtEqualEmpty) {
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, SecureWipeZeroes) {
+  Bytes b = to_bytes("secret");
+  secure_wipe(b);
+  for (auto byte : b) EXPECT_EQ(byte, 0u);
+}
+
+TEST(Bytes, ConcatJoinsInOrder) {
+  const Bytes a = to_bytes("ab");
+  const Bytes b = to_bytes("cd");
+  const Bytes c = to_bytes("e");
+  EXPECT_EQ(to_string(concat({a, b, c})), "abcde");
+}
+
+TEST(Bytes, BigEndianU32RoundTrip) {
+  Bytes buf(4);
+  put_u32_be(buf, 0xdeadbeef);
+  EXPECT_EQ(buf[0], 0xde);
+  EXPECT_EQ(buf[3], 0xef);
+  EXPECT_EQ(get_u32_be(buf), 0xdeadbeefu);
+}
+
+TEST(Bytes, BigEndianU64RoundTrip) {
+  Bytes buf(8);
+  put_u64_be(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(get_u64_be(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, LittleEndianU32RoundTrip) {
+  Bytes buf(4);
+  put_u32_le(buf, 0xdeadbeef);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(get_u32_le(buf), 0xdeadbeefu);
+}
+
+TEST(Bytes, LittleEndianU64RoundTrip) {
+  Bytes buf(8);
+  put_u64_le(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(get_u64_le(buf), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, AppendHelpers) {
+  Bytes out;
+  append_u32_be(out, 1);
+  append_u64_be(out, 2);
+  append(out, to_bytes("x"));
+  ASSERT_EQ(out.size(), 13u);
+  EXPECT_EQ(out[3], 1);
+  EXPECT_EQ(out[11], 2);
+  EXPECT_EQ(out[12], 'x');
+}
+
+}  // namespace
+}  // namespace rasc::support

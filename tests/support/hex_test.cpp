@@ -1,0 +1,42 @@
+#include "src/support/hex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::support {
+namespace {
+
+TEST(Hex, EncodeBasic) {
+  const Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(b), "0001abff");
+}
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(hex_encode(Bytes{}), ""); }
+
+TEST(Hex, DecodeBasic) {
+  const auto b = hex_decode("0001abff");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, (Bytes{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(Hex, DecodeMixedCase) {
+  const auto b = hex_decode("AbCdEf");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, (Bytes{0xab, 0xcd, 0xef}));
+}
+
+TEST(Hex, DecodeOddLengthFails) { EXPECT_FALSE(hex_decode("abc").has_value()); }
+
+TEST(Hex, DecodeBadCharFails) { EXPECT_FALSE(hex_decode("zz").has_value()); }
+
+TEST(Hex, DecodeOrThrowThrows) {
+  EXPECT_THROW(hex_decode_or_throw("nope"), std::invalid_argument);
+}
+
+TEST(Hex, RoundTrip) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(hex_decode_or_throw(hex_encode(all)), all);
+}
+
+}  // namespace
+}  // namespace rasc::support

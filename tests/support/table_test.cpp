@@ -1,0 +1,79 @@
+#include "src/support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/plot.hpp"
+
+namespace rasc::support {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.render().find("| x "), std::string::npos);
+}
+
+TEST(Table, RejectsOversizedRows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add_row({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"h", "col"});
+  t.add_row({"longer", "1"});
+  const std::string out = t.render();
+  // All lines should have equal length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableFmt, FormatsNumbers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.5, 0), "50%");
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Plot, RendersSeriesAndLegend) {
+  Series s{"linear", {1, 2, 3, 4}, {1, 2, 3, 4}};
+  PlotOptions opt;
+  opt.width = 20;
+  opt.height = 5;
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find("* = linear"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Plot, EmptyPlotDoesNotCrash) {
+  PlotOptions opt;
+  EXPECT_EQ(render_plot({}, opt), "(empty plot)\n");
+}
+
+TEST(Plot, LogScaleHandlesDecades) {
+  Series s{"decades", {1, 10, 100, 1000}, {1, 10, 100, 1000}};
+  PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  opt.width = 30;
+  opt.height = 10;
+  const std::string out = render_plot({s}, opt);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rasc::support

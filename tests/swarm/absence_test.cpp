@@ -1,0 +1,81 @@
+/// DARPA-style physical-attack detection: a removed device (and anything
+/// routed through it) shows up as *absent* in the swarm round.
+
+#include <gtest/gtest.h>
+
+#include "src/swarm/swarm.hpp"
+
+namespace rasc::swarm {
+namespace {
+
+SwarmConfig config_of(std::size_t n) {
+  SwarmConfig config;
+  config.device_count = n;
+  config.branching = 2;
+  return config;
+}
+
+TEST(Absence, RemovedLeafIsReportedAbsent) {
+  const auto result = run_swarm_attestation(config_of(15),
+                                            SwarmProtocol::kCollectiveTree, {}, {9});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.absent_ids, (std::vector<std::size_t>{9}));
+  EXPECT_EQ(result.reported_good, 14u);
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST(Absence, RemovedInnerNodeCutsOffItsSubtree) {
+  // Node 1's subtree in a 15-node binary tree: {1,3,4,7,8,9,10}.
+  const auto result = run_swarm_attestation(config_of(15),
+                                            SwarmProtocol::kCollectiveTree, {}, {1});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.absent_ids, (std::vector<std::size_t>{1, 3, 4, 7, 8, 9, 10}));
+  EXPECT_EQ(result.reported_good, 8u);
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST(Absence, RemovedRootMeansTotalSilence) {
+  const auto result = run_swarm_attestation(config_of(7),
+                                            SwarmProtocol::kCollectiveTree, {}, {0});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.absent_ids.size(), 7u);
+  EXPECT_EQ(result.reported_good, 0u);
+  EXPECT_FALSE(result.aggregate_authentic);  // nothing to authenticate
+}
+
+TEST(Absence, AbsenceAndInfectionCoexist) {
+  const auto result = run_swarm_attestation(config_of(15),
+                                            SwarmProtocol::kCollectiveTree, {2}, {9});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failed_ids, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(result.absent_ids, (std::vector<std::size_t>{9}));
+  EXPECT_EQ(result.reported_good, 13u);
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST(Absence, TimeoutDelaysButCompletesTheRound) {
+  SwarmConfig config = config_of(15);
+  const auto clean =
+      run_swarm_attestation(config, SwarmProtocol::kCollectiveTree, {}, {});
+  const auto with_absent =
+      run_swarm_attestation(config, SwarmProtocol::kCollectiveTree, {}, {9});
+  EXPECT_GT(with_absent.total_time, clean.total_time);
+  EXPECT_GE(with_absent.total_time, config.child_timeout);
+}
+
+TEST(Absence, StarProtocolAlsoFlagsAbsentDevices) {
+  const auto result =
+      run_swarm_attestation(config_of(7), SwarmProtocol::kNaiveStar, {}, {3, 5});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.absent_ids, (std::vector<std::size_t>{3, 5}));
+  EXPECT_EQ(result.reported_good, 5u);
+}
+
+TEST(Absence, NoRemovalsNoAbsents) {
+  const auto result =
+      run_swarm_attestation(config_of(31), SwarmProtocol::kCollectiveTree, {}, {});
+  EXPECT_TRUE(result.absent_ids.empty());
+}
+
+}  // namespace
+}  // namespace rasc::swarm

@@ -1,0 +1,69 @@
+/// LISA-style forwarding-tree protocol: full per-device information with
+/// parallel measurement, at O(n) verifier work.
+
+#include <gtest/gtest.h>
+
+#include "src/swarm/swarm.hpp"
+
+namespace rasc::swarm {
+namespace {
+
+SwarmConfig config_of(std::size_t n) {
+  SwarmConfig config;
+  config.device_count = n;
+  config.branching = 2;
+  return config;
+}
+
+TEST(Forwarding, CleanSwarmAllGood) {
+  const auto result =
+      run_swarm_attestation(config_of(15), SwarmProtocol::kForwardingTree, {});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.reported_good, 15u);
+  EXPECT_EQ(result.vrf_verifications, 15u);
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST(Forwarding, NamesInfectedDevices) {
+  const auto result = run_swarm_attestation(config_of(15),
+                                            SwarmProtocol::kForwardingTree, {4, 13});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failed_ids, (std::vector<std::size_t>{4, 13}));
+  EXPECT_EQ(result.reported_good, 13u);
+}
+
+TEST(Forwarding, RemovedInnerNodeCutsSubtree) {
+  const auto result = run_swarm_attestation(config_of(15),
+                                            SwarmProtocol::kForwardingTree, {}, {1});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.absent_ids, (std::vector<std::size_t>{1, 3, 4, 7, 8, 9, 10}));
+  EXPECT_EQ(result.reported_good, 8u);
+}
+
+TEST(Forwarding, FasterThanStarSlowerVrfThanCollective) {
+  const auto fwd =
+      run_swarm_attestation(config_of(255), SwarmProtocol::kForwardingTree, {});
+  const auto agg =
+      run_swarm_attestation(config_of(255), SwarmProtocol::kCollectiveTree, {});
+  const auto star = run_swarm_attestation(config_of(255), SwarmProtocol::kNaiveStar, {});
+  // Latency: forwarding is tree-parallel like the aggregate, far ahead of
+  // the star.
+  EXPECT_LT(fwd.total_time, star.total_time / 10);
+  // Messages: forwarding pays depth hops per report, the aggregate pays
+  // one message per node.
+  EXPECT_GT(fwd.messages, agg.messages);
+  // Verifier work exists in both (the aggregate Vrf recomputes the chain),
+  // but only forwarding also delivers every per-device report.
+  EXPECT_EQ(fwd.vrf_verifications, 255u);
+}
+
+TEST(Forwarding, MessageCountReflectsDepth) {
+  // n=7 binary tree: depths {0,1,1,2,2,2,2};
+  // messages = 2 * sum(depth+1) = 2 * (1 + 2 + 2 + 4*3) = 34.
+  const auto result =
+      run_swarm_attestation(config_of(7), SwarmProtocol::kForwardingTree, {});
+  EXPECT_EQ(result.messages, 34u);
+}
+
+}  // namespace
+}  // namespace rasc::swarm

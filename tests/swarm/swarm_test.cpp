@@ -1,0 +1,123 @@
+#include "src/swarm/swarm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::swarm {
+namespace {
+
+SwarmConfig config_of(std::size_t n, std::size_t branching = 2) {
+  SwarmConfig config;
+  config.device_count = n;
+  config.branching = branching;
+  return config;
+}
+
+TEST(TreeDepth, KnownShapes) {
+  EXPECT_EQ(tree_depth(1, 2), 0u);
+  EXPECT_EQ(tree_depth(3, 2), 1u);
+  EXPECT_EQ(tree_depth(7, 2), 2u);
+  EXPECT_EQ(tree_depth(15, 2), 3u);
+  EXPECT_EQ(tree_depth(13, 3), 2u);
+  EXPECT_EQ(tree_depth(40, 3), 3u);
+}
+
+TEST(Swarm, ProtocolNames) {
+  EXPECT_NE(swarm_protocol_name(SwarmProtocol::kNaiveStar),
+            swarm_protocol_name(SwarmProtocol::kCollectiveTree));
+}
+
+TEST(Swarm, InvalidConfigThrows) {
+  EXPECT_THROW(
+      run_swarm_attestation(config_of(0), SwarmProtocol::kCollectiveTree, {}),
+      std::invalid_argument);
+  SwarmConfig bad = config_of(4);
+  bad.branching = 0;
+  EXPECT_THROW(run_swarm_attestation(bad, SwarmProtocol::kCollectiveTree, {}),
+               std::invalid_argument);
+}
+
+class BothProtocols : public ::testing::TestWithParam<SwarmProtocol> {};
+INSTANTIATE_TEST_SUITE_P(Protocols, BothProtocols,
+                         ::testing::Values(SwarmProtocol::kNaiveStar,
+                                           SwarmProtocol::kCollectiveTree));
+
+TEST_P(BothProtocols, CleanSwarmAllGood) {
+  const auto result = run_swarm_attestation(config_of(15), GetParam(), {});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.devices, 15u);
+  EXPECT_EQ(result.reported_good, 15u);
+  EXPECT_TRUE(result.failed_ids.empty());
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST_P(BothProtocols, InfectedDevicesAreNamed) {
+  const std::set<std::size_t> infected = {3, 7, 11};
+  const auto result = run_swarm_attestation(config_of(15), GetParam(), infected);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.reported_good, 12u);
+  EXPECT_EQ(result.failed_ids, (std::vector<std::size_t>{3, 7, 11}));
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST_P(BothProtocols, InfectedRootStillReported) {
+  const auto result = run_swarm_attestation(config_of(7), GetParam(), {0});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failed_ids, (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+TEST_P(BothProtocols, SingleDeviceSwarm) {
+  const auto result = run_swarm_attestation(config_of(1), GetParam(), {});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.reported_good, 1u);
+}
+
+TEST(Swarm, CollectiveScalesWithDepthNotCount) {
+  // Collective: parallel measurement + per-level hops => near-flat in n.
+  // Star: strictly linear in n.
+  const auto tree_15 =
+      run_swarm_attestation(config_of(15), SwarmProtocol::kCollectiveTree, {});
+  const auto tree_255 =
+      run_swarm_attestation(config_of(255), SwarmProtocol::kCollectiveTree, {});
+  const auto star_15 =
+      run_swarm_attestation(config_of(15), SwarmProtocol::kNaiveStar, {});
+  const auto star_255 =
+      run_swarm_attestation(config_of(255), SwarmProtocol::kNaiveStar, {});
+
+  const double tree_growth = static_cast<double>(tree_255.total_time) /
+                             static_cast<double>(tree_15.total_time);
+  const double star_growth = static_cast<double>(star_255.total_time) /
+                             static_cast<double>(star_15.total_time);
+  EXPECT_LT(tree_growth, 3.0);    // depth 3 -> 7, plus Vrf chain check
+  EXPECT_NEAR(star_growth, 17.0, 0.5);  // 255/15
+  EXPECT_LT(tree_255.total_time, star_255.total_time / 10);
+}
+
+TEST(Swarm, MessageCountsAreLinearInBoth) {
+  const auto tree = run_swarm_attestation(config_of(31), SwarmProtocol::kCollectiveTree, {});
+  const auto star = run_swarm_attestation(config_of(31), SwarmProtocol::kNaiveStar, {});
+  // Tree: one request arrival + one report per node.
+  EXPECT_EQ(tree.messages, 2u * 31u);
+  EXPECT_EQ(star.messages, 2u * 31u);
+}
+
+TEST(Swarm, WiderTreesFinishFaster) {
+  SwarmConfig binary = config_of(121, 2);
+  SwarmConfig wide = config_of(121, 8);
+  const auto b = run_swarm_attestation(binary, SwarmProtocol::kCollectiveTree, {});
+  const auto w = run_swarm_attestation(wide, SwarmProtocol::kCollectiveTree, {});
+  EXPECT_LT(w.total_time, b.total_time);
+}
+
+TEST(Swarm, ManyInfectionsStillAuthentic) {
+  std::set<std::size_t> infected;
+  for (std::size_t i = 0; i < 31; i += 2) infected.insert(i);
+  const auto result =
+      run_swarm_attestation(config_of(31), SwarmProtocol::kCollectiveTree, infected);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.failed_ids.size(), infected.size());
+  EXPECT_TRUE(result.aggregate_authentic);
+}
+
+}  // namespace
+}  // namespace rasc::swarm
