@@ -1,0 +1,129 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rasc::ra_support" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_support )
+list(APPEND _cmake_import_check_files_for_rasc::ra_support "${_IMPORT_PREFIX}/lib/libra_support.a" )
+
+# Import target "rasc::ra_bignum" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_bignum APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_bignum PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_bignum.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_bignum )
+list(APPEND _cmake_import_check_files_for_rasc::ra_bignum "${_IMPORT_PREFIX}/lib/libra_bignum.a" )
+
+# Import target "rasc::ra_crypto" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_crypto APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_crypto PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_crypto.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_crypto )
+list(APPEND _cmake_import_check_files_for_rasc::ra_crypto "${_IMPORT_PREFIX}/lib/libra_crypto.a" )
+
+# Import target "rasc::ra_sim" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_sim )
+list(APPEND _cmake_import_check_files_for_rasc::ra_sim "${_IMPORT_PREFIX}/lib/libra_sim.a" )
+
+# Import target "rasc::ra_malware" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_malware APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_malware PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_malware.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_malware )
+list(APPEND _cmake_import_check_files_for_rasc::ra_malware "${_IMPORT_PREFIX}/lib/libra_malware.a" )
+
+# Import target "rasc::ra_attest" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_attest APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_attest PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_attest.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_attest )
+list(APPEND _cmake_import_check_files_for_rasc::ra_attest "${_IMPORT_PREFIX}/lib/libra_attest.a" )
+
+# Import target "rasc::ra_locking" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_locking APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_locking PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_locking.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_locking )
+list(APPEND _cmake_import_check_files_for_rasc::ra_locking "${_IMPORT_PREFIX}/lib/libra_locking.a" )
+
+# Import target "rasc::ra_smarm" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_smarm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_smarm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_smarm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_smarm )
+list(APPEND _cmake_import_check_files_for_rasc::ra_smarm "${_IMPORT_PREFIX}/lib/libra_smarm.a" )
+
+# Import target "rasc::ra_selfmeasure" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_selfmeasure APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_selfmeasure PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_selfmeasure.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_selfmeasure )
+list(APPEND _cmake_import_check_files_for_rasc::ra_selfmeasure "${_IMPORT_PREFIX}/lib/libra_selfmeasure.a" )
+
+# Import target "rasc::ra_softatt" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_softatt APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_softatt PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_softatt.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_softatt )
+list(APPEND _cmake_import_check_files_for_rasc::ra_softatt "${_IMPORT_PREFIX}/lib/libra_softatt.a" )
+
+# Import target "rasc::ra_swarm" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_swarm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_swarm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_swarm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_swarm )
+list(APPEND _cmake_import_check_files_for_rasc::ra_swarm "${_IMPORT_PREFIX}/lib/libra_swarm.a" )
+
+# Import target "rasc::ra_apps" for configuration "RelWithDebInfo"
+set_property(TARGET rasc::ra_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rasc::ra_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libra_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets rasc::ra_apps )
+list(APPEND _cmake_import_check_files_for_rasc::ra_apps "${_IMPORT_PREFIX}/lib/libra_apps.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_crypto_timings.dir/fig2_crypto_timings.cpp.o"
+  "CMakeFiles/fig2_crypto_timings.dir/fig2_crypto_timings.cpp.o.d"
+  "fig2_crypto_timings"
+  "fig2_crypto_timings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_crypto_timings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_consistency.dir/fig4_consistency.cpp.o"
+  "CMakeFiles/fig4_consistency.dir/fig4_consistency.cpp.o.d"
+  "fig4_consistency"
+  "fig4_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_qoa.cpp" "bench/CMakeFiles/fig5_qoa.dir/fig5_qoa.cpp.o" "gcc" "bench/CMakeFiles/fig5_qoa.dir/fig5_qoa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smarm/CMakeFiles/ra_smarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ra_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/ra_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/ra_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/ra_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/softatt/CMakeFiles/ra_softatt.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/ra_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_qoa.dir/fig5_qoa.cpp.o"
+  "CMakeFiles/fig5_qoa.dir/fig5_qoa.cpp.o.d"
+  "fig5_qoa"
+  "fig5_qoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_qoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec25_fire_alarm.dir/sec25_fire_alarm.cpp.o"
+  "CMakeFiles/sec25_fire_alarm.dir/sec25_fire_alarm.cpp.o.d"
+  "sec25_fire_alarm"
+  "sec25_fire_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec25_fire_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

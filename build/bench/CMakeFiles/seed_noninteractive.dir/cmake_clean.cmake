@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_noninteractive.dir/seed_noninteractive.cpp.o"
+  "CMakeFiles/seed_noninteractive.dir/seed_noninteractive.cpp.o.d"
+  "seed_noninteractive"
+  "seed_noninteractive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_noninteractive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

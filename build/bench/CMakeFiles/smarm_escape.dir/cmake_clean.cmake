@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarm_escape.dir/smarm_escape.cpp.o"
+  "CMakeFiles/smarm_escape.dir/smarm_escape.cpp.o.d"
+  "smarm_escape"
+  "smarm_escape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarm_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softatt_timing.dir/softatt_timing.cpp.o"
+  "CMakeFiles/softatt_timing.dir/softatt_timing.cpp.o.d"
+  "softatt_timing"
+  "softatt_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softatt_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_attestation.dir/swarm_attestation.cpp.o"
+  "CMakeFiles/swarm_attestation.dir/swarm_attestation.cpp.o.d"
+  "swarm_attestation"
+  "swarm_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erasmus_unattended.dir/erasmus_unattended.cpp.o"
+  "CMakeFiles/erasmus_unattended.dir/erasmus_unattended.cpp.o.d"
+  "erasmus_unattended"
+  "erasmus_unattended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erasmus_unattended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for erasmus_unattended.
+# This may be replaced when dependencies are built.

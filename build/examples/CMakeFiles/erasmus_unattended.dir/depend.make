@@ -1,0 +1,2 @@
+# Empty dependencies file for erasmus_unattended.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_alarm_demo.dir/fire_alarm_demo.cpp.o"
+  "CMakeFiles/fire_alarm_demo.dir/fire_alarm_demo.cpp.o.d"
+  "fire_alarm_demo"
+  "fire_alarm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_alarm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

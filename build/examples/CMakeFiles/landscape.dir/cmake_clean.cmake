@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/landscape.dir/landscape.cpp.o"
+  "CMakeFiles/landscape.dir/landscape.cpp.o.d"
+  "landscape"
+  "landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

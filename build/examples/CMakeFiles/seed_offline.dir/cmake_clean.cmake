@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_offline.dir/seed_offline.cpp.o"
+  "CMakeFiles/seed_offline.dir/seed_offline.cpp.o.d"
+  "seed_offline"
+  "seed_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarm_detection.dir/smarm_detection.cpp.o"
+  "CMakeFiles/smarm_detection.dir/smarm_detection.cpp.o.d"
+  "smarm_detection"
+  "smarm_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarm_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

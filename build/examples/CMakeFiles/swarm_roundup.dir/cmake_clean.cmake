@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_roundup.dir/swarm_roundup.cpp.o"
+  "CMakeFiles/swarm_roundup.dir/swarm_roundup.cpp.o.d"
+  "swarm_roundup"
+  "swarm_roundup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_roundup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bignum")
+subdirs("crypto")
+subdirs("sim")
+subdirs("malware")
+subdirs("attest")
+subdirs("locking")
+subdirs("smarm")
+subdirs("softatt")
+subdirs("swarm")
+subdirs("selfmeasure")
+subdirs("apps")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fire_alarm.cpp" "src/apps/CMakeFiles/ra_apps.dir/fire_alarm.cpp.o" "gcc" "src/apps/CMakeFiles/ra_apps.dir/fire_alarm.cpp.o.d"
+  "/root/repo/src/apps/scenario.cpp" "src/apps/CMakeFiles/ra_apps.dir/scenario.cpp.o" "gcc" "src/apps/CMakeFiles/ra_apps.dir/scenario.cpp.o.d"
+  "/root/repo/src/apps/tytan.cpp" "src/apps/CMakeFiles/ra_apps.dir/tytan.cpp.o" "gcc" "src/apps/CMakeFiles/ra_apps.dir/tytan.cpp.o.d"
+  "/root/repo/src/apps/writer_task.cpp" "src/apps/CMakeFiles/ra_apps.dir/writer_task.cpp.o" "gcc" "src/apps/CMakeFiles/ra_apps.dir/writer_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attest/CMakeFiles/ra_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/ra_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/ra_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_apps.dir/fire_alarm.cpp.o"
+  "CMakeFiles/ra_apps.dir/fire_alarm.cpp.o.d"
+  "CMakeFiles/ra_apps.dir/scenario.cpp.o"
+  "CMakeFiles/ra_apps.dir/scenario.cpp.o.d"
+  "CMakeFiles/ra_apps.dir/tytan.cpp.o"
+  "CMakeFiles/ra_apps.dir/tytan.cpp.o.d"
+  "CMakeFiles/ra_apps.dir/writer_task.cpp.o"
+  "CMakeFiles/ra_apps.dir/writer_task.cpp.o.d"
+  "libra_apps.a"
+  "libra_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

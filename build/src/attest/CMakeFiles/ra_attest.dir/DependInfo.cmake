@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attest/mac_engine.cpp" "src/attest/CMakeFiles/ra_attest.dir/mac_engine.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/mac_engine.cpp.o.d"
+  "/root/repo/src/attest/measurement.cpp" "src/attest/CMakeFiles/ra_attest.dir/measurement.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/measurement.cpp.o.d"
+  "/root/repo/src/attest/protocol.cpp" "src/attest/CMakeFiles/ra_attest.dir/protocol.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/protocol.cpp.o.d"
+  "/root/repo/src/attest/prover.cpp" "src/attest/CMakeFiles/ra_attest.dir/prover.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/prover.cpp.o.d"
+  "/root/repo/src/attest/remediation.cpp" "src/attest/CMakeFiles/ra_attest.dir/remediation.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/remediation.cpp.o.d"
+  "/root/repo/src/attest/report.cpp" "src/attest/CMakeFiles/ra_attest.dir/report.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/report.cpp.o.d"
+  "/root/repo/src/attest/verifier.cpp" "src/attest/CMakeFiles/ra_attest.dir/verifier.cpp.o" "gcc" "src/attest/CMakeFiles/ra_attest.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

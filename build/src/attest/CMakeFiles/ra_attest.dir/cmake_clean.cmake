@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_attest.dir/mac_engine.cpp.o"
+  "CMakeFiles/ra_attest.dir/mac_engine.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/measurement.cpp.o"
+  "CMakeFiles/ra_attest.dir/measurement.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/protocol.cpp.o"
+  "CMakeFiles/ra_attest.dir/protocol.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/prover.cpp.o"
+  "CMakeFiles/ra_attest.dir/prover.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/remediation.cpp.o"
+  "CMakeFiles/ra_attest.dir/remediation.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/report.cpp.o"
+  "CMakeFiles/ra_attest.dir/report.cpp.o.d"
+  "CMakeFiles/ra_attest.dir/verifier.cpp.o"
+  "CMakeFiles/ra_attest.dir/verifier.cpp.o.d"
+  "libra_attest.a"
+  "libra_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

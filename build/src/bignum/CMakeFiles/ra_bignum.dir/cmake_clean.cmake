@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_bignum.dir/bignum.cpp.o"
+  "CMakeFiles/ra_bignum.dir/bignum.cpp.o.d"
+  "CMakeFiles/ra_bignum.dir/prime.cpp.o"
+  "CMakeFiles/ra_bignum.dir/prime.cpp.o.d"
+  "libra_bignum.a"
+  "libra_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

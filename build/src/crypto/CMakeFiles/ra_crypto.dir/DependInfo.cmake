@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/blake2b.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/blake2b.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/blake2b.cpp.o.d"
+  "/root/repo/src/crypto/blake2s.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/blake2s.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/blake2s.cpp.o.d"
+  "/root/repo/src/crypto/cbcmac.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/cbcmac.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/cbcmac.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/ec.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/ec.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/ec.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/hash.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/hash.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/hash.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha512.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/sha512.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/sha512.cpp.o.d"
+  "/root/repo/src/crypto/sig.cpp" "src/crypto/CMakeFiles/ra_crypto.dir/sig.cpp.o" "gcc" "src/crypto/CMakeFiles/ra_crypto.dir/sig.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_crypto.dir/aes.cpp.o"
+  "CMakeFiles/ra_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/blake2b.cpp.o"
+  "CMakeFiles/ra_crypto.dir/blake2b.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/blake2s.cpp.o"
+  "CMakeFiles/ra_crypto.dir/blake2s.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/cbcmac.cpp.o"
+  "CMakeFiles/ra_crypto.dir/cbcmac.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/ra_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/ec.cpp.o"
+  "CMakeFiles/ra_crypto.dir/ec.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/ra_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/hash.cpp.o"
+  "CMakeFiles/ra_crypto.dir/hash.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/ra_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/ra_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ra_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/sha512.cpp.o"
+  "CMakeFiles/ra_crypto.dir/sha512.cpp.o.d"
+  "CMakeFiles/ra_crypto.dir/sig.cpp.o"
+  "CMakeFiles/ra_crypto.dir/sig.cpp.o.d"
+  "libra_crypto.a"
+  "libra_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

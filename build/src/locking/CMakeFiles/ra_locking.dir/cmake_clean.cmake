@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_locking.dir/consistency.cpp.o"
+  "CMakeFiles/ra_locking.dir/consistency.cpp.o.d"
+  "CMakeFiles/ra_locking.dir/policies.cpp.o"
+  "CMakeFiles/ra_locking.dir/policies.cpp.o.d"
+  "libra_locking.a"
+  "libra_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfmeasure/erasmus.cpp" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/erasmus.cpp.o" "gcc" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/erasmus.cpp.o.d"
+  "/root/repo/src/selfmeasure/qoa.cpp" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/qoa.cpp.o" "gcc" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/qoa.cpp.o.d"
+  "/root/repo/src/selfmeasure/seed.cpp" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/seed.cpp.o" "gcc" "src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/seed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attest/CMakeFiles/ra_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

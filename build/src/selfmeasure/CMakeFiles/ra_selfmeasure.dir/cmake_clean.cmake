@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_selfmeasure.dir/erasmus.cpp.o"
+  "CMakeFiles/ra_selfmeasure.dir/erasmus.cpp.o.d"
+  "CMakeFiles/ra_selfmeasure.dir/qoa.cpp.o"
+  "CMakeFiles/ra_selfmeasure.dir/qoa.cpp.o.d"
+  "CMakeFiles/ra_selfmeasure.dir/seed.cpp.o"
+  "CMakeFiles/ra_selfmeasure.dir/seed.cpp.o.d"
+  "libra_selfmeasure.a"
+  "libra_selfmeasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_selfmeasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/sim/CMakeFiles/ra_sim.dir/cpu.cpp.o" "gcc" "src/sim/CMakeFiles/ra_sim.dir/cpu.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/ra_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/ra_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/ra_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/ra_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/ra_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/ra_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/ra_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ra_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_sim.dir/cpu.cpp.o"
+  "CMakeFiles/ra_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/ra_sim.dir/cpu_model.cpp.o"
+  "CMakeFiles/ra_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/ra_sim.dir/memory.cpp.o"
+  "CMakeFiles/ra_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/ra_sim.dir/network.cpp.o"
+  "CMakeFiles/ra_sim.dir/network.cpp.o.d"
+  "CMakeFiles/ra_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ra_sim.dir/simulator.cpp.o.d"
+  "libra_sim.a"
+  "libra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

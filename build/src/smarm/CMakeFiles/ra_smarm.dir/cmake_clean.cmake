@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_smarm.dir/escape.cpp.o"
+  "CMakeFiles/ra_smarm.dir/escape.cpp.o.d"
+  "CMakeFiles/ra_smarm.dir/runner.cpp.o"
+  "CMakeFiles/ra_smarm.dir/runner.cpp.o.d"
+  "libra_smarm.a"
+  "libra_smarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_smarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_softatt.dir/checksum.cpp.o"
+  "CMakeFiles/ra_softatt.dir/checksum.cpp.o.d"
+  "CMakeFiles/ra_softatt.dir/protocol.cpp.o"
+  "CMakeFiles/ra_softatt.dir/protocol.cpp.o.d"
+  "libra_softatt.a"
+  "libra_softatt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_softatt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_support.dir/bytes.cpp.o"
+  "CMakeFiles/ra_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/ra_support.dir/hex.cpp.o"
+  "CMakeFiles/ra_support.dir/hex.cpp.o.d"
+  "CMakeFiles/ra_support.dir/plot.cpp.o"
+  "CMakeFiles/ra_support.dir/plot.cpp.o.d"
+  "CMakeFiles/ra_support.dir/rng.cpp.o"
+  "CMakeFiles/ra_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ra_support.dir/table.cpp.o"
+  "CMakeFiles/ra_support.dir/table.cpp.o.d"
+  "libra_support.a"
+  "libra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

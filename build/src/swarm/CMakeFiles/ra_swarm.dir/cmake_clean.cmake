@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_swarm.dir/swarm.cpp.o"
+  "CMakeFiles/ra_swarm.dir/swarm.cpp.o.d"
+  "libra_swarm.a"
+  "libra_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attest/mac_engine_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/mac_engine_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/mac_engine_test.cpp.o.d"
+  "/root/repo/tests/attest/measurement_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/measurement_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/measurement_test.cpp.o.d"
+  "/root/repo/tests/attest/protocol_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/protocol_test.cpp.o.d"
+  "/root/repo/tests/attest/prover_matrix_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/prover_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/prover_matrix_test.cpp.o.d"
+  "/root/repo/tests/attest/prover_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/prover_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/prover_test.cpp.o.d"
+  "/root/repo/tests/attest/remediation_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/remediation_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/remediation_test.cpp.o.d"
+  "/root/repo/tests/attest/report_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/report_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/report_test.cpp.o.d"
+  "/root/repo/tests/attest/verifier_test.cpp" "tests/CMakeFiles/attest_test.dir/attest/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/attest_test.dir/attest/verifier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smarm/CMakeFiles/ra_smarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ra_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/ra_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/locking/CMakeFiles/ra_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfmeasure/CMakeFiles/ra_selfmeasure.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/ra_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/softatt/CMakeFiles/ra_softatt.dir/DependInfo.cmake"
+  "/root/repo/build/src/swarm/CMakeFiles/ra_swarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ra_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ra_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

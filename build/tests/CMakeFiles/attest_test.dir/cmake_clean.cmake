@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_test.dir/attest/mac_engine_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/mac_engine_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/measurement_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/measurement_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/protocol_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/protocol_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/prover_matrix_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/prover_matrix_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/prover_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/prover_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/remediation_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/remediation_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/report_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/report_test.cpp.o.d"
+  "CMakeFiles/attest_test.dir/attest/verifier_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest/verifier_test.cpp.o.d"
+  "attest_test"
+  "attest_test.pdb"
+  "attest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

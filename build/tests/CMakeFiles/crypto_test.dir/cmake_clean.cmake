@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/cbcmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/cbcmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/drbg_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/drbg_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/ec_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/ec_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/ecdsa_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/ecdsa_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hash_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/rsa_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/rsa_test.cpp.o.d"
+  "CMakeFiles/crypto_test.dir/crypto/sig_test.cpp.o"
+  "CMakeFiles/crypto_test.dir/crypto/sig_test.cpp.o.d"
+  "crypto_test"
+  "crypto_test.pdb"
+  "crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

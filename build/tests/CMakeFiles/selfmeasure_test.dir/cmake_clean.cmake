@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/erasmus_test.cpp.o"
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/erasmus_test.cpp.o.d"
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/qoa_test.cpp.o"
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/qoa_test.cpp.o.d"
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/seed_test.cpp.o"
+  "CMakeFiles/selfmeasure_test.dir/selfmeasure/seed_test.cpp.o.d"
+  "selfmeasure_test"
+  "selfmeasure_test.pdb"
+  "selfmeasure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selfmeasure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smarm_test.dir/smarm/escape_test.cpp.o"
+  "CMakeFiles/smarm_test.dir/smarm/escape_test.cpp.o.d"
+  "CMakeFiles/smarm_test.dir/smarm/runner_test.cpp.o"
+  "CMakeFiles/smarm_test.dir/smarm/runner_test.cpp.o.d"
+  "smarm_test"
+  "smarm_test.pdb"
+  "smarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softatt_test.dir/softatt/checksum_test.cpp.o"
+  "CMakeFiles/softatt_test.dir/softatt/checksum_test.cpp.o.d"
+  "CMakeFiles/softatt_test.dir/softatt/protocol_test.cpp.o"
+  "CMakeFiles/softatt_test.dir/softatt/protocol_test.cpp.o.d"
+  "softatt_test"
+  "softatt_test.pdb"
+  "softatt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softatt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/malware_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_test[1]_include.cmake")
+include("/root/repo/build/tests/locking_test[1]_include.cmake")
+include("/root/repo/build/tests/smarm_test[1]_include.cmake")
+include("/root/repo/build/tests/softatt_test[1]_include.cmake")
+include("/root/repo/build/tests/swarm_test[1]_include.cmake")
+include("/root/repo/build/tests/selfmeasure_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
