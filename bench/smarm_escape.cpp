@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/obs/bench_io.hpp"
 #include "src/smarm/escape.hpp"
 #include "src/smarm/runner.hpp"
 #include "src/support/plot.hpp"
@@ -30,12 +31,16 @@ int main() {
   std::printf("%s\n", single.render().c_str());
 
   std::printf("--- full-stack check (device sim + verifier, n=12, 400 trials) ---\n");
+  obs::MetricsRegistry metrics;
   smarm::RunnerConfig config;
   config.blocks = 12;
   config.block_size = 512;
+  config.metrics = &metrics;  // per-round latency percentiles across all trials
   const double full = smarm::full_stack_single_round_escape(config, 400);
   std::printf("full-stack escape: %.3f   analytic: %.3f\n\n", full,
               smarm::single_round_escape(12));
+  metrics.gauge("escape_rate/full_stack").set(full);
+  metrics.gauge("escape_rate/analytic").set(smarm::single_round_escape(12));
 
   std::printf("--- multi-round escape (n = 64) ---\n");
   support::Table multi({"rounds", "analytic escape", "Monte-Carlo", "paper note"});
@@ -70,5 +75,8 @@ int main() {
   std::printf("%s\n", rounds_table.render().c_str());
   std::printf("Escape decays exponentially with rounds; 13-14 independent\n");
   std::printf("measurements suffice for a false-negative rate below 10^-6.\n");
+
+  const std::string json_path = obs::write_bench_json(metrics, "smarm_escape");
+  if (!json_path.empty()) std::printf("machine-readable results: %s\n", json_path.c_str());
   return 0;
 }

@@ -28,9 +28,27 @@ void FireAlarmTask::complete_sample(sim::Time scheduled_at) {
   ++samples_taken_;
   const sim::Duration delay = now - scheduled_at;
   if (delay > max_delay_) max_delay_ = delay;
+  const bool missed = delay > config_.deadline;
+  if (missed) ++deadline_misses_;
+  auto* sink = device_.sim().trace_sink();
+  if (sink != nullptr && missed) {
+    sink->instant(now, "app/" + device_.id(), "fire_alarm.deadline_miss",
+                  {obs::arg("delay_ms", sim::to_millis(delay))});
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("fire_alarm.samples").inc();
+    metrics_->histogram("fire_alarm.sample_delay_ms").record(sim::to_millis(delay));
+    if (missed) metrics_->counter("fire_alarm.deadline_miss").inc();
+  }
   // The sensor reads the *current* ambient state: a fire that started any
   // time before this sample executes is seen now.
-  if (fire_time_ && now >= *fire_time_ && !alarm_at_) alarm_at_ = now;
+  if (fire_time_ && now >= *fire_time_ && !alarm_at_) {
+    alarm_at_ = now;
+    if (sink != nullptr) {
+      sink->instant(now, "app/" + device_.id(), "fire_alarm.alarm_raised",
+                    {obs::arg("latency_ms", sim::to_millis(now - *fire_time_))});
+    }
+  }
 }
 
 std::optional<sim::Duration> FireAlarmTask::alarm_latency() const {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/device.hpp"
 
 namespace rasc::apps {
@@ -17,6 +18,10 @@ struct FireAlarmConfig {
   sim::Duration period = sim::kSecond;            ///< sensor sampling period
   sim::Duration sample_cost = 50 * sim::kMicrosecond;  ///< CPU per sample
   int priority = 100;                             ///< above everything else
+  /// A sample whose completion lags its scheduled arrival by more than
+  /// this misses its deadline (the paper's "promptness" requirement for
+  /// the safety-critical task).
+  sim::Duration deadline = 100 * sim::kMillisecond;
 };
 
 class FireAlarmTask final : public sim::Process {
@@ -41,6 +46,15 @@ class FireAlarmTask final : public sim::Process {
   /// completion (availability of the critical task under attestation).
   sim::Duration max_sample_delay() const noexcept { return max_delay_; }
 
+  /// Samples whose delay exceeded config.deadline.
+  std::size_t deadline_misses() const noexcept { return deadline_misses_; }
+
+  /// Attach a metrics registry (not owned).  Each executed sample records
+  /// its delay into the "fire_alarm.sample_delay_ms" histogram (p50/p95/
+  /// p99 response latency) and bumps "fire_alarm.samples"; misses bump
+  /// "fire_alarm.deadline_miss".
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
   // sim::Process
   std::optional<sim::Segment> next_segment() override;
 
@@ -54,6 +68,8 @@ class FireAlarmTask final : public sim::Process {
   std::optional<sim::Time> alarm_at_;
   std::size_t samples_taken_ = 0;
   sim::Duration max_delay_ = 0;
+  std::size_t deadline_misses_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace rasc::apps

@@ -149,6 +149,7 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
   dev_config.block_size = real_block_size;
   dev_config.attestation_key = support::to_bytes("fire-alarm-key");
   sim::Device device(simulator, dev_config);
+  simulator.set_trace_sink(config.trace);
   provision(device, 0xf12e);
   device.model().set_hash_time_scale(static_cast<double>(config.modeled_memory_bytes) /
                                      static_cast<double>(dev_config.memory_size));
@@ -164,7 +165,9 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
 
   FireAlarmConfig fa_config;
   fa_config.period = config.sensor_period;
+  fa_config.deadline = config.sample_deadline;
   FireAlarmTask alarm(device, fa_config);
+  alarm.set_metrics(config.metrics);
 
   FireAlarmScenarioOutcome outcome;
   const sim::Time t_mp = 2 * sim::kSecond;
@@ -188,6 +191,7 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
 
   outcome.alarm_latency = alarm.alarm_latency().value_or(0);
   outcome.max_sample_delay = alarm.max_sample_delay();
+  outcome.deadline_misses = alarm.deadline_misses();
   return outcome;
 }
 

@@ -15,6 +15,8 @@
 #include "src/locking/policies.hpp"
 #include "src/malware/relocating.hpp"
 #include "src/malware/transient.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace rasc::apps {
 
@@ -73,12 +75,20 @@ struct FireAlarmScenarioConfig {
   /// The fire breaks out this long after the measurement starts.
   sim::Duration fire_after_mp_start = 100 * sim::kMillisecond;
   sim::Duration sensor_period = sim::kSecond;
+  /// Deadline for each sensor sample (see FireAlarmConfig::deadline).
+  sim::Duration sample_deadline = 100 * sim::kMillisecond;
+  /// Optional observability (not owned): `trace` captures the full device
+  /// timeline (CPU segments, measurement spans, alarm instants); `metrics`
+  /// accumulates fire_alarm.* counters and the sample-delay histogram.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct FireAlarmScenarioOutcome {
   sim::Duration measurement_duration = 0;
   sim::Duration alarm_latency = 0;
   sim::Duration max_sample_delay = 0;
+  std::size_t deadline_misses = 0;
   bool attestation_ok = false;
 };
 

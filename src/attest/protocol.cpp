@@ -21,6 +21,10 @@ void OnDemandProtocol::run(std::uint64_t counter,
 
   const support::Bytes challenge = verifier_.issue_challenge(config_.challenge_size);
   timings->t_challenge_sent = sim.now();
+  if (auto* sink = sim.trace_sink()) {
+    sink->begin(sim.now(), "vrf", "ra.round", {obs::arg("counter", counter)});
+    sink->instant(sim.now(), "vrf", "vrf.challenge_sent");
+  }
 
   vrf_to_prv_.send(challenge, [this, timings, counter, done = std::move(done)](
                                   support::Bytes challenge_bytes) mutable {
@@ -48,11 +52,19 @@ void OnDemandProtocol::run(std::uint64_t counter,
                                               done = std::move(done)](support::Bytes) mutable {
           auto& sim = device_.sim();
           timings->t_report_received = sim.now();
+          if (auto* sink = sim.trace_sink()) {
+            sink->instant(sim.now(), "vrf", "vrf.report_received");
+          }
           sim.schedule_in(config_.verify_delay, [this, timings,
                                                  done = std::move(done)]() mutable {
             timings->t_verified = device_.sim().now();
             timings->outcome =
                 verifier_.verify(timings->attestation.report, /*expect_challenge=*/true);
+            if (auto* sink = device_.sim().trace_sink()) {
+              sink->end(timings->t_verified, "vrf",
+                        {obs::arg("verdict",
+                                  std::string(timings->outcome.ok() ? "ok" : "fail"))});
+            }
             done(*timings);
           });
         });

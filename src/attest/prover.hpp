@@ -88,6 +88,10 @@ class AttestationProcess final : public sim::Process {
   sim::Duration block_cost() const;
   sim::Duration finalize_cost() const;
 
+  /// Trace row for this prover's session/measure spans and the t_s, t_e,
+  /// t_r instants: "attest/<device-id>".
+  const std::string& trace_track() const noexcept { return trace_track_; }
+
   // sim::Process
   std::optional<sim::Segment> next_segment() override;
 
@@ -104,6 +108,7 @@ class AttestationProcess final : public sim::Process {
   sim::Device& device_;
   ProverConfig config_;
   LockPolicy* policy_;
+  std::string trace_track_;
   crypto::Signer* signer_ = nullptr;
   std::function<void(std::size_t, std::size_t)> observer_;
 

@@ -49,6 +49,14 @@ VerifyOutcome Verifier::verify(const Report& report, bool expect_challenge) {
     last_counter_ = report.counter;
     if (expect_challenge) outstanding_challenge_.reset();
   }
+  if (metrics_ != nullptr) {
+    metrics_->counter("verifier.verify_total").inc();
+    if (!out.ok()) metrics_->counter("verifier.verify_fail").inc();
+    if (!out.mac_ok) metrics_->counter("verifier.fail_mac").inc();
+    if (!out.digest_ok) metrics_->counter("verifier.fail_digest").inc();
+    if (!out.challenge_ok) metrics_->counter("verifier.fail_challenge").inc();
+    if (!out.counter_ok) metrics_->counter("verifier.fail_counter").inc();
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "src/attest/measurement.hpp"
 #include "src/attest/report.hpp"
 #include "src/crypto/drbg.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace rasc::attest {
 
@@ -46,6 +47,12 @@ class Verifier {
   std::uint64_t last_counter() const noexcept { return last_counter_; }
   void reset_counter() noexcept { last_counter_seen_ = false; }
 
+  /// Attach a metrics registry (not owned; nullptr to detach).  verify()
+  /// then accounts "verifier.verify_total", "verifier.verify_fail" and a
+  /// per-cause breakdown ("verifier.fail_mac", "verifier.fail_digest",
+  /// "verifier.fail_challenge", "verifier.fail_counter").
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
  private:
   crypto::HashKind hash_;
   MacKind mac_;
@@ -56,6 +63,7 @@ class Verifier {
   std::optional<support::Bytes> outstanding_challenge_;
   bool last_counter_seen_ = false;
   std::uint64_t last_counter_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace rasc::attest

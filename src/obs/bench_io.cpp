@@ -1,0 +1,34 @@
+#include "src/obs/bench_io.hpp"
+
+#include <fstream>
+
+#include "src/obs/json.hpp"
+
+namespace rasc::obs {
+
+std::string bench_json(const MetricsRegistry& registry, const std::string& name) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.string_value(name);
+  w.key("metrics");
+  w.raw_value(registry.to_json());
+  w.end_object();
+  return w.str();
+}
+
+std::string write_bench_json(const MetricsRegistry& registry, const std::string& name,
+                             const std::string& dir) {
+  std::string path;
+  if (!dir.empty()) path = dir + "/";
+  path += "BENCH_" + name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "";
+  const std::string json = bench_json(registry, name);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out << '\n';
+  if (!out) return "";
+  return path;
+}
+
+}  // namespace rasc::obs

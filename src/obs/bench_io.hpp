@@ -1,0 +1,21 @@
+#pragma once
+/// \file bench_io.hpp
+/// Machine-readable bench output: dump a MetricsRegistry as
+/// BENCH_<name>.json in the working directory, so every bench run leaves
+/// a structured artifact the perf trajectory can diff across PRs.
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+
+namespace rasc::obs {
+
+/// Serialize `{"bench": name, "metrics": <registry JSON>}`.
+std::string bench_json(const MetricsRegistry& registry, const std::string& name);
+
+/// Write bench_json() to `<dir>/BENCH_<name>.json` (dir "" = cwd).
+/// Returns the path written, or "" on I/O failure.
+std::string write_bench_json(const MetricsRegistry& registry, const std::string& name,
+                             const std::string& dir = "");
+
+}  // namespace rasc::obs

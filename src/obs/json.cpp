@@ -1,0 +1,115 @@
+#include "src/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rasc::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // comma handled when the key was written
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) out_ += ',';
+    wrote_element_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  wrote_element_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  wrote_element_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) out_ += ',';
+    wrote_element_.back() = true;
+  }
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::string_value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::number_value(double v) {
+  before_value();
+  out_ += json_number(v);
+}
+
+void JsonWriter::uint_value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::bool_value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::raw_value(std::string_view fragment) {
+  before_value();
+  out_ += fragment;
+}
+
+}  // namespace rasc::obs

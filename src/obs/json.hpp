@@ -1,0 +1,52 @@
+#pragma once
+/// \file json.hpp
+/// Minimal streaming JSON writer for the observability exporters (Chrome
+/// trace_event files, metrics dumps, BENCH_*.json).  Deterministic output:
+/// no locale dependence, fixed number formatting, insertion-ordered keys.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasc::obs {
+
+/// Escape a string for inclusion inside JSON quotes (without the quotes).
+std::string json_escape(std::string_view s);
+
+/// Shortest stable decimal rendering used for all JSON numbers: integers
+/// print without a fractional part, everything else as %.9g.
+std::string json_number(double v);
+
+/// Streaming writer.  The caller is responsible for a well-formed nesting
+/// sequence; keys are only legal directly inside objects.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void string_value(std::string_view v);
+  void number_value(double v);
+  void uint_value(std::uint64_t v);
+  void bool_value(bool v);
+  /// Append a pre-formatted JSON fragment as one value (e.g. a fixed-point
+  /// timestamp rendered elsewhere).
+  void raw_value(std::string_view fragment);
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written
+  /// (so the next one needs a comma).
+  std::vector<bool> wrote_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rasc::obs

@@ -1,0 +1,326 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+#include "src/obs/json.hpp"
+
+namespace rasc::obs {
+
+TraceArg arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), /*numeric=*/false};
+}
+
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), json_number(value), /*numeric=*/true};
+}
+
+TraceArg arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), /*numeric=*/true};
+}
+
+void TraceSink::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  while (cap != 0 && events_.size() > cap) {
+    events_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TraceSink::push(TraceEvent ev) {
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::begin(TimeNs t, std::string track, std::string name,
+                      std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kBegin;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::end(TimeNs t, std::string track, std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kEnd;
+  ev.track = std::move(track);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::instant(TimeNs t, std::string track, std::string name,
+                        std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kInstant;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::counter(TimeNs t, std::string track, std::string name, double value) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kCounter;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.value = value;
+  push(std::move(ev));
+}
+
+void TraceSink::complete(TimeNs start, TimeNs duration, std::string track,
+                         std::string name, std::vector<TraceArg> args) {
+  TraceEvent ev;
+  ev.time = start;
+  ev.duration = duration;
+  ev.kind = TraceEventKind::kComplete;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceSink::count_named(std::string_view name) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const TraceEvent& ev) { return ev.name == name; }));
+}
+
+std::vector<TraceSpan> TraceSink::spans() const {
+  std::vector<TraceSpan> out;
+  // Per-track stack of open begins; events are already time-ordered
+  // because simulated time is monotonic and pushes happen causally.
+  std::unordered_map<std::string, std::vector<TraceSpan>> open;
+  for (const TraceEvent& ev : events_) {
+    switch (ev.kind) {
+      case TraceEventKind::kBegin: {
+        auto& stack = open[ev.track];
+        TraceSpan span;
+        span.start = ev.time;
+        span.track = ev.track;
+        span.name = ev.name;
+        span.depth = static_cast<int>(stack.size());
+        span.args = ev.args;
+        stack.push_back(std::move(span));
+        break;
+      }
+      case TraceEventKind::kEnd: {
+        auto it = open.find(ev.track);
+        if (it == open.end() || it->second.empty()) break;  // unmatched end
+        TraceSpan span = std::move(it->second.back());
+        it->second.pop_back();
+        span.end = ev.time;
+        span.args.insert(span.args.end(), ev.args.begin(), ev.args.end());
+        out.push_back(std::move(span));
+        break;
+      }
+      case TraceEventKind::kComplete: {
+        auto it = open.find(ev.track);
+        TraceSpan span;
+        span.start = ev.time;
+        span.end = ev.time + ev.duration;
+        span.track = ev.track;
+        span.name = ev.name;
+        span.depth = it == open.end() ? 0 : static_cast<int>(it->second.size());
+        span.args = ev.args;
+        out.push_back(std::move(span));
+        break;
+      }
+      case TraceEventKind::kInstant:
+      case TraceEventKind::kCounter:
+        break;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.end > b.end;  // outermost first
+  });
+  return out;
+}
+
+std::vector<TraceSpan> TraceSink::spans_named(std::string_view name) const {
+  std::vector<TraceSpan> out;
+  for (auto& span : spans()) {
+    if (span.name == name) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+std::optional<TraceSpan> TraceSink::first_span_named(std::string_view name) const {
+  for (auto& span : spans()) {
+    if (span.name == name) return span;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TraceSink::last_counter(std::string_view name) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->kind == TraceEventKind::kCounter && it->name == name) return it->value;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Chrome trace timestamps are microseconds; render ns exactly as a
+/// fixed-point decimal so the export is deterministic.
+std::string micros_fixed(TimeNs ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+void write_args(JsonWriter& w, const std::vector<TraceArg>& args) {
+  if (args.empty()) return;
+  w.key("args");
+  w.begin_object();
+  for (const auto& a : args) {
+    w.key(a.key);
+    if (a.numeric) {
+      w.raw_value(a.value);
+    } else {
+      w.string_value(a.value);
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string TraceSink::to_chrome_json() const {
+  // Track -> tid in first-seen order (deterministic across runs).
+  std::unordered_map<std::string, int> tids;
+  std::vector<std::string> track_order;
+  for (const TraceEvent& ev : events_) {
+    if (tids.emplace(ev.track, static_cast<int>(track_order.size()) + 1).second) {
+      track_order.push_back(ev.track);
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.string_value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.key("name");
+  w.string_value("process_name");
+  w.key("ph");
+  w.string_value("M");
+  w.key("pid");
+  w.uint_value(1);
+  w.key("tid");
+  w.uint_value(0);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.string_value("rasc simulated device");
+  w.end_object();
+  w.end_object();
+
+  for (const std::string& track : track_order) {
+    w.begin_object();
+    w.key("name");
+    w.string_value("thread_name");
+    w.key("ph");
+    w.string_value("M");
+    w.key("pid");
+    w.uint_value(1);
+    w.key("tid");
+    w.uint_value(static_cast<std::uint64_t>(tids[track]));
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.string_value(track);
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const TraceEvent& ev : events_) {
+    w.begin_object();
+    switch (ev.kind) {
+      case TraceEventKind::kBegin:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("ph");
+        w.string_value("B");
+        break;
+      case TraceEventKind::kEnd:
+        w.key("ph");
+        w.string_value("E");
+        break;
+      case TraceEventKind::kInstant:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("ph");
+        w.string_value("i");
+        w.key("s");
+        w.string_value("t");
+        break;
+      case TraceEventKind::kCounter:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("ph");
+        w.string_value("C");
+        break;
+      case TraceEventKind::kComplete:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("ph");
+        w.string_value("X");
+        w.key("dur");
+        w.raw_value(micros_fixed(ev.duration));
+        break;
+    }
+    w.key("ts");
+    w.raw_value(micros_fixed(ev.time));
+    w.key("pid");
+    w.uint_value(1);
+    w.key("tid");
+    w.uint_value(static_cast<std::uint64_t>(tids[ev.track]));
+    if (ev.kind == TraceEventKind::kCounter) {
+      w.key("args");
+      w.begin_object();
+      w.key("value");
+      w.number_value(ev.value);
+      w.end_object();
+    } else {
+      write_args(w, ev.args);
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = to_chrome_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace rasc::obs

@@ -42,12 +42,20 @@ void SeedProver::start(sim::Time until) {
 
 void SeedProver::attest_epoch(std::uint64_t index) {
   if (mp_.busy()) return;  // previous epoch's measurement overran
+  if (auto* sink = device_.sim().trace_sink()) {
+    sink->instant(device_.sim().now(), "seed", "seed.epoch_start",
+                  {obs::arg("epoch", index)});
+  }
   // Counter = epoch index + 1 binds the report to its slot (replay of an
   // older report carries a stale counter and fails verification).
   attest::MeasurementContext context{device_.id(), {}, index + 1};
   mp_.start(std::move(context), [this](attest::AttestationResult result) {
     measurement_times_.push_back(result.t_e);
     ++sent_;
+    if (auto* sink = device_.sim().trace_sink()) {
+      sink->instant(device_.sim().now(), "seed", "seed.report_sent",
+                    {obs::arg("counter", result.report.counter)});
+    }
     auto report = std::make_shared<attest::Report>(std::move(result.report));
     support::Bytes payload = report->serialize_body();
     support::append(payload, report->mac);
@@ -84,11 +92,23 @@ void SeedVerifier::on_report(const attest::Report& report) {
   outcome.received = true;
   const auto verdict = verifier_.verify(report, /*expect_challenge=*/false);
   outcome.verified_ok = verdict.ok();
+  if (auto* sink = sim_.trace_sink()) {
+    if (!outcome.verified_ok) {
+      sink->instant(sim_.now(), "seed", "seed.bad_report",
+                    {obs::arg("epoch", outcome.epoch)});
+    }
+  }
 }
 
 void SeedVerifier::close_epoch(std::size_t slot) {
   EpochOutcome& outcome = outcomes_[slot];
-  if (!outcome.received) outcome.missing = true;
+  if (!outcome.received) {
+    outcome.missing = true;
+    if (auto* sink = sim_.trace_sink()) {
+      sink->instant(sim_.now(), "seed", "seed.missing_epoch",
+                    {obs::arg("epoch", outcome.epoch)});
+    }
+  }
 }
 
 std::size_t SeedVerifier::false_alarms() const noexcept {

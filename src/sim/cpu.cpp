@@ -7,17 +7,32 @@ namespace rasc::sim {
 void Cpu::make_ready(Process& p) {
   if (std::find(ready_.begin(), ready_.end(), &p) == ready_.end()) {
     ready_.push_back(&p);
+    // The core is occupied: remember when this process started waiting so
+    // the eventual dispatch can report the preemption wait.
+    if (running_ != nullptr && ready_since_.find(&p) == ready_since_.end()) {
+      ready_since_.emplace(&p, sim_.now());
+    }
   }
   schedule_dispatch();
 }
 
 void Cpu::remove(Process& p) {
   ready_.erase(std::remove(ready_.begin(), ready_.end(), &p), ready_.end());
+  ready_since_.erase(&p);
 }
 
 Duration Cpu::consumed(const std::string& name) const {
   const auto it = consumed_.find(name);
   return it == consumed_.end() ? 0 : it->second;
+}
+
+void Cpu::set_trace_capacity(std::size_t cap) {
+  trace_capacity_ = cap;
+  if (cap != 0 && trace_.size() > cap) {
+    trace_evicted_ += trace_.size() - cap;
+    trace_.erase(trace_.begin(),
+                 trace_.begin() + static_cast<std::ptrdiff_t>(trace_.size() - cap));
+  }
 }
 
 void Cpu::schedule_dispatch() {
@@ -27,6 +42,31 @@ void Cpu::schedule_dispatch() {
     dispatch_pending_ = false;
     dispatch();
   });
+}
+
+void Cpu::record_segment(Time start, const Process& p, Duration duration) {
+  // consumed_ is bounded: once kMaxConsumedEntries distinct names exist,
+  // new names aggregate under "(other)".
+  auto it = consumed_.find(p.name());
+  if (it != consumed_.end()) {
+    it->second += duration;
+  } else if (consumed_.size() < kMaxConsumedEntries) {
+    consumed_.emplace(p.name(), duration);
+  } else {
+    consumed_["(other)"] += duration;
+  }
+
+  if (trace_enabled_) {
+    if (trace_capacity_ != 0 && trace_.size() >= trace_capacity_) {
+      trace_.erase(trace_.begin());
+      ++trace_evicted_;
+    }
+    trace_.push_back(ExecutionRecord{start, sim_.now(), p.name()});
+  }
+
+  if (auto* sink = sim_.trace_sink()) {
+    sink->complete(start, duration, trace_track_, p.name());
+  }
 }
 
 void Cpu::dispatch() {
@@ -41,14 +81,23 @@ void Cpu::dispatch() {
     if (!segment) {
       // Parked: out of work until made ready again.
       ready_.erase(best);
+      ready_since_.erase(p);
       continue;
     }
     running_ = p;
     busy_until_ = sim_.now() + segment->duration;
     const Time start = sim_.now();
+    // Report how long this process waited for the core (segment-boundary
+    // preemption latency, the paper's interrupt-latency axis).
+    if (auto waited = ready_since_.find(p); waited != ready_since_.end()) {
+      if (auto* sink = sim_.trace_sink()) {
+        sink->complete(waited->second, start - waited->second, trace_track_ + "/wait",
+                       p->name());
+      }
+      ready_since_.erase(waited);
+    }
     sim_.schedule_at(busy_until_, [this, p, start, seg = std::move(*segment)]() mutable {
-      consumed_[p->name()] += seg.duration;
-      if (trace_enabled_) trace_.push_back(ExecutionRecord{start, sim_.now(), p->name()});
+      record_segment(start, *p, seg.duration);
       running_ = nullptr;
       if (seg.on_complete) seg.on_complete();
       dispatch();

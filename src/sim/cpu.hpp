@@ -76,16 +76,40 @@ class Cpu {
   /// End time of the current segment (valid when busy()).
   Time busy_until() const noexcept { return busy_until_; }
 
-  /// Total CPU time consumed per process name.
+  /// Total CPU time consumed per process name.  At most
+  /// kMaxConsumedEntries distinct names are tracked; beyond that, time is
+  /// aggregated under "(other)" so dynamically-named processes cannot grow
+  /// the map without bound in long-running scenarios.
   Duration consumed(const std::string& name) const;
 
-  /// Enable recording of every executed segment.
+  /// Enable recording of every executed segment (the legacy
+  /// ExecutionRecord path, kept for API compatibility — new code should
+  /// attach an obs::TraceSink to the Simulator instead, which receives a
+  /// complete span per segment regardless of this switch).
+  ///
+  /// The record log is bounded by set_trace_capacity(); unbounded by
+  /// default.  In long-running scenarios set a capacity: once full, the
+  /// OLDEST records are evicted first.
   void enable_trace(bool on) { trace_enabled_ = on; }
   const std::vector<ExecutionRecord>& trace() const noexcept { return trace_; }
+
+  /// Cap the ExecutionRecord log at `cap` entries (0 = unbounded), with
+  /// oldest-first eviction.  Evicted records are counted.
+  void set_trace_capacity(std::size_t cap);
+  std::size_t trace_evicted() const noexcept { return trace_evicted_; }
+
+  /// Track label used for segment spans on an attached obs::TraceSink
+  /// (default "cpu"; a Device sets "cpu/<device-id>" so multi-device
+  /// simulations keep one row per core).
+  void set_trace_track(std::string track) { trace_track_ = std::move(track); }
+  const std::string& trace_track() const noexcept { return trace_track_; }
+
+  static constexpr std::size_t kMaxConsumedEntries = 4096;
 
  private:
   void schedule_dispatch();
   void dispatch();
+  void record_segment(Time start, const Process& p, Duration duration);
 
   Simulator& sim_;
   std::vector<Process*> ready_;
@@ -93,8 +117,14 @@ class Cpu {
   Time busy_until_ = 0;
   bool dispatch_pending_ = false;
   std::unordered_map<std::string, Duration> consumed_;
+  /// Processes waiting for the core while it is busy: arrival time of the
+  /// make_ready that found the CPU occupied, for preemption-wait spans.
+  std::unordered_map<const Process*, Time> ready_since_;
   bool trace_enabled_ = false;
   std::vector<ExecutionRecord> trace_;
+  std::size_t trace_capacity_ = 0;
+  std::size_t trace_evicted_ = 0;
+  std::string trace_track_ = "cpu";
 };
 
 }  // namespace rasc::sim

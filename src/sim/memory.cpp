@@ -5,6 +5,16 @@
 
 namespace rasc::sim {
 
+std::string actor_name(Actor actor) {
+  switch (actor) {
+    case Actor::kApplication: return "app";
+    case Actor::kMalware: return "malware";
+    case Actor::kMeasurement: return "mp";
+    case Actor::kSystem: return "system";
+  }
+  return "?";
+}
+
 DeviceMemory::DeviceMemory(std::size_t size, std::size_t block_size)
     : block_size_(block_size) {
   if (block_size == 0 || size == 0 || size % block_size != 0) {
@@ -39,6 +49,7 @@ bool DeviceMemory::write(std::size_t addr, support::ByteView bytes, Time now, Ac
   for (std::size_t b = first; b <= last; ++b) any_locked |= locks_[b];
   for (std::size_t b = first; b <= last; ++b) {
     write_log_.push_back(WriteRecord{now, b, actor, any_locked});
+    if (write_observer_) write_observer_(write_log_.back());
   }
   if (any_locked) return false;
   std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
@@ -55,14 +66,20 @@ void DeviceMemory::load(support::ByteView image, std::size_t addr) {
   std::copy(image.begin(), image.end(), data_.begin() + static_cast<std::ptrdiff_t>(addr));
 }
 
+void DeviceMemory::notify_locks() {
+  if (lock_observer_) lock_observer_(locked_block_count());
+}
+
 void DeviceMemory::lock_block(std::size_t block) {
   if (block >= block_count()) throw std::out_of_range("lock_block out of range");
   locks_[block] = true;
+  notify_locks();
 }
 
 void DeviceMemory::unlock_block(std::size_t block) {
   if (block >= block_count()) throw std::out_of_range("unlock_block out of range");
   locks_[block] = false;
+  notify_locks();
 }
 
 bool DeviceMemory::locked(std::size_t block) const {
@@ -70,9 +87,15 @@ bool DeviceMemory::locked(std::size_t block) const {
   return locks_[block];
 }
 
-void DeviceMemory::lock_all() { std::fill(locks_.begin(), locks_.end(), true); }
+void DeviceMemory::lock_all() {
+  std::fill(locks_.begin(), locks_.end(), true);
+  notify_locks();
+}
 
-void DeviceMemory::unlock_all() { std::fill(locks_.begin(), locks_.end(), false); }
+void DeviceMemory::unlock_all() {
+  std::fill(locks_.begin(), locks_.end(), false);
+  notify_locks();
+}
 
 std::size_t DeviceMemory::locked_block_count() const noexcept {
   return static_cast<std::size_t>(std::count(locks_.begin(), locks_.end(), true));

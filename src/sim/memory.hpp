@@ -6,6 +6,8 @@
 /// consistency analyzer replay what changed during a measurement.
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "src/sim/time.hpp"
@@ -21,6 +23,9 @@ enum class Actor : std::uint8_t {
   kMeasurement,
   kSystem,
 };
+
+/// Short label for logs and traces ("app", "malware", "mp", "system").
+std::string actor_name(Actor actor);
 
 struct WriteRecord {
   Time time;
@@ -66,6 +71,22 @@ class DeviceMemory {
   void unlock_all();
   std::size_t locked_block_count() const noexcept;
 
+  // -- observability -----------------------------------------------------------
+  /// Invoked after every lock-state change with the new locked-block
+  /// count (per-block and bulk operations alike).  The Device wires this
+  /// to the trace sink as a "mem.locked_blocks" counter series, making
+  /// each locking policy's t_s/t_e/t_r transitions visible on the
+  /// timeline.
+  using LockObserver = std::function<void(std::size_t locked_blocks)>;
+  void set_lock_observer(LockObserver observer) { lock_observer_ = std::move(observer); }
+
+  /// Invoked for every write-log record as it is appended (one per
+  /// touched block, including MPU-rejected writes).
+  using WriteObserver = std::function<void(const WriteRecord&)>;
+  void set_write_observer(WriteObserver observer) {
+    write_observer_ = std::move(observer);
+  }
+
   // -- write log ---------------------------------------------------------------
   const std::vector<WriteRecord>& write_log() const noexcept { return write_log_; }
   void clear_write_log() { write_log_.clear(); }
@@ -76,10 +97,14 @@ class DeviceMemory {
  private:
   void check_range(std::size_t addr, std::size_t len) const;
 
+  void notify_locks();
+
   std::size_t block_size_;
   support::Bytes data_;
   std::vector<bool> locks_;
   std::vector<WriteRecord> write_log_;
+  LockObserver lock_observer_;
+  WriteObserver write_observer_;
 };
 
 }  // namespace rasc::sim

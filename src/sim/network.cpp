@@ -4,8 +4,14 @@ namespace rasc::sim {
 
 void Link::send(support::Bytes payload, Handler on_delivery) {
   ++sent_;
+  const Time sent_at = sim_.now();
+  obs::TraceSink* sink = sim_.trace_sink();
   if (rng_.chance(config_.drop_probability)) {
     ++dropped_;
+    if (sink != nullptr) {
+      sink->instant(sent_at, "net", "net.drop",
+                    {obs::arg("bytes", static_cast<std::uint64_t>(payload.size()))});
+    }
     return;
   }
   Duration transit = config_.base_latency;
@@ -13,6 +19,10 @@ void Link::send(support::Bytes payload, Handler on_delivery) {
   if (config_.bytes_per_second > 0) {
     transit += static_cast<Duration>(static_cast<double>(payload.size()) /
                                      config_.bytes_per_second * kSecond);
+  }
+  if (sink != nullptr) {
+    sink->complete(sent_at, transit, "net", "net.transit",
+                   {obs::arg("bytes", static_cast<std::uint64_t>(payload.size()))});
   }
   sim_.schedule_in(transit, [this, payload = std::move(payload),
                              handler = std::move(on_delivery)]() mutable {

@@ -31,6 +31,11 @@ bool Simulator::fire_next() {
     if (!*ev.alive) continue;  // cancelled
     *ev.alive = false;
     now_ = ev.time;
+    ++events_fired_;
+    if (trace_ != nullptr && events_fired_ % 4096 == 0) {
+      trace_->counter(now_, "sim", "sim.queue_depth",
+                      static_cast<double>(queue_.size()));
+    }
     ev.fn();
     return true;
   }

@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/time.hpp"
 
 namespace rasc::sim {
@@ -58,6 +59,15 @@ class Simulator {
 
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t events_fired() const noexcept { return events_fired_; }
+
+  /// Attach a trace sink (not owned; may be nullptr to detach).  All
+  /// simulation components reach the sink through their Simulator, so one
+  /// call instruments the whole device: CPU segments, memory locks,
+  /// network transits, attestation phases.  The dispatcher itself samples
+  /// queue depth onto the "sim" track every few thousand events.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_ = sink; }
+  obs::TraceSink* trace_sink() const noexcept { return trace_; }
 
  private:
   struct Event {
@@ -77,6 +87,8 @@ class Simulator {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t events_fired_ = 0;
+  obs::TraceSink* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

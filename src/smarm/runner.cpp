@@ -47,6 +47,9 @@ RunnerOutcome run_rounds(const RunnerConfig& config) {
     malware.on_measurement_progress(done, total);
   });
 
+  simulator.set_trace_sink(config.trace);
+  if (config.metrics != nullptr) verifier.set_metrics(config.metrics);
+
   RunnerOutcome outcome;
   for (std::size_t round = 0; round < config.rounds; ++round) {
     malware.on_measurement_start();
@@ -54,16 +57,34 @@ RunnerOutcome run_rounds(const RunnerConfig& config) {
     attest::MeasurementContext context{device.id(), challenge, round + 1};
     bool done = false;
     attest::VerifyOutcome verdict;
+    sim::Time t_s = 0;
+    sim::Time t_e = 0;
+    const sim::Time round_start = simulator.now();
+    if (config.trace != nullptr) {
+      config.trace->begin(round_start, "smarm", "smarm.round",
+                          {obs::arg("round", static_cast<std::uint64_t>(round + 1))});
+    }
     mp.start(std::move(context), [&](attest::AttestationResult result) {
       verdict = verifier.verify(result.report, /*expect_challenge=*/true);
+      t_s = result.t_s;
+      t_e = result.t_e;
       done = true;
     });
     simulator.run();
+    if (config.trace != nullptr) {
+      config.trace->end(simulator.now(), "smarm",
+                        {obs::arg("detected", std::string(done && !verdict.ok() ? "yes" : "no"))});
+    }
     if (!done) break;  // should not happen: the simulation quiesced early
     ++outcome.rounds_run;
+    if (config.metrics != nullptr) {
+      config.metrics->counter("smarm.rounds").inc();
+      config.metrics->histogram("smarm.round_duration_ms").record(sim::to_millis(t_e - t_s));
+    }
     if (!verdict.ok()) {
       ++outcome.detections;
       outcome.ever_detected = true;
+      if (config.metrics != nullptr) config.metrics->counter("smarm.detections").inc();
     }
   }
   outcome.malware_relocations = malware.relocations();

@@ -11,6 +11,8 @@
 #include "src/attest/prover.hpp"
 #include "src/attest/verifier.hpp"
 #include "src/malware/relocating.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/device.hpp"
 
 namespace rasc::smarm {
@@ -24,6 +26,12 @@ struct RunnerConfig {
   attest::ExecutionMode mode = attest::ExecutionMode::kInterruptible;
   malware::RelocationStrategy strategy = malware::RelocationStrategy::kRovingUniform;
   std::uint64_t seed = 1;  ///< varies malware randomness across trials
+  /// Optional observability (not owned): `trace` receives the device
+  /// timeline plus a "smarm.round" span per permutation round; `metrics`
+  /// accumulates "smarm.rounds"/"smarm.detections" counters and a
+  /// "smarm.round_duration_ms" histogram across runs.
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunnerOutcome {

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "src/obs/json.hpp"
+#include "src/obs/trace.hpp"
+
+namespace rasc::obs {
+namespace {
+
+/// Golden test: the exact Chrome trace_event serialization of a small,
+/// fully representative event set (every ph kind, multiple tracks, args).
+/// The format is a contract with chrome://tracing / Perfetto — any byte
+/// change here must be deliberate.
+TEST(ChromeTrace, GoldenExport) {
+  TraceSink sink;
+  sink.begin(1'000, "cpu", "task", {arg("mode", std::string("atomic"))});
+  sink.instant(1'500, "cpu", "tick");
+  sink.counter(2'000, "mem", "locked", 3.0);
+  sink.end(2'500, "cpu");
+  sink.complete(3'000, 250, "net", "send", {arg("bytes", std::uint64_t{16})});
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"rasc simulated device\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"cpu\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"mem\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"net\"}},"
+      "{\"name\":\"task\",\"ph\":\"B\",\"ts\":1.000,\"pid\":1,\"tid\":1,"
+      "\"args\":{\"mode\":\"atomic\"}},"
+      "{\"name\":\"tick\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1.500,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"locked\",\"ph\":\"C\",\"ts\":2.000,\"pid\":1,\"tid\":2,"
+      "\"args\":{\"value\":3}},"
+      "{\"ph\":\"E\",\"ts\":2.500,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"send\",\"ph\":\"X\",\"dur\":0.250,\"ts\":3.000,\"pid\":1,\"tid\":3,"
+      "\"args\":{\"bytes\":16}}"
+      "]}";
+  EXPECT_EQ(sink.to_chrome_json(), expected);
+}
+
+TEST(ChromeTrace, TimestampsAreFixedPointMicroseconds) {
+  // ns resolution survives the microsecond convention losslessly.
+  TraceSink sink;
+  sink.instant(1, "t", "a");           // 0.001 us
+  sink.instant(999, "t", "b");         // 0.999 us
+  sink.instant(1'000'000'007, "t", "c");  // 1000000.007 us
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"ts\":0.001"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":0.999"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000000.007"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesNamesAndArgs) {
+  TraceSink sink;
+  sink.instant(0, "t", "quo\"te", {arg("k\n", std::string("v\\"))});
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("quo\\\"te"), std::string::npos);
+  EXPECT_NE(json.find("\"k\\n\":\"v\\\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptySinkStillEmitsValidSkeleton) {
+  TraceSink sink;
+  EXPECT_EQ(sink.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+            "\"args\":{\"name\":\"rasc simulated device\"}}]}");
+}
+
+TEST(JsonNumber, FormatsIntegersAndDoubles) {
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(1.0 / 0.0), "null");
+}
+
+}  // namespace
+}  // namespace rasc::obs

@@ -1,0 +1,141 @@
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::obs {
+namespace {
+
+TEST(TraceSink, ReconstructsNestedSpans) {
+  // The shape a discrete-event run produces: an outer attestation session
+  // with a measurement nested inside it, all on one track.
+  TraceSink sink;
+  sink.begin(1'000, "attest", "session", {arg("counter", std::uint64_t{1})});
+  sink.begin(2'000, "attest", "measure");
+  sink.end(8'000, "attest");
+  sink.end(9'000, "attest", {arg("verdict", std::string("ok"))});
+
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "session");
+  EXPECT_EQ(spans[0].start, 1'000u);
+  EXPECT_EQ(spans[0].end, 9'000u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "measure");
+  EXPECT_EQ(spans[1].start, 2'000u);
+  EXPECT_EQ(spans[1].end, 8'000u);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].duration(), 6'000u);
+
+  // end() args are merged into the span it closes.
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[1].key, "verdict");
+  EXPECT_EQ(spans[0].args[1].value, "ok");
+}
+
+TEST(TraceSink, SpansAreOrderedOutermostFirstAtEqualStart) {
+  TraceSink sink;
+  sink.begin(100, "t", "outer");
+  sink.begin(100, "t", "inner");
+  sink.end(200, "t");
+  sink.end(300, "t");
+
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+}
+
+TEST(TraceSink, TracksNestIndependently) {
+  TraceSink sink;
+  sink.begin(0, "a", "a-span");
+  sink.begin(5, "b", "b-span");
+  sink.end(10, "b");
+  sink.end(20, "a");
+
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST(TraceSink, UnmatchedEndsAndBeginsAreIgnored) {
+  TraceSink sink;
+  sink.end(10, "t");              // nothing open
+  sink.begin(20, "t", "dangling");  // never closed
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(TraceSink, CompleteSpansInheritNestingDepth) {
+  TraceSink sink;
+  sink.begin(0, "cpu", "session");
+  sink.complete(10, 5, "cpu", "segment");
+  sink.end(100, "cpu");
+
+  const auto segment = sink.first_span_named("segment");
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->depth, 1);
+  EXPECT_EQ(segment->start, 10u);
+  EXPECT_EQ(segment->end, 15u);
+}
+
+TEST(TraceSink, QueryHelpers) {
+  TraceSink sink;
+  sink.instant(1, "t", "tick");
+  sink.instant(2, "t", "tick");
+  sink.counter(3, "t", "depth", 4.0);
+  sink.counter(9, "t", "depth", 7.0);
+  sink.complete(5, 1, "t", "seg");
+
+  EXPECT_EQ(sink.count_named("tick"), 2u);
+  EXPECT_EQ(sink.count_named("missing"), 0u);
+  ASSERT_TRUE(sink.last_counter("depth").has_value());
+  EXPECT_DOUBLE_EQ(*sink.last_counter("depth"), 7.0);
+  EXPECT_FALSE(sink.last_counter("nope").has_value());
+  EXPECT_EQ(sink.spans_named("seg").size(), 1u);
+  EXPECT_EQ(sink.size(), 5u);
+}
+
+TEST(TraceSink, CapacityEvictsOldestFirst) {
+  TraceSink sink;
+  sink.set_capacity(3);
+  for (std::uint64_t i = 0; i < 5; ++i) sink.instant(i, "t", "e" + std::to_string(i));
+
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.count_named("e0"), 0u);
+  EXPECT_EQ(sink.count_named("e4"), 1u);
+  EXPECT_EQ(sink.events().front().name, "e2");
+}
+
+TEST(TraceSink, ShrinkingCapacityTrimsExisting) {
+  TraceSink sink;
+  for (std::uint64_t i = 0; i < 10; ++i) sink.instant(i, "t", "e");
+  sink.set_capacity(4);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSink, SpanWithEvictedBeginIsNotReconstructed) {
+  TraceSink sink;
+  sink.set_capacity(2);
+  sink.begin(0, "t", "victim");
+  sink.instant(1, "t", "filler");
+  sink.instant(2, "t", "filler");  // evicts the begin
+  sink.end(3, "t");
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(TraceSink, ClearResetsEventsAndDropCount) {
+  TraceSink sink;
+  sink.set_capacity(1);
+  sink.instant(0, "t", "a");
+  sink.instant(1, "t", "b");
+  EXPECT_EQ(sink.dropped(), 1u);
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.capacity(), 1u);  // the policy survives clear()
+}
+
+}  // namespace
+}  // namespace rasc::obs

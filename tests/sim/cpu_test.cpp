@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/trace.hpp"
+
 namespace rasc::sim {
 namespace {
 
@@ -159,6 +161,52 @@ TEST(Cpu, ConsumedUnknownProcessIsZero) {
   Simulator sim;
   Cpu cpu(sim);
   EXPECT_EQ(cpu.consumed("ghost"), 0u);
+}
+
+TEST(Cpu, TraceCapacityEvictsOldestRecords) {
+  Simulator sim;
+  Cpu cpu(sim);
+  cpu.enable_trace(true);
+  cpu.set_trace_capacity(2);
+  ScriptedProcess p("traced", 1, {10, 10, 10, 10}, sim);
+  cpu.make_ready(p);
+  sim.run();
+  ASSERT_EQ(cpu.trace().size(), 2u);
+  EXPECT_EQ(cpu.trace_evicted(), 2u);
+  // The two most recent segments survive.
+  EXPECT_EQ(cpu.trace()[0].start, 20u);
+  EXPECT_EQ(cpu.trace()[1].end, 40u);
+}
+
+TEST(Cpu, ShrinkingTraceCapacityTrimsExisting) {
+  Simulator sim;
+  Cpu cpu(sim);
+  cpu.enable_trace(true);
+  ScriptedProcess p("traced", 1, {10, 10, 10}, sim);
+  cpu.make_ready(p);
+  sim.run();
+  ASSERT_EQ(cpu.trace().size(), 3u);
+  cpu.set_trace_capacity(1);
+  ASSERT_EQ(cpu.trace().size(), 1u);
+  EXPECT_EQ(cpu.trace_evicted(), 2u);
+  EXPECT_EQ(cpu.trace()[0].start, 20u);
+}
+
+TEST(Cpu, SegmentsReportToAttachedTraceSink) {
+  Simulator sim;
+  obs::TraceSink sink;
+  sim.set_trace_sink(&sink);
+  Cpu cpu(sim);
+  cpu.set_trace_track("cpu/test");
+  ScriptedProcess p("worker", 1, {10, 20}, sim);
+  cpu.make_ready(p);
+  sim.run();
+  const auto spans = sink.spans_named("worker");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].track, "cpu/test");
+  EXPECT_EQ(spans[0].start, 0u);
+  EXPECT_EQ(spans[0].end, 10u);
+  EXPECT_EQ(spans[1].end, 30u);
 }
 
 }  // namespace
