@@ -1,0 +1,179 @@
+/// Campaign CLI: run any registered experiment campaign with overridable
+/// grid, trial count, thread count and seed, and write the aggregate as
+/// BENCH_<name>.json.  The JSON artifact is a pure function of
+/// (campaign, grid, trials, seed) — bit-identical across thread counts —
+/// while wall time and threads are reported on stdout only.
+///
+///   campaign_runner --campaign smarm_escape --trials 1000 --threads 8
+///   campaign_runner --campaign sec25_fire_alarm --grid "memory_mb=1024"
+///   campaign_runner --list
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/apps/campaign.hpp"
+#include "src/exp/report.hpp"
+#include "src/smarm/campaign.hpp"
+#include "src/smarm/escape.hpp"
+
+using namespace rasc;
+
+namespace {
+
+struct Options {
+  std::string campaign = "smarm_escape";
+  std::string grid_override;
+  std::string out_dir;
+  std::size_t trials = 0;  // 0 = campaign default
+  std::size_t threads = 0;
+  std::uint64_t seed = 1;
+  bool list = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [--campaign NAME] [--grid \"axis=v1,v2;...\"] [--trials N]\n"
+      "          [--threads N] [--seed S] [--out DIR] [--list]\n\n"
+      "campaigns:\n"
+      "  smarm_escape            abstract SMARM game, rounds x blocks sweep\n"
+      "  smarm_escape_fullstack  device sim + verifier, blocks sweep\n"
+      "  sec25_fire_alarm        fire-alarm deadline misses, mode x memory sweep\n"
+      "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n",
+      argv0);
+}
+
+exp::CampaignSpec build_spec(const Options& options) {
+  if (options.campaign == "smarm_escape") {
+    smarm::EscapeCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return smarm::make_escape_campaign(o);
+  }
+  if (options.campaign == "smarm_escape_fullstack") {
+    smarm::EscapeCampaignOptions o;
+    o.trials = options.trials != 0 ? options.trials : 200;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return smarm::make_fullstack_escape_campaign(o);
+  }
+  if (options.campaign == "sec25_fire_alarm") {
+    apps::FireAlarmCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return apps::make_fire_alarm_campaign(o);
+  }
+  if (options.campaign == "lock_matrix") {
+    apps::LockMatrixCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return apps::make_lock_matrix_campaign(o);
+  }
+  throw std::invalid_argument("unknown campaign '" + options.campaign + "'");
+}
+
+/// For the SMARM sweep, print empirical vs. closed-form escape rates and
+/// whether the analytic value falls inside each cell's confidence
+/// interval.  The pass/fail check widens to 99.9% (z = 3.29) so that a
+/// sweep of ~24 simultaneous cells has a comfortable joint pass rate for
+/// any seed; the reported JSON keeps the standard 95% interval.
+bool check_smarm_cells(const exp::CampaignResult& result) {
+  bool all_ok = true;
+  std::printf("\n%-28s %-12s %-12s %-24s %s\n", "cell", "empirical", "analytic",
+              "wilson 99.9% CI", "analytic in CI?");
+  for (const auto& cell : result.cells) {
+    const auto rounds = static_cast<std::size_t>(cell.point.i64("rounds"));
+    const auto blocks = static_cast<std::size_t>(cell.point.i64("blocks"));
+    const double analytic = smarm::multi_round_escape(blocks, rounds);
+    const exp::WilsonInterval wide =
+        exp::wilson_interval(cell.successes, cell.attempts, 3.290526731491926);
+    const bool ok = wide.contains(analytic);
+    all_ok = all_ok && ok;
+    std::printf("%-28s %-12.4g %-12.4g [%-9.3g, %-9.3g] %s\n",
+                cell.point.label().c_str(), cell.success_rate, analytic, wide.lower,
+                wide.upper, ok ? "yes" : "NO");
+  }
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaign") {
+      options.campaign = next();
+    } else if (arg == "--grid") {
+      options.grid_override = next();
+    } else if (arg == "--trials") {
+      options.trials = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--threads") {
+      options.threads = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--out") {
+      options.out_dir = next();
+    } else if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.list) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  try {
+    exp::CampaignSpec spec = build_spec(options);
+    for (auto& axis : exp::parse_grid_spec(options.grid_override)) {
+      spec.grid.set_axis(axis.name, std::move(axis.values));
+    }
+
+    std::printf("=== campaign %s: %zu cells x %zu trials (seed %llu) ===\n",
+                spec.name.c_str(), spec.grid.size(), spec.trials_per_point,
+                static_cast<unsigned long long>(spec.base_seed));
+    const exp::CampaignResult result = exp::run_campaign(spec);
+    std::printf("%s\n", exp::campaign_table(result).render().c_str());
+    std::printf("ran on %zu thread(s) in %.3f s\n", result.threads_used,
+                result.wall_seconds);
+
+    bool ok = true;
+    if (spec.name == "smarm_escape") ok = check_smarm_cells(result);
+
+    const std::string path = exp::write_campaign_json(result, options.out_dir);
+    if (!path.empty()) {
+      std::printf("machine-readable results: %s\n", path.c_str());
+    } else if (!options.out_dir.empty()) {
+      std::fprintf(stderr, "campaign_runner: cannot write BENCH json under '%s'\n",
+                   options.out_dir.c_str());
+      return 2;
+    }
+
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: some cells disagree with the closed form\n");
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign_runner: %s\n", e.what());
+    return 2;
+  }
+}

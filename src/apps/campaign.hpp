@@ -1,0 +1,37 @@
+#pragma once
+/// \file campaign.hpp
+/// Application-scenario campaigns for the exp engine.
+///
+/// fire_alarm: Monte-Carlo over the Section 2.5 conflict.  Each trial
+/// drops the fire at a uniformly random offset inside the measurement
+/// window and reports per-sample deadline misses (Bernoulli channel) plus
+/// alarm latency / measurement duration scalars, swept over execution
+/// mode x modeled memory size.
+///
+/// lock_matrix: Table 1 as a statistical experiment.  Each trial runs one
+/// attestation round under a locking mechanism x adversary cell; the
+/// Bernoulli channel is "the verifier detected the malware", with writer
+/// availability as a scalar.
+
+#include "src/apps/scenario.hpp"
+#include "src/exp/campaign.hpp"
+
+namespace rasc::apps {
+
+struct FireAlarmCampaignOptions {
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+exp::CampaignSpec make_fire_alarm_campaign(const FireAlarmCampaignOptions& options = {});
+
+struct LockMatrixCampaignOptions {
+  std::size_t trials = 50;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+};
+
+exp::CampaignSpec make_lock_matrix_campaign(const LockMatrixCampaignOptions& options = {});
+
+}  // namespace rasc::apps

@@ -15,6 +15,13 @@ void provision(sim::Device& device, std::uint64_t seed) {
   device.memory().load(image);
 }
 
+/// Decorrelate the verifier's challenge stream from the scenario seed so
+/// independent Monte-Carlo trials issue independent challenges.
+std::uint64_t challenge_seed_for(std::uint64_t scenario_seed) {
+  std::uint64_t state = scenario_seed ^ 0xc0ffee;
+  return support::splitmix64(state);
+}
+
 }  // namespace
 
 std::string adversary_name(AdversaryKind kind) {
@@ -38,7 +45,8 @@ LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config) {
   provision(device, 0xface + config.seed);
 
   attest::Verifier verifier(config.hash, dev_config.attestation_key,
-                            device.memory().snapshot(), config.block_size);
+                            device.memory().snapshot(), config.block_size,
+                            challenge_seed_for(config.seed));
 
   auto policy = locking::make_lock_policy(config.lock, config.release_delay);
   attest::ProverConfig prover_config;
@@ -150,12 +158,13 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
   dev_config.attestation_key = support::to_bytes("fire-alarm-key");
   sim::Device device(simulator, dev_config);
   simulator.set_trace_sink(config.trace);
-  provision(device, 0xf12e);
+  provision(device, 0xf12e + config.seed);
   device.model().set_hash_time_scale(static_cast<double>(config.modeled_memory_bytes) /
                                      static_cast<double>(dev_config.memory_size));
 
   attest::Verifier verifier(config.hash, dev_config.attestation_key,
-                            device.memory().snapshot(), real_block_size);
+                            device.memory().snapshot(), real_block_size,
+                            challenge_seed_for(config.seed));
 
   attest::ProverConfig prover_config;
   prover_config.hash = config.hash;
@@ -191,6 +200,7 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
 
   outcome.alarm_latency = alarm.alarm_latency().value_or(0);
   outcome.max_sample_delay = alarm.max_sample_delay();
+  outcome.samples_taken = alarm.samples_taken();
   outcome.deadline_misses = alarm.deadline_misses();
   return outcome;
 }

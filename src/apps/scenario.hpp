@@ -77,6 +77,9 @@ struct FireAlarmScenarioConfig {
   sim::Duration sensor_period = sim::kSecond;
   /// Deadline for each sensor sample (see FireAlarmConfig::deadline).
   sim::Duration sample_deadline = 100 * sim::kMillisecond;
+  /// Varies provisioning and the verifier's challenge stream so
+  /// Monte-Carlo trials are independent; every value is deterministic.
+  std::uint64_t seed = 1;
   /// Optional observability (not owned): `trace` captures the full device
   /// timeline (CPU segments, measurement spans, alarm instants); `metrics`
   /// accumulates fire_alarm.* counters and the sample-delay histogram.
@@ -88,6 +91,7 @@ struct FireAlarmScenarioOutcome {
   sim::Duration measurement_duration = 0;
   sim::Duration alarm_latency = 0;
   sim::Duration max_sample_delay = 0;
+  std::size_t samples_taken = 0;
   std::size_t deadline_misses = 0;
   bool attestation_ok = false;
 };

@@ -1,0 +1,28 @@
+#include "src/exp/seeding.hpp"
+
+namespace rasc::exp {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  // SplitMix64 finalizer (Steele, Lea, Flood 2014).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t grid_index,
+                                std::uint64_t trial_index) noexcept {
+  // Domain-separate the three coordinates with distinct odd constants so
+  // (base=1, grid=2) and (base=2, grid=1) do not collide.
+  std::uint64_t h = mix64(base_seed ^ 0x52415f4558503031ULL);  // "RA_EXP01"
+  h = mix64(h ^ (grid_index * 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (trial_index * 0xd1b54a32d192ed03ULL));
+  return h;
+}
+
+support::Xoshiro256 make_trial_rng(std::uint64_t base_seed, std::uint64_t grid_index,
+                                   std::uint64_t trial_index) noexcept {
+  return support::Xoshiro256(derive_trial_seed(base_seed, grid_index, trial_index));
+}
+
+}  // namespace rasc::exp

@@ -1,0 +1,35 @@
+#pragma once
+/// \file seeding.hpp
+/// Deterministic per-trial seed derivation for experiment campaigns.
+///
+/// Every trial in a campaign draws its randomness from a private
+/// SplitMix64-derived stream keyed by (base_seed, grid_index, trial_index).
+/// Because the stream depends only on those three coordinates — never on
+/// which worker thread happens to execute the trial or in what order —
+/// campaign aggregates are bit-identical across any thread count.
+///
+/// The derivation is a fixed-point of the repo: changing it invalidates
+/// every recorded BENCH_*.json baseline, so treat it like a wire format.
+
+#include <cstdint>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::exp {
+
+/// One SplitMix64 finalization step (stateless; distinct from
+/// support::splitmix64 which advances a state variable).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Derive the RNG seed for trial `trial_index` of grid cell `grid_index`
+/// under campaign seed `base_seed`.  Feed-forward chain of mix64 steps so
+/// that nearby (grid, trial) coordinates land in statistically independent
+/// streams even for small or structured base seeds.
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t grid_index,
+                                std::uint64_t trial_index) noexcept;
+
+/// Convenience: a Xoshiro256 generator positioned at the trial's stream.
+support::Xoshiro256 make_trial_rng(std::uint64_t base_seed, std::uint64_t grid_index,
+                                   std::uint64_t trial_index) noexcept;
+
+}  // namespace rasc::exp

@@ -1,0 +1,73 @@
+#include "src/exp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rasc::exp {
+
+void StreamingMoments::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  // Chan, Golub, LeVeque (1979): numerically stable pairwise combination.
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingMoments::sum() const noexcept {
+  return mean_ * static_cast<double>(count_);
+}
+
+double StreamingMoments::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double StreamingMoments::stderror() const noexcept {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  WilsonInterval ci;
+  ci.lower = std::clamp((center - half) / denom, 0.0, 1.0);
+  ci.upper = std::clamp((center + half) / denom, 0.0, 1.0);
+  // Boundary exactness: floating point can leave a ~1e-17 residue at the
+  // closed-form zeros; pin them so 0/n reports lower == 0 and n/n upper == 1.
+  if (successes == 0) ci.lower = 0.0;
+  if (successes == trials) ci.upper = 1.0;
+  return ci;
+}
+
+}  // namespace rasc::exp

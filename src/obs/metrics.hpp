@@ -89,6 +89,14 @@ class MetricsRegistry {
   const Gauge* find_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
 
+  /// Ordered iteration, e.g. for merging registries across Monte-Carlo
+  /// trials (see exp::detail::merge_registry).
+  const std::map<std::string, Counter>& counters() const noexcept { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const noexcept {
+    return histograms_;
+  }
+
   bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }

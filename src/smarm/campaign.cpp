@@ -1,0 +1,56 @@
+#include "src/smarm/campaign.hpp"
+
+#include "src/smarm/escape.hpp"
+
+namespace rasc::smarm {
+
+exp::CampaignSpec make_escape_campaign(const EscapeCampaignOptions& options) {
+  exp::CampaignSpec spec;
+  spec.name = "smarm_escape";
+  // blocks=8 is where the paper's "13 checks push escape below 1e-6"
+  // holds exactly ((1-1/8)^(8*13) ~ 9.3e-7); the larger counts trace the
+  // (1-1/n)^n -> e^-1 asymptote (e^-13 ~ 2.3e-6, just above 1e-6).
+  spec.grid.axis("rounds", {std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+                            std::int64_t{5}, std::int64_t{8}, std::int64_t{13}});
+  spec.grid.axis("blocks",
+                 {std::int64_t{8}, std::int64_t{16}, std::int64_t{64}, std::int64_t{1024}});
+  spec.trials_per_point = options.trials;
+  spec.base_seed = options.seed;
+  spec.threads = options.threads;
+  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+    const auto rounds = static_cast<std::size_t>(point.i64("rounds"));
+    const auto blocks = static_cast<std::size_t>(point.i64("blocks"));
+    exp::TrialOutput out;
+    out.bernoulli(play_escape_game(blocks, rounds, ctx.rng));
+    return out;
+  };
+  return spec;
+}
+
+exp::CampaignSpec make_fullstack_escape_campaign(const EscapeCampaignOptions& options) {
+  exp::CampaignSpec spec;
+  spec.name = "smarm_escape_fullstack";
+  spec.grid.axis("blocks", {std::int64_t{8}, std::int64_t{12}, std::int64_t{16}});
+  spec.trials_per_point = options.trials;
+  spec.base_seed = options.seed;
+  spec.threads = options.threads;
+  // Device simulation is ~ms per trial; keep work units small enough that
+  // the pool load-balances even for modest trial counts.
+  spec.shard_size = 8;
+  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+    RunnerConfig config;
+    config.blocks = static_cast<std::size_t>(point.i64("blocks"));
+    config.block_size = 256;
+    config.rounds = 1;
+    config.seed = ctx.seed;
+    exp::TrialOutput out;
+    config.metrics = &out.metrics;
+    const RunnerOutcome outcome = run_rounds(config);
+    out.bernoulli(outcome.rounds_run == 1 && outcome.detections == 0);
+    out.value("relocations", static_cast<double>(outcome.malware_relocations));
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace rasc::smarm

@@ -43,14 +43,24 @@ bool play_round(std::size_t n, support::Xoshiro256& rng, std::size_t& pos) {
 
 }  // namespace
 
+bool play_escape_game(std::size_t n_blocks, std::size_t rounds, support::Xoshiro256& rng) {
+  if (n_blocks == 0 || rounds == 0) {
+    throw std::invalid_argument("play_escape_game: need blocks and rounds");
+  }
+  std::size_t pos = rng.below(n_blocks);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (!play_round(n_blocks, rng, pos)) return false;
+  }
+  return true;
+}
+
 double simulate_single_round_escape(std::size_t n_blocks, std::size_t trials,
                                     std::uint64_t seed) {
   if (n_blocks == 0 || trials == 0) throw std::invalid_argument("need blocks and trials");
   support::Xoshiro256 rng(seed);
   std::size_t escapes = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    std::size_t pos = rng.below(n_blocks);
-    escapes += play_round(n_blocks, rng, pos) ? 1 : 0;
+    escapes += play_escape_game(n_blocks, 1, rng) ? 1 : 0;
   }
   return static_cast<double>(escapes) / static_cast<double>(trials);
 }
@@ -63,12 +73,7 @@ double simulate_multi_round_escape(std::size_t n_blocks, std::size_t rounds,
   support::Xoshiro256 rng(seed);
   std::size_t escapes = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    std::size_t pos = rng.below(n_blocks);
-    bool escaped_all = true;
-    for (std::size_t r = 0; r < rounds && escaped_all; ++r) {
-      escaped_all = play_round(n_blocks, rng, pos);
-    }
-    escapes += escaped_all ? 1 : 0;
+    escapes += play_escape_game(n_blocks, rounds, rng) ? 1 : 0;
   }
   return static_cast<double>(escapes) / static_cast<double>(trials);
 }

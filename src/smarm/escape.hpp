@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/support/rng.hpp"
+
 namespace rasc::smarm {
 
 /// Closed-form single-round escape probability (1 - 1/n)^n.
@@ -34,5 +36,13 @@ double simulate_single_round_escape(std::size_t n_blocks, std::size_t trials,
 /// consecutive shuffled measurements.
 double simulate_multi_round_escape(std::size_t n_blocks, std::size_t rounds,
                                    std::size_t trials, std::uint64_t seed);
+
+/// Play ONE multi-round game with an externally supplied RNG: the malware
+/// starts in a uniform block, each round draws a fresh secret permutation,
+/// and the malware relocates uniformly after every measured block.
+/// Returns true iff it survives every round undetected.  This is the
+/// trial primitive the exp campaign engine drives from its deterministic
+/// per-trial streams; the simulate_* helpers above are thin loops over it.
+bool play_escape_game(std::size_t n_blocks, std::size_t rounds, support::Xoshiro256& rng);
 
 }  // namespace rasc::smarm

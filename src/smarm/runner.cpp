@@ -26,8 +26,12 @@ RunnerOutcome run_rounds(const RunnerConfig& config) {
   sim::Device device(simulator, dev_config);
   provision(device, /*seed=*/0xf1f0 + config.seed);
 
+  // Challenge stream decorrelated from the trial seed so Monte-Carlo
+  // trials exercise independent challenges, not one replayed sequence.
+  std::uint64_t challenge_state = config.seed ^ 0xc0ffee;
   attest::Verifier verifier(config.hash, dev_config.attestation_key,
-                            device.memory().snapshot(), config.block_size);
+                            device.memory().snapshot(), config.block_size,
+                            support::splitmix64(challenge_state));
 
   attest::ProverConfig prover_config;
   prover_config.hash = config.hash;

@@ -1,0 +1,67 @@
+/// Thread-safety audit for the simulator stack: concurrent Simulator
+/// instances (one per campaign worker) must not share mutable state.
+/// These tests run full device scenarios from several threads at once and
+/// assert the results equal a single-threaded reference run — and they are
+/// the payload of the ThreadSanitizer CI job, which turns any hidden
+/// static/global into a reported race.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/campaign.hpp"
+#include "src/exp/campaign.hpp"
+#include "src/exp/report.hpp"
+#include "src/smarm/campaign.hpp"
+
+namespace rasc::exp {
+namespace {
+
+TEST(Concurrency, ParallelLockScenariosMatchSerialReference) {
+  apps::LockMatrixCampaignOptions options;
+  options.trials = 6;
+  options.seed = 5;
+  auto make = [&](std::size_t threads) {
+    CampaignSpec spec = apps::make_lock_matrix_campaign(options);
+    // Trim the grid so the test stays fast under TSan.
+    spec.grid.set_axis("lock", {std::string("No-Lock"), std::string("Dec-Lock"),
+                                std::string("Cpy-Lock")});
+    spec.grid.set_axis("adversary", {std::string("transient"), std::string("roving")});
+    spec.threads = threads;
+    return spec;
+  };
+  const CampaignResult serial = run_campaign(make(1));
+  const CampaignResult parallel = run_campaign(make(4));
+  EXPECT_EQ(campaign_json(parallel), campaign_json(serial));
+}
+
+TEST(Concurrency, ParallelFullStackSmarmMatchesSerialReference) {
+  smarm::EscapeCampaignOptions options;
+  options.trials = 12;
+  options.seed = 3;
+  auto make = [&](std::size_t threads) {
+    CampaignSpec spec = smarm::make_fullstack_escape_campaign(options);
+    spec.grid.set_axis("blocks", {std::int64_t{8}, std::int64_t{12}});
+    spec.threads = threads;
+    return spec;
+  };
+  const CampaignResult serial = run_campaign(make(1));
+  const CampaignResult parallel = run_campaign(make(4));
+  EXPECT_EQ(campaign_json(parallel), campaign_json(serial));
+}
+
+TEST(Concurrency, ParallelFireAlarmScenariosMatchSerialReference) {
+  apps::FireAlarmCampaignOptions options;
+  options.trials = 4;
+  options.seed = 7;
+  auto make = [&](std::size_t threads) {
+    CampaignSpec spec = apps::make_fire_alarm_campaign(options);
+    spec.grid.set_axis("memory_mb", {std::int64_t{100}});
+    spec.threads = threads;
+    return spec;
+  };
+  const CampaignResult serial = run_campaign(make(1));
+  const CampaignResult parallel = run_campaign(make(4));
+  EXPECT_EQ(campaign_json(parallel), campaign_json(serial));
+}
+
+}  // namespace
+}  // namespace rasc::exp

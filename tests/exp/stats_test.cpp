@@ -1,0 +1,108 @@
+#include "src/exp/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rasc::exp {
+namespace {
+
+TEST(StreamingMoments, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  StreamingMoments m;
+  for (double x : xs) m.add(x);
+
+  double sum = 0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_NEAR(m.mean(), mean, 1e-12);
+  EXPECT_NEAR(m.variance(), ss / static_cast<double>(xs.size() - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), -3.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.25);
+  EXPECT_NEAR(m.sum(), sum, 1e-12);
+}
+
+TEST(StreamingMoments, EmptyAndSingleton) {
+  StreamingMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.stderror(), 0.0);
+  m.add(5.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+TEST(StreamingMoments, MergeEquivalentToSequential) {
+  StreamingMoments whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(StreamingMoments, MergeWithEmptySides) {
+  StreamingMoments a, b, c;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty right side: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  c.merge(a);  // empty left side: adopt
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(Wilson, ZeroSuccessesPinsLowerToZero) {
+  const WilsonInterval ci = wilson_interval(0, 1000);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_GT(ci.upper, 0.0);
+  EXPECT_LT(ci.upper, 0.005);  // ~ z^2 / (n + z^2) ~ 0.0038
+  EXPECT_TRUE(ci.contains(1e-6));
+  EXPECT_TRUE(ci.contains(0.0));
+}
+
+TEST(Wilson, AllSuccessesPinsUpperToOne) {
+  const WilsonInterval ci = wilson_interval(1000, 1000);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+  EXPECT_GT(ci.lower, 0.995);
+  EXPECT_TRUE(ci.contains(1.0));
+}
+
+TEST(Wilson, ZeroTrialsIsVacuous) {
+  const WilsonInterval ci = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(ci.lower, 0.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 1.0);
+}
+
+TEST(Wilson, CoversTrueProportion) {
+  // 370 / 1000 at 95%: the interval straddles 0.37 and is ~6% wide.
+  const WilsonInterval ci = wilson_interval(370, 1000);
+  EXPECT_TRUE(ci.contains(0.37));
+  EXPECT_NEAR(ci.lower, 0.340, 0.005);
+  EXPECT_NEAR(ci.upper, 0.400, 0.005);
+}
+
+TEST(Wilson, WiderZWidensInterval) {
+  const WilsonInterval narrow = wilson_interval(37, 100, 1.0);
+  const WilsonInterval wide = wilson_interval(37, 100, 3.0);
+  EXPECT_LT(wide.lower, narrow.lower);
+  EXPECT_GT(wide.upper, narrow.upper);
+}
+
+}  // namespace
+}  // namespace rasc::exp
