@@ -40,7 +40,8 @@ void usage(const char* argv0) {
       "  smarm_escape            abstract SMARM game, rounds x blocks sweep\n"
       "  smarm_escape_fullstack  device sim + verifier, blocks sweep\n"
       "  sec25_fire_alarm        fire-alarm deadline misses, mode x memory sweep\n"
-      "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n",
+      "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n"
+      "  measurement_cache       digest-cache identity + hit rate, dirty-%% sweep\n",
       argv0);
 }
 
@@ -72,6 +73,13 @@ exp::CampaignSpec build_spec(const Options& options) {
     o.seed = options.seed;
     o.threads = options.threads;
     return apps::make_lock_matrix_campaign(o);
+  }
+  if (options.campaign == "measurement_cache") {
+    apps::MeasurementCacheCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return apps::make_measurement_cache_campaign(o);
   }
   throw std::invalid_argument("unknown campaign '" + options.campaign + "'");
 }
@@ -157,6 +165,19 @@ int main(int argc, char** argv) {
 
     bool ok = true;
     if (spec.name == "smarm_escape") ok = check_smarm_cells(result);
+    if (spec.name == "measurement_cache") {
+      // Cached and uncached measurements must be byte-identical in every
+      // single trial — anything less is a correctness bug, not noise.
+      for (const auto& cell : result.cells) {
+        if (cell.successes != cell.attempts) {
+          std::fprintf(stderr, "FAIL: %s: cached/uncached divergence in %llu/%llu trials\n",
+                       cell.point.label().c_str(),
+                       static_cast<unsigned long long>(cell.attempts - cell.successes),
+                       static_cast<unsigned long long>(cell.attempts));
+          ok = false;
+        }
+      }
+    }
 
     const std::string path = exp::write_campaign_json(result, options.out_dir);
     if (!path.empty()) {

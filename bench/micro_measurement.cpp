@@ -1,0 +1,176 @@
+/// Measurement hot path micro-bench: generation-tracked digest caching
+/// under a dirty-fraction sweep.
+///
+/// For each dirty fraction, the prover re-measures the same device memory
+/// repeatedly while an application dirties that fraction of blocks between
+/// rounds.  With the cache, each round rehashes only the dirty blocks and
+/// serves the rest from generation-matched cache slots; without it, every
+/// round rehashes everything.  Both paths must produce byte-identical
+/// measurements for every round — divergence is a correctness failure, not
+/// noise, and exits non-zero.
+///
+/// Also runs the `measurement_cache` campaign (deterministic identity +
+/// hit-rate aggregates through the exp engine) and folds everything into
+/// BENCH_measurement.json.  Exits non-zero if any identity check fails or
+/// if repeated measurement at <=10% dirty blocks is not at least 5x faster
+/// with the cache than without.
+
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/apps/campaign.hpp"
+#include "src/attest/digest_cache.hpp"
+#include "src/attest/measurement.hpp"
+#include "src/exp/report.hpp"
+#include "src/obs/bench_io.hpp"
+#include "src/sim/memory.hpp"
+#include "src/support/rng.hpp"
+#include "src/support/table.hpp"
+
+using namespace rasc;
+
+namespace {
+
+bool expect(bool condition, const char* what) {
+  std::printf("  [%s] %s\n", condition ? "ok" : "FAIL", what);
+  return condition;
+}
+
+constexpr std::size_t kBlocks = 256;
+constexpr std::size_t kBlockSize = 4096;
+constexpr std::size_t kRounds = 40;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One sweep point: run `kRounds` measure-dirty-measure cycles, returning
+/// elapsed seconds; every round's measurement is appended to `out`.
+double run_rounds(sim::DeviceMemory& memory, attest::DigestCache* cache,
+                  support::ByteView key, std::size_t dirty_blocks,
+                  std::uint64_t rng_seed, std::vector<support::Bytes>& out) {
+  support::Xoshiro256 rng(rng_seed);
+  const double start = now_seconds();
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Dirty a random subset, then measure the whole memory.
+    for (std::size_t d = 0; d < dirty_blocks; ++d) {
+      const std::size_t block = static_cast<std::size_t>(rng.below(kBlocks));
+      const support::Bytes patch{static_cast<std::uint8_t>(rng.below(256))};
+      memory.write(block * kBlockSize + static_cast<std::size_t>(rng.below(kBlockSize)),
+                   patch, /*now=*/static_cast<sim::Time>(round), sim::Actor::kApplication);
+    }
+    attest::Measurement m(memory, crypto::HashKind::kSha256, key,
+                          attest::MeasurementContext{"prv-micro", {}, round + 1});
+    m.set_digest_cache(cache);
+    for (std::size_t b = 0; b < kBlocks; ++b) m.visit_block(b, /*now=*/0);
+    out.push_back(m.finalize());
+  }
+  return now_seconds() - start;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== measurement hot path: digest cache dirty-fraction sweep ===\n");
+  std::printf("%zu blocks x %zu B, %zu measurement rounds per point\n\n", kBlocks,
+              kBlockSize, kRounds);
+
+  const support::Bytes key = support::to_bytes("micro-measurement-key");
+  obs::MetricsRegistry registry;
+  bool ok = true;
+  double speedup_at_10pct = 0.0;
+
+  support::Table table({"dirty %", "cached s", "uncached s", "speedup",
+                        "hit rate", "identical"});
+  for (const std::size_t dirty_pct : {0u, 1u, 5u, 10u, 25u, 50u, 100u}) {
+    const std::size_t dirty_blocks = kBlocks * dirty_pct / 100;
+    // Identical initial contents and identical dirtying streams on both
+    // sides, so measurement k is comparable byte-for-byte.
+    sim::DeviceMemory cached_mem(kBlocks * kBlockSize, kBlockSize);
+    sim::DeviceMemory uncached_mem(kBlocks * kBlockSize, kBlockSize);
+    {
+      support::Xoshiro256 rng(0xbeef + dirty_pct);
+      support::Bytes image(cached_mem.size());
+      for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+      cached_mem.load(image);
+      uncached_mem.load(image);
+    }
+    attest::DigestCache cache;
+    cache.resize(kBlocks);
+    cache.set_metrics(&registry);
+
+    std::vector<support::Bytes> cached_results, uncached_results;
+    cached_results.reserve(kRounds);
+    uncached_results.reserve(kRounds);
+    const std::uint64_t stream_seed = 0xd127 + dirty_pct;
+    const double cached_s =
+        run_rounds(cached_mem, &cache, key, dirty_blocks, stream_seed, cached_results);
+    const double uncached_s = run_rounds(uncached_mem, nullptr, key, dirty_blocks,
+                                         stream_seed, uncached_results);
+
+    const bool identical = cached_results == uncached_results;
+    ok &= identical;
+    const double speedup = cached_s > 0.0 ? uncached_s / cached_s : 0.0;
+    if (dirty_pct == 10) speedup_at_10pct = speedup;
+    const double hit_rate =
+        static_cast<double>(cache.hits()) /
+        static_cast<double>(cache.hits() + cache.misses());
+
+    const std::string suffix = std::to_string(dirty_pct);
+    registry.gauge("measurement.cached_seconds_dirty_" + suffix).set(cached_s);
+    registry.gauge("measurement.uncached_seconds_dirty_" + suffix).set(uncached_s);
+    registry.gauge("measurement.speedup_dirty_" + suffix).set(speedup);
+    registry.gauge("measurement.hit_rate_dirty_" + suffix).set(hit_rate);
+    if (!identical) registry.counter("measurement.divergence").inc();
+
+    table.add_row({std::to_string(dirty_pct), support::fmt_double(cached_s, 4),
+                   support::fmt_double(uncached_s, 4), support::fmt_double(speedup, 1),
+                   support::fmt_double(hit_rate, 3), identical ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  ok &= expect(speedup_at_10pct >= 5.0,
+               "repeated measurement at 10% dirty blocks is >=5x faster cached");
+
+  // Deterministic identity/hit-rate aggregates through the campaign
+  // engine (the statistical counterpart of the wall-clock sweep above).
+  std::printf("\n--- measurement_cache campaign ---\n");
+  apps::MeasurementCacheCampaignOptions options;
+  options.trials = 40;
+  const exp::CampaignResult campaign =
+      exp::run_campaign(apps::make_measurement_cache_campaign(options));
+  std::printf("%s", exp::campaign_table(campaign).render().c_str());
+  for (const auto& cell : campaign.cells) {
+    char label[96];
+    std::snprintf(label, sizeof(label),
+                  "campaign %s: cached == uncached in all %llu trials",
+                  cell.point.label().c_str(),
+                  static_cast<unsigned long long>(cell.attempts));
+    ok &= expect(cell.successes == cell.attempts, label);
+    const auto& hits = cell.values.at("cache_hits");
+    const auto& clean = cell.values.at("expected_clean");
+    std::snprintf(label, sizeof(label),
+                  "campaign %s: every clean block served from cache",
+                  cell.point.label().c_str());
+    ok &= expect(hits.mean() >= clean.mean(), label);
+    registry.gauge("campaign.hit_rate_" + cell.point.label())
+        .set(cell.values.at("hit_rate").mean());
+    registry.gauge("campaign.identity_rate_" + cell.point.label())
+        .set(cell.success_rate);
+  }
+
+  const std::string path = obs::write_bench_json(registry, "measurement");
+  if (!path.empty()) std::printf("\nmachine-readable results: %s\n", path.c_str());
+
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: digest cache diverged or speedup below threshold\n");
+    return 1;
+  }
+  return 0;
+}

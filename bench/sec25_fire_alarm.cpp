@@ -99,6 +99,16 @@ int main() {
     ok &= expect(attested.mean() == 1.0 && attested.min() == 1.0, label2);
   }
 
+  // The digest cache is a host-side optimization: rerunning the campaign
+  // with it disabled must reproduce the aggregate JSON byte-for-byte.
+  std::printf("\n--- digest cache: cached vs. uncached aggregates ---\n");
+  apps::FireAlarmCampaignOptions uncached_options = options;
+  uncached_options.use_digest_cache = false;
+  const exp::CampaignResult uncached =
+      exp::run_campaign(apps::make_fire_alarm_campaign(uncached_options));
+  ok &= expect(exp::campaign_json(result) == exp::campaign_json(uncached),
+               "BENCH json byte-identical with and without the digest cache");
+
   const std::string json_path = exp::write_campaign_json(result);
   if (!json_path.empty()) std::printf("\nmachine-readable results: %s\n", json_path.c_str());
 

@@ -98,6 +98,16 @@ int main() {
     ok &= expect(wide.contains(analytic), label);
   }
 
+  // The prover's digest cache is a host-side optimization: the full-stack
+  // campaign rerun with it disabled must aggregate byte-identically.
+  std::printf("\n--- digest cache: cached vs. uncached full-stack aggregates ---\n");
+  smarm::EscapeCampaignOptions fs_uncached = fs_options;
+  fs_uncached.use_digest_cache = false;
+  const exp::CampaignResult fullstack_uncached =
+      exp::run_campaign(smarm::make_fullstack_escape_campaign(fs_uncached));
+  ok &= expect(exp::campaign_json(fullstack) == exp::campaign_json(fullstack_uncached),
+               "full-stack BENCH json byte-identical with and without the cache");
+
   // Escape-decay plot from the analytic curve (unchanged from the paper).
   support::Series analytic_series{"analytic", {}, {}};
   for (std::size_t rounds : {1u, 2u, 3u, 5u, 8u, 10u, 13u, 16u, 20u}) {

@@ -1,7 +1,9 @@
 #include "src/apps/campaign.hpp"
 
+#include <numeric>
 #include <stdexcept>
 
+#include "src/attest/digest_cache.hpp"
 #include "src/locking/policies.hpp"
 
 namespace rasc::apps {
@@ -44,16 +46,30 @@ exp::CampaignSpec make_fire_alarm_campaign(const FireAlarmCampaignOptions& optio
   // A trial simulates a full measurement with real hashing: chunky work
   // units, so shard small for load balance.
   spec.shard_size = 4;
-  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+  // Enough real blocks that one block measurement (~7 s / blocks at the
+  // 1 GB calibration) stays under the 100 ms sample deadline, so the
+  // interruptible mode's zero-miss claim is about the mechanism, not the
+  // modeling granularity.
+  static constexpr std::size_t kRealBlocks = 128;
+  // All cells share one campaign-fixed firmware image (the sweep varies
+  // timing, not contents), so the golden is digested exactly once and
+  // every trial's verifier receives it by const reference.
+  static constexpr std::uint64_t kProvisionSeed = 0xf12e0000;
+  const auto golden = std::make_shared<const attest::GoldenMeasurement>(
+      provision_image(kRealBlocks * kFireAlarmBlockSize, kProvisionSeed),
+      kFireAlarmBlockSize, crypto::HashKind::kSha256,
+      support::to_bytes("fire-alarm-key"));
+  const bool use_digest_cache = options.use_digest_cache;
+  spec.trial = [golden, use_digest_cache](const exp::GridPoint& point,
+                                          exp::TrialContext& ctx) {
     FireAlarmScenarioConfig config;
     config.mode = parse_mode(point.str("mode"));
     config.modeled_memory_bytes = static_cast<std::uint64_t>(point.i64("memory_mb")) << 20;
-    // Enough real blocks that one block measurement (~7 s / blocks at the
-    // 1 GB calibration) stays under the 100 ms sample deadline, so the
-    // interruptible mode's zero-miss claim is about the mechanism, not
-    // the modeling granularity.
-    config.real_blocks = 128;
+    config.real_blocks = kRealBlocks;
     config.seed = ctx.seed;
+    config.provision_seed = kProvisionSeed;
+    config.golden = golden;
+    config.use_digest_cache = use_digest_cache;
     // The interesting regime is a fire during the measurement: place it
     // uniformly inside the (memory-size-dependent) measurement window,
     // approximated by the paper's ~7 s/GB calibration.
@@ -106,6 +122,65 @@ exp::CampaignSpec make_lock_matrix_campaign(const LockMatrixCampaignOptions& opt
     out.value("measurement_ms", sim::to_millis(outcome.measurement_duration));
     out.value("malware_blocked_actions",
               static_cast<double>(outcome.malware_blocked_actions));
+    return out;
+  };
+  return spec;
+}
+
+exp::CampaignSpec make_measurement_cache_campaign(
+    const MeasurementCacheCampaignOptions& options) {
+  exp::CampaignSpec spec;
+  spec.name = "measurement_cache";
+  spec.grid.axis("dirty_pct", {std::int64_t{0}, std::int64_t{5}, std::int64_t{10},
+                               std::int64_t{25}, std::int64_t{50}, std::int64_t{100}});
+  spec.trials_per_point = options.trials;
+  spec.base_seed = options.seed;
+  spec.threads = options.threads;
+  spec.shard_size = 8;
+  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+    constexpr std::size_t kBlocks = 64;
+    constexpr std::size_t kBlockSize = 1024;
+    sim::DeviceMemory memory(kBlocks * kBlockSize, kBlockSize);
+    memory.load(provision_image(memory.size(), 0xca11 + ctx.seed));
+    const support::Bytes key = support::to_bytes("measurement-cache-key");
+
+    attest::DigestCache cache;
+    cache.resize(kBlocks);
+    exp::TrialOutput out;
+    cache.set_metrics(&out.metrics);
+
+    const auto measure = [&](attest::DigestCache* c, std::uint64_t counter) {
+      attest::Measurement m(memory, crypto::HashKind::kSha256, key,
+                            attest::MeasurementContext{"prv-cache", {}, counter});
+      m.set_digest_cache(c);
+      for (std::size_t b = 0; b < kBlocks; ++b) m.visit_block(b, /*now=*/0);
+      return m.finalize();
+    };
+
+    measure(&cache, /*counter=*/1);  // warm: every block is a miss+store
+
+    // Dirty a deterministic random subset of blocks (partial Fisher-Yates).
+    const std::size_t dirty =
+        kBlocks * static_cast<std::size_t>(point.i64("dirty_pct")) / 100;
+    std::vector<std::size_t> order(kBlocks);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = 0; i < dirty; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(ctx.rng.below(kBlocks - i));
+      std::swap(order[i], order[j]);
+      const support::Bytes patch{static_cast<std::uint8_t>(ctx.rng.below(256))};
+      memory.write(order[i] * kBlockSize, patch, /*now=*/1, sim::Actor::kApplication);
+    }
+
+    const std::uint64_t hits_before = cache.hits();
+    const support::Bytes cached = measure(&cache, /*counter=*/2);
+    const support::Bytes uncached = measure(nullptr, /*counter=*/2);
+    const std::uint64_t round_hits = cache.hits() - hits_before;
+
+    // The whole point: cache hits change nothing observable.
+    out.bernoulli(cached == uncached);
+    out.value("cache_hits", static_cast<double>(round_hits));
+    out.value("expected_clean", static_cast<double>(kBlocks - dirty));
+    out.value("hit_rate", static_cast<double>(round_hits) / kBlocks);
     return out;
   };
   return spec;

@@ -22,6 +22,9 @@ struct FireAlarmCampaignOptions {
   std::size_t trials = 100;
   std::uint64_t seed = 1;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Prover-side digest cache (host wall-clock optimization).  Exposed so
+  /// benches can assert cached == uncached aggregates byte-for-byte.
+  bool use_digest_cache = true;
 };
 
 exp::CampaignSpec make_fire_alarm_campaign(const FireAlarmCampaignOptions& options = {});
@@ -33,5 +36,20 @@ struct LockMatrixCampaignOptions {
 };
 
 exp::CampaignSpec make_lock_matrix_campaign(const LockMatrixCampaignOptions& options = {});
+
+struct MeasurementCacheCampaignOptions {
+  std::size_t trials = 40;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+};
+
+/// Dirty-fraction sweep for the generation-keyed digest cache: each trial
+/// measures a device, dirties `dirty_pct`% of its blocks, then re-measures
+/// with and without the cache.  Bernoulli channel = "cached and uncached
+/// measurements are byte-identical" (must be 1.0); scalar channels count
+/// cache hits against the expected clean-block count.  All values are
+/// deterministic — host wall-clock never enters the aggregates.
+exp::CampaignSpec make_measurement_cache_campaign(
+    const MeasurementCacheCampaignOptions& options = {});
 
 }  // namespace rasc::apps

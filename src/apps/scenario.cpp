@@ -6,13 +6,17 @@
 
 namespace rasc::apps {
 
+support::Bytes provision_image(std::size_t size, std::uint64_t provision_seed) {
+  support::Xoshiro256 rng(provision_seed);
+  support::Bytes image(size);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+  return image;
+}
+
 namespace {
 
 void provision(sim::Device& device, std::uint64_t seed) {
-  support::Xoshiro256 rng(seed);
-  support::Bytes image(device.memory().size());
-  for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
-  device.memory().load(image);
+  device.memory().load(provision_image(device.memory().size(), seed));
 }
 
 /// Decorrelate the verifier's challenge stream from the scenario seed so
@@ -54,6 +58,7 @@ LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config) {
   prover_config.mode = config.mode;
   prover_config.order = config.order;
   prover_config.priority = 10;
+  prover_config.use_digest_cache = config.use_digest_cache;
   attest::AttestationProcess mp(device, prover_config, policy.get());
 
   // Adversaries.
@@ -152,23 +157,28 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
   sim::DeviceConfig dev_config;
   dev_config.id = "prv-fire";
   // Back the modeled memory with a small real buffer and scale hash time.
-  const std::size_t real_block_size = 4096;
+  const std::size_t real_block_size = kFireAlarmBlockSize;
   dev_config.memory_size = config.real_blocks * real_block_size;
   dev_config.block_size = real_block_size;
   dev_config.attestation_key = support::to_bytes("fire-alarm-key");
   sim::Device device(simulator, dev_config);
   simulator.set_trace_sink(config.trace);
-  provision(device, 0xf12e + config.seed);
+  provision(device, config.provision_seed.value_or(0xf12e + config.seed));
   device.model().set_hash_time_scale(static_cast<double>(config.modeled_memory_bytes) /
                                      static_cast<double>(dev_config.memory_size));
 
-  attest::Verifier verifier(config.hash, dev_config.attestation_key,
-                            device.memory().snapshot(), real_block_size,
-                            challenge_seed_for(config.seed));
+  attest::Verifier verifier =
+      config.golden != nullptr
+          ? attest::Verifier(config.golden, dev_config.attestation_key,
+                             challenge_seed_for(config.seed))
+          : attest::Verifier(config.hash, dev_config.attestation_key,
+                             device.memory().snapshot(), real_block_size,
+                             challenge_seed_for(config.seed));
 
   attest::ProverConfig prover_config;
   prover_config.hash = config.hash;
   prover_config.mode = config.mode;
+  prover_config.use_digest_cache = config.use_digest_cache;
   prover_config.priority = 10;  // below the safety-critical task
   attest::AttestationProcess mp(device, prover_config);
 

@@ -7,8 +7,10 @@
 /// what the *verifier* concluded alongside ground truth and availability
 /// metrics.
 
+#include <memory>
 #include <optional>
 
+#include "src/attest/golden.hpp"
 #include "src/attest/prover.hpp"
 #include "src/attest/verifier.hpp"
 #include "src/locking/consistency.hpp"
@@ -42,6 +44,8 @@ struct LockScenarioConfig {
   /// how many of its writes the locks rejected (Table 1 availability).
   bool writer_enabled = false;
   std::uint64_t seed = 1;
+  /// Host-side digest cache on the prover (simulated timing unchanged).
+  bool use_digest_cache = true;
 };
 
 struct LockScenarioOutcome {
@@ -80,6 +84,14 @@ struct FireAlarmScenarioConfig {
   /// Varies provisioning and the verifier's challenge stream so
   /// Monte-Carlo trials are independent; every value is deterministic.
   std::uint64_t seed = 1;
+  /// Provisioning seed override; defaults to a per-trial value derived
+  /// from `seed`.  Campaign cells pin it so trials share one golden image.
+  std::optional<std::uint64_t> provision_seed;
+  /// Pre-digested golden shared across a cell's trials; must match the
+  /// provisioned image.  Null = digest a device snapshot per trial.
+  std::shared_ptr<const attest::GoldenMeasurement> golden;
+  /// Host-side digest cache on the prover (simulated timing unchanged).
+  bool use_digest_cache = true;
   /// Optional observability (not owned): `trace` captures the full device
   /// timeline (CPU segments, measurement spans, alarm instants); `metrics`
   /// accumulates fire_alarm.* counters and the sample-delay histogram.
@@ -98,5 +110,11 @@ struct FireAlarmScenarioOutcome {
 
 /// The Section 2.5 worked example: fire during attestation of ~1 GB.
 FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& config);
+
+/// Deterministic provisioning image used by both scenario drivers —
+/// exposed so campaign factories can pre-digest a cell's golden image.
+/// Fire-alarm block size is fixed at kFireAlarmBlockSize.
+inline constexpr std::size_t kFireAlarmBlockSize = 4096;
+support::Bytes provision_image(std::size_t size, std::uint64_t provision_seed);
 
 }  // namespace rasc::apps

@@ -1,0 +1,58 @@
+#pragma once
+/// \file digest.hpp
+/// Fixed-capacity per-block digest value type for the measurement hot
+/// path.  Every digest the library produces fits in 64 bytes (SHA-512 and
+/// BLAKE2b are the largest), so storing them inline — instead of one heap
+/// support::Bytes per block — removes an allocation per visited block and
+/// keeps the per-block digest table contiguous in memory.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::attest {
+
+class Digest {
+ public:
+  static constexpr std::size_t kMaxSize = 64;
+
+  Digest() = default;
+
+  explicit Digest(support::ByteView bytes) { assign(bytes); }
+
+  void assign(support::ByteView bytes) {
+    if (bytes.size() > kMaxSize) throw std::length_error("Digest: value exceeds 64 bytes");
+    size_ = static_cast<std::uint8_t>(bytes.size());
+    if (!bytes.empty()) std::memcpy(data_.data(), bytes.data(), bytes.size());
+  }
+
+  /// Set the size and expose a writable window for in-place finalization
+  /// (crypto finalize_into writes straight into the stored value).
+  support::MutableByteView prepare(std::size_t size) {
+    if (size > kMaxSize) throw std::length_error("Digest: value exceeds 64 bytes");
+    size_ = static_cast<std::uint8_t>(size);
+    return support::MutableByteView(data_.data(), size);
+  }
+
+  support::ByteView view() const noexcept {
+    return support::ByteView(data_.data(), size_);
+  }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  support::Bytes to_bytes() const { return support::Bytes(view().begin(), view().end()); }
+
+  friend bool operator==(const Digest& a, const Digest& b) noexcept {
+    return a.size_ == b.size_ && std::memcmp(a.data_.data(), b.data_.data(), a.size_) == 0;
+  }
+  friend bool operator!=(const Digest& a, const Digest& b) noexcept { return !(a == b); }
+
+ private:
+  std::array<std::uint8_t, kMaxSize> data_{};
+  std::uint8_t size_ = 0;
+};
+
+}  // namespace rasc::attest

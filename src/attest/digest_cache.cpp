@@ -1,0 +1,54 @@
+#include "src/attest/digest_cache.hpp"
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::attest {
+
+void DigestCache::resize(std::size_t block_count) {
+  if (slots_.size() != block_count) slots_.resize(block_count);
+}
+
+const Digest* DigestCache::lookup(std::size_t block, std::uint64_t generation,
+                                  crypto::HashKind hash, MacKind mac,
+                                  std::uint64_t key_fp) {
+  const Slot* slot = block < slots_.size() ? &slots_[block] : nullptr;
+  if (slot != nullptr && slot->valid && slot->generation == generation &&
+      slot->hash == hash && slot->mac == mac && slot->key_fp == key_fp) {
+    ++hits_;
+    if (metrics_ != nullptr) metrics_->counter("digest_cache.hit").inc();
+    return &slot->digest;
+  }
+  ++misses_;
+  if (metrics_ != nullptr) metrics_->counter("digest_cache.miss").inc();
+  return nullptr;
+}
+
+void DigestCache::store(std::size_t block, std::uint64_t generation,
+                        crypto::HashKind hash, MacKind mac, std::uint64_t key_fp,
+                        const Digest& digest) {
+  if (block >= slots_.size()) return;  // cache sized for a smaller coverage
+  Slot& slot = slots_[block];
+  slot.valid = true;
+  slot.generation = generation;
+  slot.hash = hash;
+  slot.mac = mac;
+  slot.key_fp = key_fp;
+  slot.digest = digest;
+  ++stores_;
+  if (metrics_ != nullptr) metrics_->counter("digest_cache.store").inc();
+}
+
+void DigestCache::invalidate_block(std::size_t block) {
+  if (block < slots_.size()) slots_[block].valid = false;
+}
+
+void DigestCache::invalidate_all() {
+  for (Slot& slot : slots_) slot.valid = false;
+}
+
+std::uint64_t DigestCache::key_fingerprint(support::ByteView key) {
+  const auto digest = crypto::hash_oneshot(crypto::HashKind::kSha256, key);
+  return support::get_u64_be(digest);
+}
+
+}  // namespace rasc::attest

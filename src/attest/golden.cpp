@@ -1,0 +1,26 @@
+#include "src/attest/golden.hpp"
+
+#include <stdexcept>
+
+namespace rasc::attest {
+
+GoldenMeasurement::GoldenMeasurement(support::ByteView image, std::size_t block_size,
+                                     crypto::HashKind hash, support::ByteView key,
+                                     MacKind mac)
+    : hash_(hash), mac_(mac), key_(key.begin(), key.end()), block_size_(block_size) {
+  if (block_size == 0 || image.size() % block_size != 0) {
+    throw std::invalid_argument("golden image size must be a multiple of block_size");
+  }
+  const std::size_t n = image.size() / block_size;
+  BlockDigester digester(mac, hash, key);
+  digests_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    digester.digest(image.subspan(i * block_size, block_size), digests_[i]);
+  }
+}
+
+support::Bytes GoldenMeasurement::expected(const MeasurementContext& context) const {
+  return Measurement::combine(digests_, hash_, key_, context, mac_);
+}
+
+}  // namespace rasc::attest

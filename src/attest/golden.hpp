@@ -1,0 +1,48 @@
+#pragma once
+/// \file golden.hpp
+/// Immutable pre-digested golden image.  The verifier compares every
+/// report against the expected measurement of its golden image; computing
+/// that expectation naively rehashes the whole image per report.  A
+/// GoldenMeasurement hashes every block exactly once at construction and
+/// then serves expected() for any context with only the O(blocks)
+/// combiner MAC — the per-block digests are context-independent.
+///
+/// The object is deeply immutable after construction, so one instance can
+/// be shared by const reference across campaign trial workers (computed
+/// once per campaign *cell*, not once per trial) — concurrent expected()
+/// calls are thread-safe because each builds its own combiner MAC state.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/attest/measurement.hpp"
+
+namespace rasc::attest {
+
+class GoldenMeasurement {
+ public:
+  /// Digest `image` (block_size * n bytes) once.  Throws
+  /// std::invalid_argument on a ragged image.
+  GoldenMeasurement(support::ByteView image, std::size_t block_size,
+                    crypto::HashKind hash, support::ByteView key,
+                    MacKind mac = MacKind::kHmac);
+
+  /// Expected measurement for a context — combiner MAC only, no hashing.
+  /// Bit-identical to Measurement::expected on the same image.
+  support::Bytes expected(const MeasurementContext& context) const;
+
+  std::size_t block_count() const noexcept { return digests_.size(); }
+  std::size_t block_size() const noexcept { return block_size_; }
+  crypto::HashKind hash_kind() const noexcept { return hash_; }
+  MacKind mac_kind() const noexcept { return mac_; }
+  const Digest& block_digest(std::size_t block) const { return digests_.at(block); }
+
+ private:
+  crypto::HashKind hash_;
+  MacKind mac_;
+  support::Bytes key_;
+  std::size_t block_size_;
+  std::vector<Digest> digests_;
+};
+
+}  // namespace rasc::attest

@@ -48,6 +48,22 @@ support::Bytes MacEngine::finalize() {
   return hmac_ ? hmac_->finalize() : cbc_->finalize();
 }
 
+void MacEngine::finalize_into(support::MutableByteView out) {
+  if (hmac_) {
+    hmac_->finalize_into(out);
+  } else {
+    cbc_->finalize_into(out);
+  }
+}
+
+void MacEngine::reset() {
+  if (hmac_) {
+    hmac_->reset();
+  } else {
+    cbc_->reset();
+  }
+}
+
 std::size_t MacEngine::tag_size() const noexcept {
   return hmac_ ? hmac_->tag_size() : crypto::CbcMac::kTagSize;
 }

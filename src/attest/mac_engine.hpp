@@ -31,6 +31,13 @@ class MacEngine {
 
   void update(support::ByteView data);
   support::Bytes finalize();
+  /// Allocation-free finalize: write the tag into `out` (>= tag_size()
+  /// bytes) and reset to the keyed initial state.
+  void finalize_into(support::MutableByteView out);
+  /// Discard any partial stream and return to the keyed initial state —
+  /// the engine is reusable across messages (per-block MACs in the
+  /// measurement hot path) without re-deriving key material.
+  void reset();
   std::size_t tag_size() const noexcept;
   MacKind kind() const noexcept { return kind_; }
 

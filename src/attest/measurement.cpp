@@ -4,6 +4,40 @@
 
 namespace rasc::attest {
 
+namespace {
+
+/// Domain-separated CBC-MAC key for the encryption-based per-block F
+/// (separated from the combiner key).
+support::Bytes derive_block_key(support::ByteView key) {
+  return support::concat({key, support::to_bytes("/block")});
+}
+
+}  // namespace
+
+BlockDigester::BlockDigester(MacKind mac, crypto::HashKind hash, support::ByteView key)
+    : mac_(mac) {
+  if (mac_ == MacKind::kHmac) {
+    hash_ = crypto::make_hash(hash);
+    digest_size_ = hash_->digest_size();
+  } else {
+    // Derived once here instead of per block.
+    auto block_key = derive_block_key(key);
+    engine_.emplace(MacKind::kCbcMac, hash, block_key);
+    support::secure_wipe(block_key);
+    digest_size_ = engine_->tag_size();
+  }
+}
+
+void BlockDigester::digest(support::ByteView block, Digest& out) {
+  if (mac_ == MacKind::kHmac) {
+    hash_->update(block);
+    hash_->finalize_into(out.prepare(digest_size_));
+  } else {
+    engine_->update(block);
+    engine_->finalize_into(out.prepare(digest_size_));
+  }
+}
+
 Measurement::Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
                          support::ByteView key, MeasurementContext context,
                          Coverage coverage, MacKind mac)
@@ -12,13 +46,19 @@ Measurement::Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
       key_(key.begin(), key.end()),
       context_(std::move(context)),
       coverage_(coverage),
-      mac_(mac) {
+      mac_(mac),
+      digester_(mac, hash, key) {
   const std::size_t n = coverage_.resolve_count(memory);
   if (coverage_.first_block + n > memory.block_count()) {
     throw std::out_of_range("Measurement coverage exceeds memory");
   }
   block_digests_.assign(n, {});
   visit_times_.assign(n, std::nullopt);
+}
+
+void Measurement::set_digest_cache(DigestCache* cache) {
+  cache_ = cache;
+  if (cache_ != nullptr) key_fp_ = DigestCache::key_fingerprint(key_);
 }
 
 void Measurement::visit_block(std::size_t block, sim::Time now) {
@@ -34,20 +74,35 @@ void Measurement::visit_block(std::size_t block, sim::Time now,
   const std::size_t rel = block - coverage_.first_block;
   if (!visit_times_[rel]) ++visited_count_;
   visit_times_[rel] = now;
-  block_digests_[rel] = block_digest(mac_, hash_, key_, content);
+
+  // The cache is keyed on live-memory generations, so it only applies
+  // when the content being digested IS the live block (snapshot-based
+  // lock policies redirect reads to their copy and bypass it here).
+  const bool live = cache_ != nullptr && content.size() == memory_.block_size() &&
+                    content.data() == memory_.block_view(block).data();
+  if (live) {
+    const std::uint64_t generation = memory_.block_generation(block);
+    if (const Digest* hit = cache_->lookup(block, generation, hash_, mac_, key_fp_)) {
+      block_digests_[rel] = *hit;
+      return;
+    }
+    digester_.digest(content, block_digests_[rel]);
+    cache_->store(block, generation, hash_, mac_, key_fp_, block_digests_[rel]);
+    return;
+  }
+  digester_.digest(content, block_digests_[rel]);
 }
 
 support::Bytes Measurement::block_digest(MacKind mac, crypto::HashKind hash,
                                          support::ByteView key,
                                          support::ByteView block) {
-  if (mac == MacKind::kHmac) return crypto::hash_oneshot(hash, block);
-  // Encryption-based F: a per-block CBC-MAC under a key derived from the
-  // attestation key (domain-separated from the combiner key).
-  const auto block_key = support::concat({key, support::to_bytes("/block")});
-  return MacEngine::compute(MacKind::kCbcMac, hash, block_key, block);
+  BlockDigester digester(mac, hash, key);
+  Digest out;
+  digester.digest(block, out);
+  return out.to_bytes();
 }
 
-support::Bytes Measurement::combine(const std::vector<support::Bytes>& digests,
+support::Bytes Measurement::combine(const std::vector<Digest>& digests,
                                     crypto::HashKind hash, support::ByteView key,
                                     const MeasurementContext& context, MacKind mac_kind) {
   MacEngine mac(mac_kind, hash, key);
@@ -58,7 +113,7 @@ support::Bytes Measurement::combine(const std::vector<support::Bytes>& digests,
   support::append_u64_be(header, context.counter);
   support::append_u64_be(header, digests.size());
   mac.update(header);
-  for (const auto& d : digests) mac.update(d);
+  for (const auto& d : digests) mac.update(d.view());
   return mac.finalize();
 }
 
@@ -74,9 +129,10 @@ support::Bytes Measurement::expected(support::ByteView image, std::size_t block_
     throw std::invalid_argument("golden image size must be a multiple of block_size");
   }
   const std::size_t n = image.size() / block_size;
-  std::vector<support::Bytes> digests(n);
+  BlockDigester digester(mac, hash, key);
+  std::vector<Digest> digests(n);
   for (std::size_t i = 0; i < n; ++i) {
-    digests[i] = block_digest(mac, hash, key, image.subspan(i * block_size, block_size));
+    digester.digest(image.subspan(i * block_size, block_size), digests[i]);
   }
   return combine(digests, hash, key, context, mac);
 }

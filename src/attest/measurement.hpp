@@ -11,10 +11,19 @@
 /// order, which is what lets one code path serve sequential, atomic and
 /// SMARM-shuffled measurements (and is the "additional memory to store the
 /// permutation/state" cost the paper attributes to SMARM).
+///
+/// Hot-path design (PR 4): per-block digests are fixed-capacity Digest
+/// values (no heap allocation per block), the CBC-MAC derived block key
+/// is computed once at construction, the per-block hash/MAC engine is
+/// reused across blocks, and — when a DigestCache is attached — blocks
+/// whose generation counter is unchanged since their digest was last
+/// computed are served from the cache, bit-identically.
 
 #include <optional>
 #include <vector>
 
+#include "src/attest/digest.hpp"
+#include "src/attest/digest_cache.hpp"
 #include "src/attest/mac_engine.hpp"
 #include "src/crypto/hash.hpp"
 #include "src/crypto/hmac.hpp"
@@ -40,11 +49,38 @@ struct MeasurementContext {
   std::uint64_t counter = 0;   ///< monotonic counter / schedule index
 };
 
+/// Reusable per-block digest engine.  Hoists the work that the naive
+/// per-block path repeated on every block: the CBC-MAC key derivation
+/// (concat(key, "/block")) happens once at construction, and the
+/// hash/MAC state is reset and reused instead of re-instantiated.
+class BlockDigester {
+ public:
+  BlockDigester(MacKind mac, crypto::HashKind hash, support::ByteView key);
+
+  /// Digest one block's content into `out` — no heap allocation.
+  void digest(support::ByteView block, Digest& out);
+
+  std::size_t digest_size() const noexcept { return digest_size_; }
+
+ private:
+  MacKind mac_;
+  std::size_t digest_size_;
+  std::unique_ptr<crypto::Hash> hash_;  ///< hash-based F (unkeyed per-block hash)
+  std::optional<MacEngine> engine_;     ///< encryption-based F (keyed CBC-MAC)
+};
+
 class Measurement {
  public:
   Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
               support::ByteView key, MeasurementContext context, Coverage coverage = {},
               MacKind mac = MacKind::kHmac);
+
+  /// Attach a digest cache (not owned; must outlive the measurement).
+  /// Cached digests are consulted only for blocks read from live device
+  /// memory (snapshot-redirected reads bypass the cache) and only when
+  /// the block's generation matches — results are bit-identical to the
+  /// uncached path.
+  void set_digest_cache(DigestCache* cache);
 
   /// Digest one block (index relative to memory, must lie inside the
   /// coverage).  May be called in any order; re-visiting overwrites the
@@ -77,6 +113,8 @@ class Measurement {
 
   /// Compute the expected measurement for a golden memory image (what the
   /// verifier compares against).  `image` must be block_size * n bytes.
+  /// Per-context cost is O(image); a verifier validating many reports
+  /// against one image should hold a GoldenMeasurement instead.
   static support::Bytes expected(support::ByteView image, std::size_t block_size,
                                  crypto::HashKind hash, support::ByteView key,
                                  const MeasurementContext& context,
@@ -87,18 +125,23 @@ class Measurement {
   static support::Bytes block_digest(MacKind mac, crypto::HashKind hash,
                                      support::ByteView key, support::ByteView block);
 
- private:
-  static support::Bytes combine(const std::vector<support::Bytes>& digests,
+  /// Combine per-block digests (index order) into the authenticated
+  /// measurement.  Shared by finalize(), expected() and GoldenMeasurement.
+  static support::Bytes combine(const std::vector<Digest>& digests,
                                 crypto::HashKind hash, support::ByteView key,
                                 const MeasurementContext& context, MacKind mac);
 
+ private:
   const sim::DeviceMemory& memory_;
   crypto::HashKind hash_;
   support::Bytes key_;
   MeasurementContext context_;
   Coverage coverage_;
   MacKind mac_;
-  std::vector<support::Bytes> block_digests_;
+  BlockDigester digester_;
+  DigestCache* cache_ = nullptr;
+  std::uint64_t key_fp_ = 0;  ///< computed when a cache is attached
+  std::vector<Digest> block_digests_;
   std::vector<std::optional<sim::Time>> visit_times_;
   std::size_t visited_count_ = 0;
 };

@@ -67,6 +67,10 @@ void AttestationProcess::start(MeasurementContext context,
   if (busy()) throw std::logic_error("AttestationProcess::start while busy");
   measurement_.emplace(device_.memory(), config_.hash, device_.attestation_key(),
                        std::move(context), config_.coverage, config_.mac);
+  if (config_.use_digest_cache) {
+    digest_cache_.resize(device_.memory().block_count());
+    measurement_->set_digest_cache(&digest_cache_);
+  }
   order_ = make_order();
   next_index_ = 0;
   result_ = AttestationResult{};

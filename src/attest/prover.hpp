@@ -50,6 +50,10 @@ struct ProverConfig {
   /// blocks at t_s so malware cannot hide in them and the verifier can
   /// expect zeros instead of enumerating volatile states.
   std::optional<Coverage> zero_region;
+  /// Consult the generation-keyed digest cache for unmodified blocks.
+  /// Accelerates host wall-clock only — simulated timing and results are
+  /// identical either way (cache hits are bit-identical by construction).
+  bool use_digest_cache = true;
 };
 
 struct AttestationResult {
@@ -76,6 +80,11 @@ class AttestationProcess final : public sim::Process {
   }
 
   void set_signer(crypto::Signer* signer) { signer_ = signer; }
+
+  /// The process-owned digest cache (persists across measurements, so a
+  /// second ERASMUS round only rehashes blocks written since the first).
+  /// Attach a MetricsRegistry via cache.set_metrics() for hit/miss export.
+  DigestCache& digest_cache() noexcept { return digest_cache_; }
 
   /// Begin a measurement; `done` fires at t_e with the full result.
   /// Throws std::logic_error if a measurement is already in flight.
@@ -108,6 +117,7 @@ class AttestationProcess final : public sim::Process {
   sim::Device& device_;
   ProverConfig config_;
   LockPolicy* policy_;
+  DigestCache digest_cache_;
   std::string trace_track_;
   crypto::Signer* signer_ = nullptr;
   std::function<void(std::size_t, std::size_t)> observer_;

@@ -4,22 +4,38 @@
 
 namespace rasc::attest {
 
+namespace {
+
+crypto::HmacDrbg make_challenge_drbg(std::uint64_t challenge_seed) {
+  support::Bytes seed(8);
+  support::put_u64_be(seed, challenge_seed);
+  return crypto::HmacDrbg(seed);
+}
+
+}  // namespace
+
 Verifier::Verifier(crypto::HashKind hash, support::Bytes key, support::Bytes golden_image,
                    std::size_t block_size, std::uint64_t challenge_seed, MacKind mac)
     : hash_(hash),
       mac_(mac),
       key_(std::move(key)),
-      golden_image_(std::move(golden_image)),
       block_size_(block_size),
-      challenge_drbg_([challenge_seed] {
-        support::Bytes seed(8);
-        support::put_u64_be(seed, challenge_seed);
-        return seed;
-      }()) {
-  if (block_size_ == 0 || golden_image_.size() % block_size_ != 0) {
+      challenge_drbg_(make_challenge_drbg(challenge_seed)) {
+  if (block_size_ == 0 || golden_image.size() % block_size_ != 0) {
     throw std::invalid_argument("Verifier: golden image must be whole blocks");
   }
+  golden_ = std::make_shared<const GoldenMeasurement>(golden_image, block_size_, hash_,
+                                                      key_, mac_);
 }
+
+Verifier::Verifier(std::shared_ptr<const GoldenMeasurement> golden, support::Bytes key,
+                   std::uint64_t challenge_seed)
+    : hash_(golden->hash_kind()),
+      mac_(golden->mac_kind()),
+      key_(std::move(key)),
+      golden_(std::move(golden)),
+      block_size_(golden_->block_size()),
+      challenge_drbg_(make_challenge_drbg(challenge_seed)) {}
 
 support::Bytes Verifier::issue_challenge(std::size_t size) {
   outstanding_challenge_ = challenge_drbg_.generate(size);
@@ -27,7 +43,7 @@ support::Bytes Verifier::issue_challenge(std::size_t size) {
 }
 
 support::Bytes Verifier::expected_measurement(const MeasurementContext& context) const {
-  return Measurement::expected(golden_image_, block_size_, hash_, key_, context, mac_);
+  return golden_->expected(context);
 }
 
 VerifyOutcome Verifier::verify(const Report& report, bool expect_challenge) {
@@ -64,7 +80,7 @@ void Verifier::set_golden_image(support::Bytes image) {
   if (image.size() % block_size_ != 0) {
     throw std::invalid_argument("golden image must be whole blocks");
   }
-  golden_image_ = std::move(image);
+  golden_ = std::make_shared<const GoldenMeasurement>(image, block_size_, hash_, key_, mac_);
 }
 
 }  // namespace rasc::attest

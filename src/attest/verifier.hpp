@@ -4,8 +4,10 @@
 /// attested memory and the shared attestation key, issues challenges, and
 /// validates reports (Section 2.2's step 4).
 
+#include <memory>
 #include <optional>
 
+#include "src/attest/golden.hpp"
 #include "src/attest/measurement.hpp"
 #include "src/attest/report.hpp"
 #include "src/crypto/drbg.hpp"
@@ -29,6 +31,12 @@ class Verifier {
            std::size_t block_size, std::uint64_t challenge_seed = 0xc0ffee,
            MacKind mac = MacKind::kHmac);
 
+  /// Share a pre-digested golden image across verifiers (one
+  /// GoldenMeasurement per campaign cell instead of one full-image rehash
+  /// per verify).  The golden carries hash/MAC kind and block size.
+  Verifier(std::shared_ptr<const GoldenMeasurement> golden, support::Bytes key,
+           std::uint64_t challenge_seed = 0xc0ffee);
+
   /// Fresh random challenge (also remembered as the expected one).
   support::Bytes issue_challenge(std::size_t size = 16);
 
@@ -42,7 +50,10 @@ class Verifier {
   support::Bytes expected_measurement(const MeasurementContext& context) const;
 
   /// Update the golden image (e.g. after an authorized software update).
+  /// Re-digests the image once.
   void set_golden_image(support::Bytes image);
+
+  const GoldenMeasurement& golden() const noexcept { return *golden_; }
 
   std::uint64_t last_counter() const noexcept { return last_counter_; }
   void reset_counter() noexcept { last_counter_seen_ = false; }
@@ -57,7 +68,7 @@ class Verifier {
   crypto::HashKind hash_;
   MacKind mac_;
   support::Bytes key_;
-  support::Bytes golden_image_;
+  std::shared_ptr<const GoldenMeasurement> golden_;
   std::size_t block_size_;
   crypto::HmacDrbg challenge_drbg_;
   std::optional<support::Bytes> outstanding_challenge_;

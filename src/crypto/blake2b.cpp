@@ -109,17 +109,24 @@ void Blake2b::update(support::ByteView data) {
   }
 }
 
-support::Bytes Blake2b::finalize() {
+void Blake2b::finalize_into(support::MutableByteView out) {
+  if (out.size() < kDigestSize) {
+    throw std::invalid_argument("Blake2b::finalize_into: output buffer too small");
+  }
   t0_ += buffered_;
   if (t0_ < buffered_) ++t1_;
   std::memset(buffer_.data() + buffered_, 0, kBlockSize - buffered_);
   compress(/*last=*/true);
 
-  support::Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
-    support::put_u64_le(support::MutableByteView(digest.data() + 8 * i, 8), h_[i]);
+    support::put_u64_le(support::MutableByteView(out.data() + 8 * i, 8), h_[i]);
   }
   reset();
+}
+
+support::Bytes Blake2b::finalize() {
+  support::Bytes digest(kDigestSize);
+  finalize_into(digest);
   return digest;
 }
 

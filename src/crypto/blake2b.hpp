@@ -25,6 +25,7 @@ class Blake2b final : public Hash {
 
   void update(support::ByteView data) override;
   support::Bytes finalize() override;
+  void finalize_into(support::MutableByteView out) override;
   std::size_t digest_size() const noexcept override { return kDigestSize; }
   std::size_t block_size() const noexcept override { return kBlockSize; }
   std::unique_ptr<Hash> clone() const override { return std::make_unique<Blake2b>(*this); }

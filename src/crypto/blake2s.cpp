@@ -103,16 +103,23 @@ void Blake2s::update(support::ByteView data) {
   }
 }
 
-support::Bytes Blake2s::finalize() {
+void Blake2s::finalize_into(support::MutableByteView out) {
+  if (out.size() < kDigestSize) {
+    throw std::invalid_argument("Blake2s::finalize_into: output buffer too small");
+  }
   t_ += buffered_;
   std::memset(buffer_.data() + buffered_, 0, kBlockSize - buffered_);
   compress(/*last=*/true);
 
-  support::Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
-    support::put_u32_le(support::MutableByteView(digest.data() + 4 * i, 4), h_[i]);
+    support::put_u32_le(support::MutableByteView(out.data() + 4 * i, 4), h_[i]);
   }
   reset();
+}
+
+support::Bytes Blake2s::finalize() {
+  support::Bytes digest(kDigestSize);
+  finalize_into(digest);
   return digest;
 }
 

@@ -1,6 +1,7 @@
 #include "src/crypto/cbcmac.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 namespace rasc::crypto {
 
@@ -35,15 +36,27 @@ void CbcMac::update(support::ByteView data) {
 }
 
 support::Bytes CbcMac::finalize() {
+  support::Bytes tag(kTagSize);
+  finalize_into(tag);
+  return tag;
+}
+
+void CbcMac::finalize_into(support::MutableByteView out) {
+  if (out.size() < kTagSize) {
+    throw std::invalid_argument("CbcMac::finalize_into: output buffer too small");
+  }
   // Padding method 2: append 0x80 then zeros to a full block.
   buffer_[buffered_] = 0x80;
   std::memset(buffer_ + buffered_ + 1, 0, Aes::kBlockSize - buffered_ - 1);
   absorb_block(buffer_);
 
-  support::Bytes tag(chain_, chain_ + Aes::kBlockSize);
+  std::memcpy(out.data(), chain_, kTagSize);
+  reset();
+}
+
+void CbcMac::reset() {
   std::memset(chain_, 0, sizeof(chain_));
   buffered_ = 0;
-  return tag;
 }
 
 support::Bytes CbcMac::compute(support::ByteView key, support::ByteView message) {

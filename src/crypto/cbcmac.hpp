@@ -25,6 +25,13 @@ class CbcMac {
   /// Produce the tag and reset to the keyed initial state.
   support::Bytes finalize();
 
+  /// Allocation-free finalize: write the tag into `out` (>= kTagSize
+  /// bytes) and reset to the keyed initial state.
+  void finalize_into(support::MutableByteView out);
+
+  /// Discard any partial stream and return to the keyed initial state.
+  void reset();
+
   static support::Bytes compute(support::ByteView key, support::ByteView message);
   static bool verify(support::ByteView key, support::ByteView message,
                      support::ByteView tag);

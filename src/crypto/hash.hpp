@@ -32,6 +32,12 @@ class Hash {
   /// Produce the digest and reset to the initial state.
   virtual support::Bytes finalize() = 0;
 
+  /// Allocation-free finalize: write the digest into `out` (which must be
+  /// at least digest_size() bytes) and reset to the initial state.  The
+  /// base implementation falls back to finalize(); the concrete hashes
+  /// override it to write straight from their internal state.
+  virtual void finalize_into(support::MutableByteView out);
+
   /// Digest size in bytes.
   virtual std::size_t digest_size() const noexcept = 0;
 

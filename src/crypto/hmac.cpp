@@ -47,15 +47,27 @@ void Hmac::rekey(support::ByteView key) {
 void Hmac::update(support::ByteView data) { inner_->update(data); }
 
 support::Bytes Hmac::finalize() {
-  auto inner_digest = inner_->finalize();
+  support::Bytes tag(tag_size());
+  finalize_into(tag);
+  return tag;
+}
+
+void Hmac::finalize_into(support::MutableByteView out) {
+  std::uint8_t inner_digest[64];  // large enough for every library hash
+  const std::size_t digest_len = inner_->digest_size();
+  inner_->finalize_into(support::MutableByteView(inner_digest, digest_len));
   outer_->reset();
   outer_->update(opad_key_);
-  outer_->update(inner_digest);
-  auto tag = outer_->finalize();
+  outer_->update(support::ByteView(inner_digest, digest_len));
+  outer_->finalize_into(out);
   // Reset for reuse with the same key.
   inner_->reset();
   inner_->update(ipad_key_);
-  return tag;
+}
+
+void Hmac::reset() {
+  inner_->reset();
+  inner_->update(ipad_key_);
 }
 
 support::Bytes Hmac::compute(HashKind kind, support::ByteView key,

@@ -25,6 +25,14 @@ class Hmac {
   /// Produce the tag and reset to the keyed initial state.
   support::Bytes finalize();
 
+  /// Allocation-free finalize: write the tag into `out` (>= tag_size()
+  /// bytes) and reset to the keyed initial state.
+  void finalize_into(support::MutableByteView out);
+
+  /// Discard any partial stream and return to the keyed initial state
+  /// (reuse across messages without re-deriving the pads).
+  void reset();
+
   std::size_t tag_size() const noexcept { return inner_->digest_size(); }
   HashKind kind() const noexcept { return kind_; }
 

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 namespace rasc::crypto {
 
@@ -94,7 +95,10 @@ void Sha256::update(support::ByteView data) {
   }
 }
 
-support::Bytes Sha256::finalize() {
+void Sha256::finalize_into(support::MutableByteView out) {
+  if (out.size() < kDigestSize) {
+    throw std::invalid_argument("Sha256::finalize_into: output buffer too small");
+  }
   const std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad[kBlockSize * 2] = {0x80};
   // Pad to 56 mod 64, then append the 64-bit big-endian length.
@@ -105,11 +109,15 @@ support::Bytes Sha256::finalize() {
   support::put_u64_be(len_be, bit_len);
   update(support::ByteView(len_be, 8));
 
-  support::Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
-    support::put_u32_be(support::MutableByteView(digest.data() + 4 * i, 4), state_[i]);
+    support::put_u32_be(support::MutableByteView(out.data() + 4 * i, 4), state_[i]);
   }
   reset();
+}
+
+support::Bytes Sha256::finalize() {
+  support::Bytes digest(kDigestSize);
+  finalize_into(digest);
   return digest;
 }
 

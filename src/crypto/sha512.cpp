@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <stdexcept>
 
 namespace rasc::crypto {
 
@@ -112,7 +113,10 @@ void Sha512::update(support::ByteView data) {
   }
 }
 
-support::Bytes Sha512::finalize() {
+void Sha512::finalize_into(support::MutableByteView out) {
+  if (out.size() < kDigestSize) {
+    throw std::invalid_argument("Sha512::finalize_into: output buffer too small");
+  }
   const std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad[kBlockSize * 2] = {0x80};
   // Pad to 112 mod 128, then append a 128-bit big-endian length (we only
@@ -124,11 +128,15 @@ support::Bytes Sha512::finalize() {
   support::put_u64_be(support::MutableByteView(len_be + 8, 8), bit_len);
   update(support::ByteView(len_be, 16));
 
-  support::Bytes digest(kDigestSize);
   for (int i = 0; i < 8; ++i) {
-    support::put_u64_be(support::MutableByteView(digest.data() + 8 * i, 8), state_[i]);
+    support::put_u64_be(support::MutableByteView(out.data() + 8 * i, 8), state_[i]);
   }
   reset();
+}
+
+support::Bytes Sha512::finalize() {
+  support::Bytes digest(kDigestSize);
+  finalize_into(digest);
   return digest;
 }
 

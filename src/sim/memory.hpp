@@ -4,6 +4,14 @@
 /// log.  Locks make blocks read-only (the HYDRA/seL4 capability mechanism
 /// the paper's memory-locking solutions rely on); the write log lets the
 /// consistency analyzer replay what changed during a measurement.
+///
+/// Every block also carries a monotonically increasing *generation
+/// counter*, bumped whenever its contents change (write, zero_region,
+/// load).  This models RATA-style hardware that records when memory was
+/// last modified: a measurement layer can compare a block's generation
+/// against the one it hashed last time and skip rehashing untouched
+/// blocks (see attest::DigestCache).  MPU-rejected writes do NOT bump a
+/// generation — the contents did not change.
 
 #include <cstdint>
 #include <functional>
@@ -41,7 +49,7 @@ class DeviceMemory {
 
   std::size_t size() const noexcept { return data_.size(); }
   std::size_t block_size() const noexcept { return block_size_; }
-  std::size_t block_count() const noexcept { return locks_.size(); }
+  std::size_t block_count() const noexcept { return block_count_; }
 
   std::size_t block_of(std::size_t addr) const noexcept { return addr / block_size_; }
 
@@ -61,7 +69,15 @@ class DeviceMemory {
   support::Bytes snapshot() const { return data_; }
 
   /// Restore contents without logging (test setup / device provisioning).
+  /// Still bumps the touched blocks' generations: the contents changed.
   void load(support::ByteView image, std::size_t addr = 0);
+
+  // -- generations -------------------------------------------------------------
+  /// Content generation of one block: starts at 0, +1 per content change.
+  std::uint64_t block_generation(std::size_t block) const;
+  /// Global generation: bumped once per mutating operation that changed at
+  /// least one block.  Cheap "anything changed since X?" check.
+  std::uint64_t generation() const noexcept { return global_generation_; }
 
   // -- MPU locks --------------------------------------------------------------
   void lock_block(std::size_t block);
@@ -69,7 +85,8 @@ class DeviceMemory {
   bool locked(std::size_t block) const;
   void lock_all();
   void unlock_all();
-  std::size_t locked_block_count() const noexcept;
+  /// Maintained counter — O(1), not a scan.
+  std::size_t locked_block_count() const noexcept { return locked_count_; }
 
   // -- observability -----------------------------------------------------------
   /// Invoked after every lock-state change with the new locked-block
@@ -88,21 +105,49 @@ class DeviceMemory {
   }
 
   // -- write log ---------------------------------------------------------------
+  /// Oldest-first; bounded at write_log_capacity() records (the oldest
+  /// half is dropped on overflow so long campaigns stop growing memory).
+  /// The running counters below are NOT affected by truncation.
   const std::vector<WriteRecord>& write_log() const noexcept { return write_log_; }
-  void clear_write_log() { write_log_.clear(); }
-  /// Count of rejected writes since the log was last cleared (availability
-  /// metric for the locking mechanisms).
-  std::size_t blocked_write_count() const noexcept;
+  void clear_write_log();
+  /// Maximum records retained; 0 = unbounded.  Lowering the capacity
+  /// truncates an over-full log immediately (oldest records first).
+  void set_write_log_capacity(std::size_t capacity);
+  std::size_t write_log_capacity() const noexcept { return write_log_capacity_; }
+  /// Records dropped from the log by the capacity bound since the last
+  /// clear_write_log().
+  std::size_t dropped_write_records() const noexcept { return dropped_write_records_; }
+
+  /// Running counters since the log was last cleared (availability
+  /// metrics for the locking mechanisms).  Maintained on append — O(1)
+  /// and immune to ring-buffer truncation.
+  std::size_t blocked_write_count() const noexcept { return blocked_write_count_; }
+  std::size_t total_write_count() const noexcept { return total_write_count_; }
 
  private:
   void check_range(std::size_t addr, std::size_t len) const;
 
   void notify_locks();
+  void append_write_record(const WriteRecord& record);
+  void bump_generation(std::size_t first_block, std::size_t last_block);
+
+  static constexpr std::size_t kBitsPerWord = 64;
+  static constexpr std::size_t kDefaultWriteLogCapacity = 1u << 18;
 
   std::size_t block_size_;
+  std::size_t block_count_ = 0;
   support::Bytes data_;
-  std::vector<bool> locks_;
+  /// Word-packed lock bitset (bit b of word b/64 = block b locked) with a
+  /// maintained population count.
+  std::vector<std::uint64_t> lock_words_;
+  std::size_t locked_count_ = 0;
+  std::vector<std::uint64_t> generations_;
+  std::uint64_t global_generation_ = 0;
   std::vector<WriteRecord> write_log_;
+  std::size_t write_log_capacity_ = kDefaultWriteLogCapacity;
+  std::size_t dropped_write_records_ = 0;
+  std::size_t blocked_write_count_ = 0;
+  std::size_t total_write_count_ = 0;
   LockObserver lock_observer_;
   WriteObserver write_observer_;
 };

@@ -1,6 +1,10 @@
 #include "src/smarm/campaign.hpp"
 
+#include <map>
+#include <memory>
+
 #include "src/smarm/escape.hpp"
+#include "src/smarm/runner.hpp"
 
 namespace rasc::smarm {
 
@@ -30,6 +34,7 @@ exp::CampaignSpec make_escape_campaign(const EscapeCampaignOptions& options) {
 exp::CampaignSpec make_fullstack_escape_campaign(const EscapeCampaignOptions& options) {
   exp::CampaignSpec spec;
   spec.name = "smarm_escape_fullstack";
+  const std::vector<std::int64_t> block_counts{8, 12, 16};
   spec.grid.axis("blocks", {std::int64_t{8}, std::int64_t{12}, std::int64_t{16}});
   spec.trials_per_point = options.trials;
   spec.base_seed = options.seed;
@@ -37,12 +42,32 @@ exp::CampaignSpec make_fullstack_escape_campaign(const EscapeCampaignOptions& op
   // Device simulation is ~ms per trial; keep work units small enough that
   // the pool load-balances even for modest trial counts.
   spec.shard_size = 8;
-  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+  // One firmware image and one pre-digested GoldenMeasurement per cell
+  // (blocks value), shared by const reference across all trial workers —
+  // the verifier no longer rehashes the golden image once per trial.
+  constexpr std::size_t kBlockSize = 256;
+  constexpr std::uint64_t kProvisionSeedBase = 0xf1f00000;
+  auto goldens = std::make_shared<
+      std::map<std::int64_t, std::shared_ptr<const attest::GoldenMeasurement>>>();
+  for (const std::int64_t blocks : block_counts) {
+    const auto image = firmware_image(static_cast<std::size_t>(blocks) * kBlockSize,
+                                      kProvisionSeedBase + static_cast<std::uint64_t>(blocks));
+    (*goldens)[blocks] = std::make_shared<const attest::GoldenMeasurement>(
+        image, kBlockSize, crypto::HashKind::kSha256,
+        support::to_bytes("smarm-shared-key"));
+  }
+  const bool use_digest_cache = options.use_digest_cache;
+  spec.trial = [goldens, use_digest_cache](const exp::GridPoint& point,
+                                           exp::TrialContext& ctx) {
     RunnerConfig config;
     config.blocks = static_cast<std::size_t>(point.i64("blocks"));
-    config.block_size = 256;
+    config.block_size = kBlockSize;
     config.rounds = 1;
     config.seed = ctx.seed;
+    config.use_digest_cache = use_digest_cache;
+    config.provision_seed =
+        kProvisionSeedBase + static_cast<std::uint64_t>(point.i64("blocks"));
+    config.golden = goldens->at(point.i64("blocks"));
     exp::TrialOutput out;
     config.metrics = &out.metrics;
     const RunnerOutcome outcome = run_rounds(config);

@@ -15,6 +15,10 @@ struct EscapeCampaignOptions {
   std::size_t trials = 1000;
   std::uint64_t seed = 1;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Full-stack only: prover-side digest cache (host wall-clock
+  /// optimization).  Exposed so benches can assert that cached and
+  /// uncached campaigns produce byte-identical aggregates.
+  bool use_digest_cache = true;
 };
 
 /// Abstract-game campaign: each trial plays play_escape_game() once from

@@ -4,17 +4,12 @@
 
 namespace rasc::smarm {
 
-namespace {
-
-/// Fill device memory with deterministic benign "firmware".
-void provision(sim::Device& device, std::uint64_t seed) {
-  support::Xoshiro256 rng(seed);
-  support::Bytes image(device.memory().size());
+support::Bytes firmware_image(std::size_t size, std::uint64_t provision_seed) {
+  support::Xoshiro256 rng(provision_seed);
+  support::Bytes image(size);
   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
-  device.memory().load(image);
+  return image;
 }
-
-}  // namespace
 
 RunnerOutcome run_rounds(const RunnerConfig& config) {
   sim::Simulator simulator;
@@ -24,20 +19,27 @@ RunnerOutcome run_rounds(const RunnerConfig& config) {
   dev_config.block_size = config.block_size;
   dev_config.attestation_key = support::to_bytes("smarm-shared-key");
   sim::Device device(simulator, dev_config);
-  provision(device, /*seed=*/0xf1f0 + config.seed);
+  const std::uint64_t provision_seed =
+      config.provision_seed.value_or(0xf1f0 + config.seed);
+  device.memory().load(firmware_image(device.memory().size(), provision_seed));
 
   // Challenge stream decorrelated from the trial seed so Monte-Carlo
   // trials exercise independent challenges, not one replayed sequence.
   std::uint64_t challenge_state = config.seed ^ 0xc0ffee;
-  attest::Verifier verifier(config.hash, dev_config.attestation_key,
-                            device.memory().snapshot(), config.block_size,
-                            support::splitmix64(challenge_state));
+  attest::Verifier verifier =
+      config.golden != nullptr
+          ? attest::Verifier(config.golden, dev_config.attestation_key,
+                             support::splitmix64(challenge_state))
+          : attest::Verifier(config.hash, dev_config.attestation_key,
+                             device.memory().snapshot(), config.block_size,
+                             support::splitmix64(challenge_state));
 
   attest::ProverConfig prover_config;
   prover_config.hash = config.hash;
   prover_config.mode = config.mode;
   prover_config.order = config.order;
   prover_config.priority = 10;
+  prover_config.use_digest_cache = config.use_digest_cache;
   attest::AttestationProcess mp(device, prover_config);
 
   malware::RelocatingConfig mal_config;

@@ -7,7 +7,10 @@
 /// is asserted from ground truth.
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
+#include "src/attest/golden.hpp"
 #include "src/attest/prover.hpp"
 #include "src/attest/verifier.hpp"
 #include "src/malware/relocating.hpp"
@@ -26,6 +29,16 @@ struct RunnerConfig {
   attest::ExecutionMode mode = attest::ExecutionMode::kInterruptible;
   malware::RelocationStrategy strategy = malware::RelocationStrategy::kRovingUniform;
   std::uint64_t seed = 1;  ///< varies malware randomness across trials
+  /// Firmware provisioning seed; defaults to a per-trial value derived
+  /// from `seed`.  Campaign cells pin it so every trial shares one golden
+  /// image (prerequisite for a per-cell GoldenMeasurement).
+  std::optional<std::uint64_t> provision_seed;
+  /// Pre-digested golden image shared across trials of a cell.  Must match
+  /// the provisioned firmware (same provision_seed / size / hash / key);
+  /// when null the verifier digests its own golden from a device snapshot.
+  std::shared_ptr<const attest::GoldenMeasurement> golden;
+  /// Host-side digest cache for the prover's multi-round measurements.
+  bool use_digest_cache = true;
   /// Optional observability (not owned): `trace` receives the device
   /// timeline plus a "smarm.round" span per permutation round; `metrics`
   /// accumulates "smarm.rounds"/"smarm.detections" counters and a
@@ -41,6 +54,11 @@ struct RunnerOutcome {
   std::size_t malware_relocations = 0;
   std::size_t malware_blocked_relocations = 0;
 };
+
+/// Deterministic benign "firmware" image for a given provisioning seed —
+/// exactly what run_rounds loads into device memory, exposed so campaign
+/// factories can pre-digest the cell's golden image once.
+support::Bytes firmware_image(std::size_t size, std::uint64_t provision_seed);
 
 /// Run `config.rounds` back-to-back measurements on a fresh device with
 /// the malware resident throughout; returns per-round detection counts.

@@ -145,5 +145,109 @@ TEST(Memory, BlockOfMapsAddresses) {
   EXPECT_EQ(mem.block_of(63), 3u);
 }
 
+TEST(MemoryGenerations, StartAtZero) {
+  DeviceMemory mem(64, 16);
+  for (std::size_t b = 0; b < mem.block_count(); ++b) {
+    EXPECT_EQ(mem.block_generation(b), 0u);
+  }
+  EXPECT_EQ(mem.generation(), 0u);
+}
+
+TEST(MemoryGenerations, WriteBumpsExactlyTouchedBlocks) {
+  DeviceMemory mem(64, 16);
+  // Spans blocks 0 and 1 (addresses 14..17).
+  EXPECT_TRUE(mem.write(14, to_bytes("abcd"), 1, Actor::kApplication));
+  EXPECT_EQ(mem.block_generation(0), 1u);
+  EXPECT_EQ(mem.block_generation(1), 1u);
+  EXPECT_EQ(mem.block_generation(2), 0u);
+  EXPECT_EQ(mem.block_generation(3), 0u);
+  EXPECT_EQ(mem.generation(), 1u);
+}
+
+TEST(MemoryGenerations, ZeroRegionAndLoadBump) {
+  DeviceMemory mem(64, 16);
+  mem.zero_region(16, 16, 1, Actor::kMeasurement);
+  EXPECT_EQ(mem.block_generation(1), 1u);
+  EXPECT_EQ(mem.block_generation(0), 0u);
+  mem.load(Bytes(64, 0x5a));
+  for (std::size_t b = 0; b < mem.block_count(); ++b) {
+    EXPECT_GE(mem.block_generation(b), 1u);
+  }
+}
+
+TEST(MemoryGenerations, BlockedWriteDoesNotBump) {
+  DeviceMemory mem(64, 16);
+  mem.lock_block(1);
+  EXPECT_FALSE(mem.write(16, to_bytes("x"), 1, Actor::kMalware));
+  EXPECT_EQ(mem.block_generation(1), 0u);
+  EXPECT_EQ(mem.generation(), 0u);
+}
+
+TEST(MemoryGenerations, OutOfRangeThrows) {
+  DeviceMemory mem(64, 16);
+  EXPECT_THROW(mem.block_generation(4), std::out_of_range);
+}
+
+TEST(MemoryLockBitset, CountMaintainedAcrossOps) {
+  DeviceMemory mem(130 * 16, 16);  // 130 blocks: spills into a third word
+  EXPECT_EQ(mem.locked_block_count(), 0u);
+  mem.lock_block(0);
+  mem.lock_block(64);
+  mem.lock_block(129);
+  EXPECT_EQ(mem.locked_block_count(), 3u);
+  mem.lock_block(64);  // idempotent
+  EXPECT_EQ(mem.locked_block_count(), 3u);
+  EXPECT_TRUE(mem.locked(129));
+  EXPECT_FALSE(mem.locked(128));
+  mem.unlock_block(64);
+  EXPECT_EQ(mem.locked_block_count(), 2u);
+  mem.lock_all();
+  EXPECT_EQ(mem.locked_block_count(), 130u);
+  mem.unlock_all();
+  EXPECT_EQ(mem.locked_block_count(), 0u);
+}
+
+TEST(MemoryWriteLog, RunningCountersSurviveTruncation) {
+  DeviceMemory mem(64, 16);
+  mem.set_write_log_capacity(8);
+  mem.lock_block(3);
+  for (int i = 0; i < 20; ++i) {
+    mem.write(0, to_bytes("a"), i, Actor::kApplication);
+    mem.write(48, to_bytes("b"), i, Actor::kMalware);  // blocked
+  }
+  EXPECT_LE(mem.write_log().size(), 8u);
+  EXPECT_GT(mem.dropped_write_records(), 0u);
+  EXPECT_EQ(mem.total_write_count(), 40u);
+  EXPECT_EQ(mem.blocked_write_count(), 20u);
+  mem.clear_write_log();
+  EXPECT_EQ(mem.total_write_count(), 0u);
+  EXPECT_EQ(mem.blocked_write_count(), 0u);
+  EXPECT_EQ(mem.dropped_write_records(), 0u);
+}
+
+TEST(MemoryWriteLog, KeepsNewestRecordsOnOverflow) {
+  DeviceMemory mem(64, 16);
+  mem.set_write_log_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    mem.write(0, to_bytes("x"), /*now=*/i, Actor::kApplication);
+  }
+  ASSERT_FALSE(mem.write_log().empty());
+  // Oldest-first order is preserved and the newest write is retained.
+  EXPECT_EQ(mem.write_log().back().time, 9);
+  for (std::size_t i = 1; i < mem.write_log().size(); ++i) {
+    EXPECT_LT(mem.write_log()[i - 1].time, mem.write_log()[i].time);
+  }
+}
+
+TEST(MemoryWriteLog, ZeroCapacityIsUnbounded) {
+  DeviceMemory mem(64, 16);
+  mem.set_write_log_capacity(0);
+  for (int i = 0; i < 100; ++i) {
+    mem.write(0, to_bytes("x"), i, Actor::kApplication);
+  }
+  EXPECT_EQ(mem.write_log().size(), 100u);
+  EXPECT_EQ(mem.dropped_write_records(), 0u);
+}
+
 }  // namespace
 }  // namespace rasc::sim
