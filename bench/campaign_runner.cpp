@@ -41,7 +41,8 @@ void usage(const char* argv0) {
       "  smarm_escape_fullstack  device sim + verifier, blocks sweep\n"
       "  sec25_fire_alarm        fire-alarm deadline misses, mode x memory sweep\n"
       "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n"
-      "  measurement_cache       digest-cache identity + hit rate, dirty-%% sweep\n",
+      "  measurement_cache       digest-cache identity + hit rate, dirty-%% sweep\n"
+      "  network_reliability     lossy-link RA sessions, drop x retries x timeout\n",
       argv0);
 }
 
@@ -80,6 +81,13 @@ exp::CampaignSpec build_spec(const Options& options) {
     o.seed = options.seed;
     o.threads = options.threads;
     return apps::make_measurement_cache_campaign(o);
+  }
+  if (options.campaign == "network_reliability") {
+    apps::NetworkReliabilityCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return apps::make_network_reliability_campaign(o);
   }
   throw std::invalid_argument("unknown campaign '" + options.campaign + "'");
 }
@@ -165,6 +173,19 @@ int main(int argc, char** argv) {
 
     bool ok = true;
     if (spec.name == "smarm_escape") ok = check_smarm_cells(result);
+    if (spec.name == "network") {
+      // Every round in every trial must have reached a terminal outcome
+      // (the per-trial require() would already have thrown on a leak, but
+      // assert the aggregate too so the invariant shows in the output).
+      for (const auto& cell : result.cells) {
+        const auto it = cell.values.find("resolved");
+        if (it == cell.values.end() || it->second.mean() != 1.0) {
+          std::fprintf(stderr, "FAIL: %s: some rounds never resolved\n",
+                       cell.point.label().c_str());
+          ok = false;
+        }
+      }
+    }
     if (spec.name == "measurement_cache") {
       // Cached and uncached measurements must be byte-identical in every
       // single trial — anything less is a correctness bug, not noise.

@@ -186,4 +186,66 @@ exp::CampaignSpec make_measurement_cache_campaign(
   return spec;
 }
 
+exp::CampaignSpec make_network_reliability_campaign(
+    const NetworkReliabilityCampaignOptions& options) {
+  exp::CampaignSpec spec;
+  spec.name = "network";
+  spec.grid.axis("drop_pct", {std::int64_t{0}, std::int64_t{10}, std::int64_t{30}});
+  spec.grid.axis("max_attempts", {std::int64_t{1}, std::int64_t{3}, std::int64_t{6}});
+  spec.grid.axis("timeout_ms", {std::int64_t{60}, std::int64_t{250}});
+  spec.trials_per_point = options.trials;
+  spec.base_seed = options.seed;
+  spec.threads = options.threads;
+  spec.shard_size = 8;
+  const std::size_t rounds = options.rounds;
+  spec.trial = [rounds](const exp::GridPoint& point, exp::TrialContext& ctx) {
+    NetworkScenarioConfig config;
+    config.rounds = rounds;
+    config.drop_probability =
+        static_cast<double>(point.i64("drop_pct")) / 100.0;
+    // Mild background faults so the duplicate/replay/corrupt machinery is
+    // exercised in every cell, not just the ones the axes sweep.
+    config.duplicate_probability = 0.05;
+    config.reorder_probability = 0.05;
+    config.corrupt_probability = 0.02;
+    config.session.max_attempts =
+        static_cast<std::size_t>(point.i64("max_attempts"));
+    config.session.response_timeout =
+        static_cast<sim::Duration>(point.i64("timeout_ms")) * sim::kMillisecond;
+    config.session.backoff_base = 20 * sim::kMillisecond;
+    config.seed = ctx.seed;
+    exp::TrialOutput out;
+    config.metrics = &out.metrics;
+    const NetworkScenarioOutcome outcome = run_network_scenario(config);
+    // The acceptance invariant: zero leaked done callbacks, asserted per
+    // trial so a hang fails the whole campaign.
+    out.require(outcome.all_resolved,
+                "attestation round leaked its done callback");
+    // Bernoulli channel: per-round false positive — this prover is
+    // healthy, so any terminal outcome but Verified misjudges it.
+    out.successes = outcome.rounds_resolved - outcome.verified;
+    out.attempts = outcome.rounds_resolved;
+    out.value("resolved", outcome.all_resolved ? 1.0 : 0.0);
+    out.value("attempts_per_round",
+              static_cast<double>(outcome.total_attempts) /
+                  static_cast<double>(outcome.rounds_resolved));
+    out.value("retries", static_cast<double>(outcome.retries));
+    out.value("retry_backoff_ms", sim::to_millis(outcome.total_backoff));
+    out.value("mp_ms", sim::to_millis(outcome.total_measure_time));
+    out.value("wasted_mp_ms", sim::to_millis(outcome.wasted_measure_time));
+    out.value("round_latency_ms",
+              sim::to_millis(outcome.total_round_latency) /
+                  static_cast<double>(outcome.rounds_resolved));
+    out.value("max_round_latency_ms", sim::to_millis(outcome.max_round_latency));
+    out.value("late_reports", static_cast<double>(outcome.late_reports));
+    out.value("link_drop_rate",
+              outcome.link_sent == 0
+                  ? 0.0
+                  : static_cast<double>(outcome.link_dropped) /
+                        static_cast<double>(outcome.link_sent));
+    return out;
+  };
+  return spec;
+}
+
 }  // namespace rasc::apps

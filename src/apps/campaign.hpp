@@ -52,4 +52,24 @@ struct MeasurementCacheCampaignOptions {
 exp::CampaignSpec make_measurement_cache_campaign(
     const MeasurementCacheCampaignOptions& options = {});
 
+struct NetworkReliabilityCampaignOptions {
+  std::size_t trials = 100;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+  /// Sequential attestation rounds per trial.
+  std::size_t rounds = 4;
+};
+
+/// Lossy-link reliability sweep (spec name "network", so the artifact is
+/// BENCH_network.json): drop_pct x retry budget x per-attempt timeout,
+/// over a *healthy* prover with mild background duplication/reordering/
+/// corruption.  Bernoulli channel = per-round false positive (healthy
+/// device judged anything but Verified); scalars price the reliability
+/// machinery (attempts per round, backoff, wasted prover CPU time on
+/// measurements whose reports never decided a round).  Every trial
+/// asserts that all rounds reached a terminal outcome — a leaked `done`
+/// callback fails the campaign rather than skewing it.
+exp::CampaignSpec make_network_reliability_campaign(
+    const NetworkReliabilityCampaignOptions& options = {});
+
 }  // namespace rasc::apps

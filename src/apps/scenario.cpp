@@ -152,6 +152,110 @@ LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config) {
   return outcome;
 }
 
+NetworkScenarioOutcome run_network_scenario(const NetworkScenarioConfig& config) {
+  sim::Simulator simulator;
+  simulator.set_trace_sink(config.trace);
+  sim::DeviceConfig dev_config;
+  dev_config.id = "prv-net";
+  dev_config.memory_size = config.blocks * config.block_size;
+  dev_config.block_size = config.block_size;
+  dev_config.attestation_key = support::to_bytes("network-scenario-key");
+  sim::Device device(simulator, dev_config);
+  provision(device, 0x4e7 + config.seed);
+
+  attest::Verifier verifier(config.hash, dev_config.attestation_key,
+                            device.memory().snapshot(), config.block_size,
+                            challenge_seed_for(config.seed));
+  verifier.set_metrics(config.metrics);
+
+  if (config.infected) {
+    // Ground truth: one malware byte in the middle of memory, planted
+    // before any round, so the correct terminal outcome is kCompromised.
+    const std::size_t addr = device.memory().size() / 2;
+    const std::size_t block = addr / device.memory().block_size();
+    const std::uint8_t original =
+        device.memory().block_view(block)[addr % device.memory().block_size()];
+    const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
+    device.memory().write(addr, patch, 0, sim::Actor::kMalware);
+  }
+
+  attest::ProverConfig prover_config;
+  prover_config.hash = config.hash;
+  prover_config.mode = config.mode;
+  prover_config.priority = 10;
+  attest::AttestationProcess mp(device, prover_config);
+
+  // One LinkConfig per direction: same fault model, decorrelated seeds.
+  sim::LinkConfig link_config;
+  link_config.base_latency = config.link_latency;
+  link_config.jitter = config.link_jitter;
+  link_config.drop_probability = config.drop_probability;
+  link_config.duplicate_probability = config.duplicate_probability;
+  link_config.corrupt_probability = config.corrupt_probability;
+  link_config.reorder_probability = config.reorder_probability;
+  link_config.partitions = config.partitions;
+  std::uint64_t link_seed_state = config.seed ^ 0x11c4;
+  link_config.seed = support::splitmix64(link_seed_state);
+  sim::Link vrf_to_prv(simulator, link_config);
+  link_config.seed = support::splitmix64(link_seed_state);
+  sim::Link prv_to_vrf(simulator, link_config);
+  vrf_to_prv.set_metrics(config.metrics);
+  prv_to_vrf.set_metrics(config.metrics);
+
+  attest::SessionConfig session_config = config.session;
+  std::uint64_t session_seed_state = config.seed ^ 0x5e5510;
+  session_config.seed = support::splitmix64(session_seed_state);
+  attest::ReliableSession session(device, verifier, mp, vrf_to_prv, prv_to_vrf,
+                                  session_config);
+  session.set_metrics(config.metrics);
+
+  NetworkScenarioOutcome outcome;
+  outcome.rounds_requested = config.rounds;
+
+  // Chain rounds through the done callback: each terminal result starts
+  // the next round after a gap, so a hung round would leave the chain —
+  // and rounds_resolved — visibly short.
+  std::function<void()> start_round = [&] {
+    session.run([&](attest::RoundResult result) {
+      ++outcome.rounds_resolved;
+      switch (result.outcome) {
+        case attest::SessionOutcome::kVerified: ++outcome.verified; break;
+        case attest::SessionOutcome::kCompromised: ++outcome.compromised; break;
+        case attest::SessionOutcome::kTimeout: ++outcome.timeouts; break;
+        case attest::SessionOutcome::kCorruptReport: ++outcome.corrupt_report; break;
+        case attest::SessionOutcome::kReplayRejected: ++outcome.replay_rejected; break;
+      }
+      outcome.total_attempts += result.attempts;
+      outcome.replays_rejected += result.replays_rejected;
+      const sim::Duration latency = result.t_resolved - result.t_started;
+      outcome.total_round_latency += latency;
+      if (latency > outcome.max_round_latency) outcome.max_round_latency = latency;
+      outcome.total_backoff += result.backoff_total;
+      outcome.total_measure_time += result.measure_time;
+      outcome.wasted_measure_time += result.wasted_measure_time;
+      if (outcome.rounds_resolved < config.rounds) {
+        simulator.schedule_in(config.inter_round_gap, start_round);
+      }
+    });
+  };
+  simulator.schedule_at(sim::kMillisecond, start_round);
+  simulator.run();
+
+  outcome.all_resolved = outcome.rounds_resolved == config.rounds;
+  outcome.retries = session.retries();
+  outcome.late_reports = session.late_reports();
+  for (const sim::Link* link : {&vrf_to_prv, &prv_to_vrf}) {
+    outcome.link_sent += link->sent();
+    outcome.link_delivered += link->delivered();
+    outcome.link_dropped += link->dropped();
+    outcome.link_duplicated += link->duplicated();
+    outcome.link_corrupted += link->corrupted();
+    outcome.link_reordered += link->reordered();
+    outcome.link_partition_dropped += link->partition_dropped();
+  }
+  return outcome;
+}
+
 FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& config) {
   sim::Simulator simulator;
   sim::DeviceConfig dev_config;

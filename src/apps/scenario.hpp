@@ -12,6 +12,7 @@
 
 #include "src/attest/golden.hpp"
 #include "src/attest/prover.hpp"
+#include "src/attest/session.hpp"
 #include "src/attest/verifier.hpp"
 #include "src/locking/consistency.hpp"
 #include "src/locking/policies.hpp"
@@ -110,6 +111,75 @@ struct FireAlarmScenarioOutcome {
 
 /// The Section 2.5 worked example: fire during attestation of ~1 GB.
 FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& config);
+
+// ---------------------------------------------------------------------------
+
+/// A fleet-style reliability scenario: one verifier attests one prover
+/// over a lossy bidirectional link, driving several sequential rounds
+/// through an attest::ReliableSession.  The interesting outputs are the
+/// terminal-outcome mix (does a healthy device get misjudged as
+/// unreachable?), the retry overhead (wasted prover CPU time) and the
+/// guarantee that every round resolves — no leaked callbacks.
+struct NetworkScenarioConfig {
+  std::size_t blocks = 32;
+  std::size_t block_size = 512;
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  attest::ExecutionMode mode = attest::ExecutionMode::kInterruptible;
+  /// Sequential attestation rounds per trial (each a full session).
+  std::size_t rounds = 4;
+  sim::Duration inter_round_gap = 20 * sim::kMillisecond;
+  /// Fault model applied to *both* link directions (each direction draws
+  /// from its own seed, so challenge loss and report loss decorrelate).
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;
+  double reorder_probability = 0.0;
+  std::vector<sim::PartitionWindow> partitions;
+  sim::Duration link_latency = 2 * sim::kMillisecond;
+  sim::Duration link_jitter = 500 * sim::kMicrosecond;
+  /// Session knobs (timeout, retry budget, backoff); the session seed is
+  /// overridden with a value derived from `seed`.
+  attest::SessionConfig session;
+  /// Ground truth: infect one block before the rounds start, so kVerified
+  /// becomes a false negative and kCompromised the correct verdict.
+  bool infected = false;
+  std::uint64_t seed = 1;
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct NetworkScenarioOutcome {
+  std::size_t rounds_requested = 0;
+  std::size_t rounds_resolved = 0;
+  /// Every round reached a terminal outcome (the no-leaked-callback
+  /// invariant the session layer promises).
+  bool all_resolved = false;
+  std::size_t verified = 0;
+  std::size_t compromised = 0;
+  std::size_t timeouts = 0;
+  std::size_t corrupt_report = 0;
+  std::size_t replay_rejected = 0;
+  std::size_t total_attempts = 0;   ///< challenges sent across all rounds
+  std::size_t retries = 0;
+  std::size_t replays_rejected = 0; ///< stale reports the session discarded
+  std::size_t late_reports = 0;     ///< reports arriving after their round
+  sim::Duration total_round_latency = 0;
+  sim::Duration max_round_latency = 0;
+  sim::Duration total_backoff = 0;
+  sim::Duration total_measure_time = 0;
+  sim::Duration wasted_measure_time = 0;
+  /// Link counters summed over both directions.
+  std::size_t link_sent = 0;
+  std::size_t link_delivered = 0;
+  std::size_t link_dropped = 0;
+  std::size_t link_duplicated = 0;
+  std::size_t link_corrupted = 0;
+  std::size_t link_reordered = 0;
+  std::size_t link_partition_dropped = 0;
+};
+
+/// Run `rounds` reliable attestation rounds over a faulty link.
+NetworkScenarioOutcome run_network_scenario(const NetworkScenarioConfig& config);
 
 /// Deterministic provisioning image used by both scenario drivers —
 /// exposed so campaign factories can pre-digest a cell's golden image.

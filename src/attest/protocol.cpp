@@ -2,7 +2,49 @@
 
 #include <memory>
 
+#include "src/crypto/hmac.hpp"
+
 namespace rasc::attest {
+
+namespace {
+
+constexpr crypto::HashKind kRequestMacHash = crypto::HashKind::kSha256;
+constexpr std::size_t kRequestMacSize = 32;
+
+support::Bytes request_mac_input(const ChallengeRequest& request) {
+  support::Bytes material = support::to_bytes("ra-challenge-request");
+  support::append_u64_be(material, request.counter);
+  support::append(material, request.challenge);
+  return material;
+}
+
+}  // namespace
+
+support::Bytes seal_challenge_request(const ChallengeRequest& request,
+                                      support::ByteView key) {
+  support::Bytes wire;
+  support::append_u64_be(wire, request.counter);
+  support::append_u32_be(wire, static_cast<std::uint32_t>(request.challenge.size()));
+  support::append(wire, request.challenge);
+  support::append(wire, crypto::Hmac::compute(kRequestMacHash, key,
+                                              request_mac_input(request)));
+  return wire;
+}
+
+std::optional<ChallengeRequest> open_challenge_request(support::ByteView wire,
+                                                       support::ByteView key) {
+  if (wire.size() < 8 + 4 + kRequestMacSize) return std::nullopt;
+  ChallengeRequest request;
+  request.counter = support::get_u64_be(wire.subspan(0, 8));
+  const std::uint32_t challenge_len = support::get_u32_be(wire.subspan(8, 4));
+  if (wire.size() != 8 + 4 + challenge_len + kRequestMacSize) return std::nullopt;
+  request.challenge.assign(wire.begin() + 12, wire.begin() + 12 + challenge_len);
+  const support::ByteView mac = wire.subspan(12 + challenge_len, kRequestMacSize);
+  const support::Bytes expected =
+      crypto::Hmac::compute(kRequestMacHash, key, request_mac_input(request));
+  if (!support::ct_equal(mac, expected)) return std::nullopt;
+  return request;
+}
 
 OnDemandProtocol::OnDemandProtocol(sim::Device& prover_device, Verifier& verifier,
                                    AttestationProcess& mp, sim::Link& vrf_to_prv,
@@ -26,17 +68,49 @@ void OnDemandProtocol::run(std::uint64_t counter,
     sink->instant(sim.now(), "vrf", "vrf.challenge_sent");
   }
 
-  vrf_to_prv_.send(challenge, [this, timings, counter, done = std::move(done)](
-                                  support::Bytes challenge_bytes) mutable {
+  support::Bytes request_wire =
+      seal_challenge_request({counter, challenge}, device_.attestation_key());
+  vrf_to_prv_.send(std::move(request_wire), [this, timings, done = std::move(done)](
+                                                support::Bytes request_bytes) mutable {
     auto& sim = device_.sim();
+    const auto request =
+        open_challenge_request(request_bytes, device_.attestation_key());
+    if (!request) {
+      ++rejected_auth_;
+      if (auto* sink = sim.trace_sink()) {
+        sink->instant(sim.now(), "prv", "prv.request_rejected_auth");
+      }
+      return;
+    }
+    if (prover_counter_seen_ && request->counter <= prover_last_counter_) {
+      ++rejected_replay_;
+      if (auto* sink = sim.trace_sink()) {
+        sink->instant(sim.now(), "prv", "prv.request_rejected_replay",
+                      {obs::arg("counter", request->counter)});
+      }
+      return;
+    }
+    if (mp_.busy()) {
+      // A measurement for an earlier request is still running; that
+      // request's report will answer the verifier (or time out upstream).
+      ++ignored_busy_;
+      if (auto* sink = sim.trace_sink()) {
+        sink->instant(sim.now(), "prv", "prv.request_ignored_busy",
+                      {obs::arg("counter", request->counter)});
+      }
+      return;
+    }
+    prover_counter_seen_ = true;
+    prover_last_counter_ = request->counter;
     timings->t_request_received = sim.now();
 
     // Deferral: authenticate the request / wind down the previous task.
-    sim.schedule_in(config_.request_auth_delay, [this, timings, counter,
-                                                 challenge_bytes = std::move(challenge_bytes),
+    sim.schedule_in(config_.request_auth_delay, [this, timings,
+                                                 request = *request,
                                                  done = std::move(done)]() mutable {
       timings->t_mp_started = device_.sim().now();
-      MeasurementContext context{device_.id(), challenge_bytes, counter};
+      MeasurementContext context{device_.id(), std::move(request.challenge),
+                                 request.counter};
       mp_.start(std::move(context), [this, timings, done = std::move(done)](
                                         AttestationResult result) mutable {
         timings->t_s = result.t_s;
@@ -44,22 +118,28 @@ void OnDemandProtocol::run(std::uint64_t counter,
         timings->t_r = result.t_r;
         timings->attestation = std::move(result);
 
-        // Ship the report; payload mirrors the real wire size.
-        support::Bytes payload = timings->attestation.report.serialize_body();
-        support::append(payload, timings->attestation.report.mac);
-        support::append(payload, timings->attestation.report.signature);
-        prv_to_vrf_.send(std::move(payload), [this, timings,
-                                              done = std::move(done)](support::Bytes) mutable {
+        // Ship the report; the wire bytes are what the verifier judges.
+        prv_to_vrf_.send(serialize_report_wire(timings->attestation.report),
+                         [this, timings, done = std::move(done)](
+                             support::Bytes report_wire) mutable {
           auto& sim = device_.sim();
           timings->t_report_received = sim.now();
           if (auto* sink = sim.trace_sink()) {
             sink->instant(sim.now(), "vrf", "vrf.report_received");
           }
-          sim.schedule_in(config_.verify_delay, [this, timings,
-                                                 done = std::move(done)]() mutable {
+          sim.schedule_in(config_.verify_delay,
+                          [this, timings, report_wire = std::move(report_wire),
+                           done = std::move(done)]() mutable {
             timings->t_verified = device_.sim().now();
-            timings->outcome =
-                verifier_.verify(timings->attestation.report, /*expect_challenge=*/true);
+            const auto parsed = parse_report_wire(report_wire);
+            if (parsed) {
+              timings->outcome = verifier_.verify(*parsed, /*expect_challenge=*/true);
+            } else {
+              timings->report_wire_ok = false;
+              timings->outcome = VerifyOutcome{};
+              timings->outcome.challenge_ok = false;
+              timings->outcome.counter_ok = false;
+            }
             if (auto* sink = device_.sim().trace_sink()) {
               sink->end(timings->t_verified, "vrf",
                         {obs::arg("verdict",

@@ -6,14 +6,41 @@
 ///   (3) Prv finishes MP and returns the report,
 ///   (4) Vrf receives and verifies.
 /// Produces the full event timeline the figure illustrates.
+///
+/// Both legs cross the simulated link as authenticated wire payloads:
+/// requests are sealed with the shared attestation key (the "authenticate
+/// the request" step made explicit) and reports travel as their canonical
+/// serialization, so dropped, duplicated or corrupted messages behave the
+/// way they would on a real network.  The prover rejects requests that
+/// fail authentication, replay an old counter, or arrive while a
+/// measurement is already running — a retry layer above (ReliableSession)
+/// can therefore re-send challenges without tripping the single-flight
+/// measurement process.
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "src/attest/prover.hpp"
 #include "src/attest/verifier.hpp"
 #include "src/sim/network.hpp"
 
 namespace rasc::attest {
+
+/// Challenge request as it crosses the wire: counter + challenge nonce,
+/// authenticated with an HMAC under the shared attestation key so the
+/// prover can drop forged or corrupted requests (Section 2.2 step 2).
+struct ChallengeRequest {
+  std::uint64_t counter = 0;
+  support::Bytes challenge;
+};
+
+support::Bytes seal_challenge_request(const ChallengeRequest& request,
+                                      support::ByteView key);
+/// Verify and decode a request wire; std::nullopt when truncated or the
+/// MAC does not check out.
+std::optional<ChallengeRequest> open_challenge_request(support::ByteView wire,
+                                                       support::ByteView key);
 
 struct OnDemandTimings {
   sim::Time t_challenge_sent = 0;   ///< Vrf emits the request
@@ -24,6 +51,9 @@ struct OnDemandTimings {
   sim::Time t_r = 0;                ///< lock release
   sim::Time t_report_received = 0;  ///< report reaches Vrf
   sim::Time t_verified = 0;         ///< Vrf verdict ready
+  /// False when the delivered report wire failed to parse (in-transit
+  /// corruption garbled the structure); `outcome` is then all-fail.
+  bool report_wire_ok = true;
   VerifyOutcome outcome;
   AttestationResult attestation;
 };
@@ -46,10 +76,18 @@ class OnDemandProtocol {
                    AttestationProcess& mp, sim::Link& vrf_to_prv,
                    sim::Link& prv_to_vrf, Config config = {});
 
-  /// Run one attestation round; `done` fires at t_verified.  If the
-  /// network drops a message the round silently never completes (callers
-  /// model timeouts; SeED's handling of drops lives in selfmeasure).
+  /// Run one attestation round; `done` fires at t_verified with the
+  /// verdict of the wire-delivered report.  Counters must be strictly
+  /// increasing across calls on one protocol instance — the prover
+  /// silently discards stale-counter requests as replays.  If the network
+  /// drops a message the round never completes at this layer; wrap the
+  /// protocol in a ReliableSession (session.hpp) for timeout/retry.
   void run(std::uint64_t counter, std::function<void(OnDemandTimings)> done);
+
+  /// Prover-side request rejections (diagnostics for the session layer).
+  std::size_t requests_rejected_auth() const noexcept { return rejected_auth_; }
+  std::size_t requests_rejected_replay() const noexcept { return rejected_replay_; }
+  std::size_t requests_ignored_busy() const noexcept { return ignored_busy_; }
 
  private:
   sim::Device& device_;
@@ -58,6 +96,11 @@ class OnDemandProtocol {
   sim::Link& vrf_to_prv_;
   sim::Link& prv_to_vrf_;
   Config config_;
+  bool prover_counter_seen_ = false;
+  std::uint64_t prover_last_counter_ = 0;
+  std::size_t rejected_auth_ = 0;
+  std::size_t rejected_replay_ = 0;
+  std::size_t ignored_busy_ = 0;
 };
 
 }  // namespace rasc::attest

@@ -222,6 +222,8 @@ void AttestationProcess::finish() {
   }
 
   stage_ = Stage::kIdle;
+  ++measurements_completed_;
+  total_measure_time_ += result_.t_e - result_.t_s;
   measurement_.reset();
   if (done_) {
     // Move out first: the callback may start a new measurement.

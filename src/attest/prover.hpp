@@ -92,6 +92,13 @@ class AttestationProcess final : public sim::Process {
 
   bool busy() const noexcept { return stage_ != Stage::kIdle; }
 
+  /// Lifetime totals across all measurements this process completed —
+  /// the session layer diffs these around a round to price retries
+  /// (prover CPU time spent on measurements whose reports never decided
+  /// anything).
+  std::size_t measurements_completed() const noexcept { return measurements_completed_; }
+  sim::Duration total_measure_time() const noexcept { return total_measure_time_; }
+
   /// Cost of measuring one block / finalizing, from the device model
   /// (exposed so benches can report the theoretical interrupt latency).
   sim::Duration block_cost() const;
@@ -123,6 +130,8 @@ class AttestationProcess final : public sim::Process {
   std::function<void(std::size_t, std::size_t)> observer_;
 
   Stage stage_ = Stage::kIdle;
+  std::size_t measurements_completed_ = 0;
+  sim::Duration total_measure_time_ = 0;
   std::optional<Measurement> measurement_;
   std::vector<std::size_t> order_;
   std::size_t next_index_ = 0;

@@ -45,4 +45,78 @@ bool report_signature_valid(const Report& report, const crypto::Signer& signer) 
                        report.signature);
 }
 
+support::Bytes serialize_report_wire(const Report& report) {
+  support::Bytes out = report.serialize_body();
+  support::append_u32_be(out, static_cast<std::uint32_t>(report.mac.size()));
+  support::append(out, report.mac);
+  support::append_u32_be(out, static_cast<std::uint32_t>(report.signature.size()));
+  support::append(out, report.signature);
+  return out;
+}
+
+namespace {
+
+/// Bounds-checked sequential reader over a wire buffer.
+struct WireReader {
+  support::ByteView wire;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool has(std::size_t n) const noexcept { return ok && wire.size() - pos >= n; }
+
+  std::uint32_t u32() noexcept {
+    if (!has(4)) {
+      ok = false;
+      return 0;
+    }
+    const std::uint32_t v = support::get_u32_be(wire.subspan(pos, 4));
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() noexcept {
+    if (!has(8)) {
+      ok = false;
+      return 0;
+    }
+    const std::uint64_t v = support::get_u64_be(wire.subspan(pos, 8));
+    pos += 8;
+    return v;
+  }
+
+  support::Bytes bytes(std::size_t n) noexcept {
+    if (!has(n)) {
+      ok = false;
+      return {};
+    }
+    support::Bytes out(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                       wire.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::optional<Report> parse_report_wire(support::ByteView wire) {
+  WireReader r{wire};
+  Report report;
+  const std::uint32_t id_len = r.u32();
+  report.device_id = support::to_string(r.bytes(id_len));
+  const std::uint32_t challenge_len = r.u32();
+  report.challenge = r.bytes(challenge_len);
+  report.counter = r.u64();
+  report.t_start = r.u64();
+  report.t_end = r.u64();
+  report.hash = static_cast<crypto::HashKind>(r.u32());
+  const std::uint32_t measurement_len = r.u32();
+  report.measurement = r.bytes(measurement_len);
+  const std::uint32_t mac_len = r.u32();
+  report.mac = r.bytes(mac_len);
+  const std::uint32_t sig_len = r.u32();
+  report.signature = r.bytes(sig_len);
+  if (!r.ok || r.pos != wire.size()) return std::nullopt;
+  return report;
+}
+
 }  // namespace rasc::attest

@@ -5,6 +5,7 @@
 /// digital signature when non-repudiation is required (Section 2.4).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/crypto/hash.hpp"
@@ -43,5 +44,16 @@ bool report_mac_valid(const Report& report, support::ByteView key);
 
 /// Signature check (false if the report carries no signature).
 bool report_signature_valid(const Report& report, const crypto::Signer& signer);
+
+/// Full wire encoding: serialize_body() followed by the length-prefixed
+/// MAC and signature.  This is what actually crosses the simulated link,
+/// so in-transit corruption is observable on the verifier side.
+support::Bytes serialize_report_wire(const Report& report);
+
+/// Parse a wire-encoded report.  Returns std::nullopt on truncated or
+/// structurally malformed input (a corrupted length field, trailing
+/// garbage, ...); a corrupted but well-formed wire parses fine and fails
+/// MAC verification instead.
+std::optional<Report> parse_report_wire(support::ByteView wire);
 
 }  // namespace rasc::attest

@@ -1,0 +1,196 @@
+#include "src/attest/session.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rasc::attest {
+
+std::string session_outcome_name(SessionOutcome outcome) {
+  switch (outcome) {
+    case SessionOutcome::kVerified: return "verified";
+    case SessionOutcome::kCompromised: return "compromised";
+    case SessionOutcome::kTimeout: return "timeout";
+    case SessionOutcome::kCorruptReport: return "corrupt_report";
+    case SessionOutcome::kReplayRejected: return "replay_rejected";
+  }
+  return "?";
+}
+
+ReliableSession::ReliableSession(sim::Device& prover_device, Verifier& verifier,
+                                 AttestationProcess& mp, sim::Link& vrf_to_prv,
+                                 sim::Link& prv_to_vrf, SessionConfig config)
+    : device_(prover_device),
+      mp_(mp),
+      config_(std::move(config)),
+      protocol_(prover_device, verifier, mp, vrf_to_prv, prv_to_vrf,
+                config_.protocol),
+      rng_(config_.seed) {}
+
+void ReliableSession::count(const char* metric) const {
+  if (metrics_ != nullptr) metrics_->counter(metric).inc();
+}
+
+void ReliableSession::run(std::function<void(RoundResult)> done) {
+  if (state_ != nullptr) {
+    throw std::logic_error("ReliableSession: a round is already in flight");
+  }
+  if (config_.max_attempts == 0) {
+    throw std::invalid_argument("ReliableSession: max_attempts must be >= 1");
+  }
+  state_ = std::make_unique<RoundState>();
+  state_->round_seq = next_round_seq_++;
+  state_->result.t_started = device_.sim().now();
+  state_->measure_time_at_start = mp_.total_measure_time();
+  state_->done = std::move(done);
+  start_attempt();
+}
+
+void ReliableSession::start_attempt() {
+  auto& sim = device_.sim();
+  ++state_->result.attempts;
+  state_->waiting_response = true;
+  const std::uint64_t seq = state_->round_seq;
+  if (auto* sink = sim.trace_sink()) {
+    sink->instant(sim.now(), "session", "session.attempt",
+                  {obs::arg("attempt",
+                            static_cast<std::uint64_t>(state_->result.attempts))});
+  }
+  protocol_.run(next_counter_++, [this, seq](OnDemandTimings timings) {
+    on_attempt_report(seq, std::move(timings));
+  });
+  state_->timeout = sim.schedule_in(config_.response_timeout,
+                                    [this, seq] { on_attempt_timeout(seq); });
+}
+
+void ReliableSession::on_attempt_report(std::uint64_t round_seq,
+                                        OnDemandTimings timings) {
+  if (state_ == nullptr || state_->round_seq != round_seq) {
+    // The round already resolved (e.g. a duplicated copy of the winning
+    // report, or an answer that outlived its whole round): reject without
+    // touching verifier state again.
+    ++late_reports_;
+    count("session.late_reports");
+    return;
+  }
+  RoundResult& result = state_->result;
+
+  if (!timings.report_wire_ok || !timings.outcome.mac_ok) {
+    // Garbled in transit (or forged): the attempt's answer is consumed,
+    // so retry immediately instead of waiting out the timer.
+    ++result.corrupt_reports;
+    ++corrupt_reports_;
+    count("session.corrupt_reports");
+    state_->saw_corrupt = true;
+    if (!state_->waiting_response) return;  // already backing off
+    state_->timeout.cancel();
+    state_->waiting_response = false;
+    if (result.attempts >= config_.max_attempts) {
+      resolve(SessionOutcome::kCorruptReport);
+    } else {
+      schedule_retry();
+    }
+    return;
+  }
+  if (!timings.outcome.challenge_ok || !timings.outcome.counter_ok) {
+    // Authentic but stale: an answer to a superseded challenge or an
+    // old counter.  Keep waiting — the genuine response may still come.
+    ++result.replays_rejected;
+    ++replays_rejected_;
+    count("session.replays_rejected");
+    state_->saw_replay = true;
+    return;
+  }
+  result.verdict = timings.outcome;
+  result.timings = std::move(timings);
+  resolve(result.verdict.digest_ok ? SessionOutcome::kVerified
+                                   : SessionOutcome::kCompromised);
+}
+
+void ReliableSession::on_attempt_timeout(std::uint64_t round_seq) {
+  if (state_ == nullptr || state_->round_seq != round_seq) return;
+  if (!state_->waiting_response) return;  // superseded by a corrupt-retry
+  RoundResult& result = state_->result;
+  ++result.attempt_timeouts;
+  count("session.attempt_timeouts");
+  state_->waiting_response = false;
+  if (auto* sink = device_.sim().trace_sink()) {
+    sink->instant(device_.sim().now(), "session", "session.attempt_timeout");
+  }
+  if (result.attempts >= config_.max_attempts) {
+    // Exhausted.  Classify by the best evidence heard this round: garbled
+    // answers beat stale ones beat pure silence.
+    if (state_->saw_corrupt) {
+      resolve(SessionOutcome::kCorruptReport);
+    } else if (state_->saw_replay) {
+      resolve(SessionOutcome::kReplayRejected);
+    } else {
+      resolve(SessionOutcome::kTimeout);
+    }
+    return;
+  }
+  schedule_retry();
+}
+
+void ReliableSession::schedule_retry() {
+  auto& sim = device_.sim();
+  RoundResult& result = state_->result;
+  const double scale =
+      std::pow(config_.backoff_factor, static_cast<double>(result.attempts - 1));
+  const double jitter_mult = 1.0 + config_.backoff_jitter * rng_.uniform();
+  const auto backoff = static_cast<sim::Duration>(
+      static_cast<double>(config_.backoff_base) * scale * jitter_mult);
+  result.backoff_total += backoff;
+  ++retries_;
+  count("session.retries");
+  if (auto* sink = sim.trace_sink()) {
+    sink->instant(sim.now(), "session", "session.retry_scheduled",
+                  {obs::arg("backoff_ms", sim::to_millis(backoff))});
+  }
+  const std::uint64_t seq = state_->round_seq;
+  state_->retry = sim.schedule_in(backoff, [this, seq] {
+    if (state_ == nullptr || state_->round_seq != seq) return;
+    start_attempt();
+  });
+}
+
+void ReliableSession::resolve(SessionOutcome outcome) {
+  auto& sim = device_.sim();
+  RoundState& state = *state_;
+  state.timeout.cancel();
+  state.retry.cancel();
+  RoundResult& result = state.result;
+  result.outcome = outcome;
+  result.t_resolved = sim.now();
+  result.measure_time = mp_.total_measure_time() - state.measure_time_at_start;
+  const bool decisive = outcome == SessionOutcome::kVerified ||
+                        outcome == SessionOutcome::kCompromised;
+  const sim::Duration useful =
+      decisive ? result.timings.attestation.t_e - result.timings.attestation.t_s : 0;
+  result.wasted_measure_time =
+      result.measure_time > useful ? result.measure_time - useful : 0;
+
+  ++rounds_resolved_;
+  count("session.rounds");
+  if (metrics_ != nullptr) {
+    metrics_->counter("session." + session_outcome_name(outcome)).inc();
+    metrics_
+        ->histogram("session.round_latency_ms",
+                    obs::Histogram::default_latency_bounds_ms())
+        .record(sim::to_millis(result.t_resolved - result.t_started));
+  }
+  if (auto* sink = sim.trace_sink()) {
+    sink->instant(result.t_resolved, "session", "session.resolved",
+                  {obs::arg("outcome", session_outcome_name(outcome)),
+                   obs::arg("attempts",
+                            static_cast<std::uint64_t>(result.attempts))});
+  }
+
+  // Pop the state before invoking the callback so `done` may immediately
+  // start the next round.
+  auto done = std::move(state.done);
+  RoundResult finished = std::move(result);
+  state_.reset();
+  done(std::move(finished));
+}
+
+}  // namespace rasc::attest

@@ -1,0 +1,152 @@
+#pragma once
+/// \file session.hpp
+/// Verifier-side reliable RA session: a state machine around
+/// OnDemandProtocol that guarantees every attestation round reaches a
+/// terminal outcome on an unreliable network.  The paper's Section 2.2
+/// protocol (and its SeED discussion) assumes messages arrive; on a real
+/// link a dropped challenge or report would leave the verifier waiting
+/// forever.  The session adds:
+///
+///   - a per-attempt response timeout;
+///   - bounded retries with exponential backoff and deterministic jitter
+///     (each retry is a fresh challenge + counter, so the prover's
+///     replay guard never blocks a legitimate re-ask);
+///   - rejection of stale and duplicate reports (a late answer to a
+///     superseded challenge, or a link-duplicated copy of the winning
+///     report, is counted and discarded — never double-judged);
+///   - a terminal outcome taxonomy that distinguishes a *compromised*
+///     device (valid MAC, wrong digest) from an *unreachable* one
+///     (silence), a *garbled* one (MAC-failing or unparseable reports)
+///     and pure staleness (only replays heard).
+///
+/// The session also prices reliability: how much prover CPU time went
+/// into measurements whose reports never decided the round (the
+/// retry-overhead metric of the lossy-link campaign).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/attest/protocol.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace rasc::attest {
+
+enum class SessionOutcome {
+  kVerified,        ///< report verified: device healthy
+  kCompromised,     ///< authentic report, digest mismatch: device infected
+  kTimeout,         ///< retry budget exhausted in silence: unreachable
+  kCorruptReport,   ///< budget exhausted; answers arrived but were garbled
+  kReplayRejected,  ///< budget exhausted; only stale/duplicate reports heard
+};
+
+std::string session_outcome_name(SessionOutcome outcome);
+
+struct SessionConfig {
+  /// How long each attempt waits for a verified report before giving up.
+  sim::Duration response_timeout = 500 * sim::kMillisecond;
+  /// Total attempts per round (1 = no retries).  Must be >= 1.
+  std::size_t max_attempts = 4;
+  /// Backoff before retry k (1-based) is
+  ///   backoff_base * backoff_factor^(k-1) * (1 + U[0, backoff_jitter])
+  /// with U drawn from the session RNG — deterministic from `seed`.
+  sim::Duration backoff_base = 50 * sim::kMillisecond;
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.2;
+  std::uint64_t seed = 0x5e5510;
+  OnDemandConfig protocol;
+};
+
+/// Everything a resolved round reports back.
+struct RoundResult {
+  SessionOutcome outcome = SessionOutcome::kTimeout;
+  VerifyOutcome verdict;            ///< decisive report (Verified/Compromised)
+  std::size_t attempts = 0;         ///< challenges actually sent
+  std::size_t attempt_timeouts = 0; ///< attempts that expired unanswered
+  std::size_t replays_rejected = 0; ///< stale/duplicate reports discarded
+  std::size_t corrupt_reports = 0;  ///< unparseable or MAC-failing reports
+  sim::Time t_started = 0;
+  sim::Time t_resolved = 0;
+  sim::Duration backoff_total = 0;  ///< verifier time spent waiting to retry
+  /// Prover CPU time consumed by this round's measurements, and the share
+  /// of it that did not back the terminal verdict (wasted on attempts
+  /// whose report was lost, stale or corrupted).
+  sim::Duration measure_time = 0;
+  sim::Duration wasted_measure_time = 0;
+  OnDemandTimings timings;          ///< decisive attempt's Figure 1 timeline
+};
+
+class ReliableSession {
+ public:
+  /// All references must outlive the session; the session must outlive
+  /// the simulator run it participates in (late network deliveries hold
+  /// callbacks into it).
+  ReliableSession(sim::Device& prover_device, Verifier& verifier,
+                  AttestationProcess& mp, sim::Link& vrf_to_prv,
+                  sim::Link& prv_to_vrf, SessionConfig config = {});
+
+  /// Run one reliable round; `done` fires exactly once with a terminal
+  /// outcome — there is no code path that leaks the callback.  Throws
+  /// std::logic_error if a round is already in flight and
+  /// std::invalid_argument on a zero-attempt config.
+  void run(std::function<void(RoundResult)> done);
+
+  bool busy() const noexcept { return state_ != nullptr; }
+
+  /// Lifetime counters across rounds (also exported via set_metrics).
+  std::size_t rounds_resolved() const noexcept { return rounds_resolved_; }
+  std::size_t retries() const noexcept { return retries_; }
+  std::size_t replays_rejected() const noexcept { return replays_rejected_; }
+  std::size_t corrupt_reports() const noexcept { return corrupt_reports_; }
+  /// Reports that arrived after their round resolved (e.g. a duplicated
+  /// copy of the winning report) — rejected without re-judging.
+  std::size_t late_reports() const noexcept { return late_reports_; }
+
+  /// Attach a metrics registry (not owned; nullptr to detach).  Rounds
+  /// then account "session.rounds", per-outcome counters
+  /// ("session.verified", "session.compromised", "session.timeout",
+  /// "session.corrupt_report", "session.replay_rejected"),
+  /// "session.retries", "session.attempt_timeouts",
+  /// "session.replays_rejected", "session.corrupt_reports",
+  /// "session.late_reports" and the "session.round_latency_ms" histogram.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+ private:
+  struct RoundState {
+    std::uint64_t round_seq = 0;
+    RoundResult result;
+    bool waiting_response = false;  ///< an attempt is in flight (vs. backoff)
+    bool saw_corrupt = false;
+    bool saw_replay = false;
+    sim::Duration measure_time_at_start = 0;
+    sim::EventHandle timeout;
+    sim::EventHandle retry;
+    std::function<void(RoundResult)> done;
+  };
+
+  void start_attempt();
+  void on_attempt_report(std::uint64_t round_seq, OnDemandTimings timings);
+  void on_attempt_timeout(std::uint64_t round_seq);
+  void schedule_retry();
+  void resolve(SessionOutcome outcome);
+  void count(const char* metric) const;
+
+  sim::Device& device_;
+  AttestationProcess& mp_;
+  SessionConfig config_;
+  OnDemandProtocol protocol_;
+  support::Xoshiro256 rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t next_counter_ = 1;
+  std::uint64_t next_round_seq_ = 1;
+  std::unique_ptr<RoundState> state_;  ///< null when idle
+
+  std::size_t rounds_resolved_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t replays_rejected_ = 0;
+  std::size_t corrupt_reports_ = 0;
+  std::size_t late_reports_ = 0;
+};
+
+}  // namespace rasc::attest

@@ -14,6 +14,7 @@ void CbcMac::absorb_block(const std::uint8_t block[Aes::kBlockSize]) {
 }
 
 void CbcMac::update(support::ByteView data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   std::size_t offset = 0;
   if (buffered_ > 0) {
     const std::size_t take = std::min(Aes::kBlockSize - buffered_, data.size());

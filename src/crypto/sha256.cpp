@@ -73,6 +73,7 @@ void Sha256::compress(const std::uint8_t* block) {
 }
 
 void Sha256::update(support::ByteView data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

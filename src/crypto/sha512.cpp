@@ -91,6 +91,7 @@ void Sha512::compress(const std::uint8_t* block) {
 }
 
 void Sha512::update(support::ByteView data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffered_ > 0) {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,16 @@ struct TrialOutput {
     if (success) ++successes;
   }
   void value(std::string name, double v) { values.emplace_back(std::move(name), v); }
+
+  /// Assert a per-trial invariant (e.g. "every attestation round reached
+  /// a terminal outcome").  A violation throws; run_campaign stops the
+  /// pool and rethrows, so a broken invariant fails the campaign loudly
+  /// instead of skewing its aggregates.
+  void require(bool ok, const char* what) const {
+    if (!ok) {
+      throw std::runtime_error(std::string("trial invariant violated: ") + what);
+    }
+  }
 };
 
 using TrialFn = std::function<TrialOutput(const GridPoint&, TrialContext&)>;

@@ -87,19 +87,32 @@ class SeedVerifier {
   /// Arm expectation windows for all epochs starting before `until`.
   void start(sim::Time until);
 
-  /// Wire as the delivery handler of the prover->verifier link.
+  /// Wire as the delivery handler of the prover->verifier link.  A report
+  /// for an epoch that already received one (a link-duplicated or replayed
+  /// copy) or for an out-of-range epoch is discarded and counted — the
+  /// unidirectional protocol's only replay defense is the epoch binding.
   void on_report(const attest::Report& report);
 
   const std::vector<EpochOutcome>& outcomes() const noexcept { return outcomes_; }
   std::size_t false_alarms() const noexcept;   ///< missing epochs
   std::size_t detections() const noexcept;     ///< bad reports received
+  /// Duplicate or out-of-range reports discarded without re-judging.
+  std::size_t replays_rejected() const noexcept { return replays_rejected_; }
+
+  /// Attach a metrics registry (not owned; nullptr to detach): accounts
+  /// "seed.epochs", "seed.reports_received", "seed.missing_epochs",
+  /// "seed.bad_reports" and "seed.replays_rejected".
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
  private:
   void close_epoch(std::size_t slot);
+  void count(const char* metric) const;
 
   sim::Simulator& sim_;
   attest::Verifier& verifier_;
   SeedConfig config_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t replays_rejected_ = 0;
   std::vector<EpochOutcome> outcomes_;
 };
 

@@ -1,34 +1,120 @@
 #include "src/sim/network.hpp"
 
+#include <cmath>
+#include <limits>
+
 namespace rasc::sim {
+
+namespace {
+
+obs::TraceArg bytes_arg(std::size_t size) {
+  return obs::arg("bytes", static_cast<std::uint64_t>(size));
+}
+
+}  // namespace
+
+void Link::count(const char* metric) const {
+  if (metrics_ != nullptr) metrics_->counter(metric).inc();
+}
+
+bool Link::in_partition(Time t) const noexcept {
+  for (const PartitionWindow& window : config_.partitions) {
+    if (t >= window.start && t < window.end) return true;
+  }
+  return false;
+}
+
+Duration Link::transit_time(std::size_t bytes) {
+  Duration transit = config_.base_latency;
+  if (config_.jitter > 0) {
+    // below(jitter + 1) would wrap to the forbidden below(0) at the type
+    // maximum; saturate the bound instead (the draw is then in [0, max)).
+    const Duration bound = config_.jitter < std::numeric_limits<Duration>::max()
+                               ? config_.jitter + 1
+                               : config_.jitter;
+    transit += rng_.below(bound);
+  }
+  if (config_.bytes_per_second > 0 && bytes > 0) {
+    const double exact = static_cast<double>(bytes) / config_.bytes_per_second *
+                         static_cast<double>(kSecond);
+    auto serialization = static_cast<Duration>(std::llround(exact));
+    // Round to nearest with a 1 ns floor: truncation made small payloads
+    // on fast links free and aliased distinct sizes to equal transits.
+    if (serialization == 0) serialization = 1;
+    transit += serialization;
+  }
+  return transit;
+}
+
+void Link::deliver_after(Duration transit, support::Bytes payload, Handler handler) {
+  if (auto* sink = sim_.trace_sink()) {
+    sink->complete(sim_.now(), transit, "net", "net.transit", {bytes_arg(payload.size())});
+  }
+  sim_.schedule_in(transit, [this, token = std::weak_ptr<bool>(alive_),
+                             payload = std::move(payload),
+                             handler = std::move(handler)]() mutable {
+    if (token.expired()) return;  // link destroyed while in flight
+    ++delivered_;
+    count("net.delivered");
+    handler(std::move(payload));
+  });
+}
 
 void Link::send(support::Bytes payload, Handler on_delivery) {
   ++sent_;
+  count("net.sent");
   const Time sent_at = sim_.now();
   obs::TraceSink* sink = sim_.trace_sink();
-  if (rng_.chance(config_.drop_probability)) {
+
+  if (in_partition(sent_at)) {
     ++dropped_;
+    ++partition_dropped_;
+    count("net.dropped");
+    count("net.partition_dropped");
     if (sink != nullptr) {
-      sink->instant(sent_at, "net", "net.drop",
-                    {obs::arg("bytes", static_cast<std::uint64_t>(payload.size()))});
+      sink->instant(sent_at, "net", "net.partition_drop", {bytes_arg(payload.size())});
     }
     return;
   }
-  Duration transit = config_.base_latency;
-  if (config_.jitter > 0) transit += rng_.below(config_.jitter + 1);
-  if (config_.bytes_per_second > 0) {
-    transit += static_cast<Duration>(static_cast<double>(payload.size()) /
-                                     config_.bytes_per_second * kSecond);
+  if (rng_.chance(config_.drop_probability)) {
+    ++dropped_;
+    count("net.dropped");
+    if (sink != nullptr) {
+      sink->instant(sent_at, "net", "net.drop", {bytes_arg(payload.size())});
+    }
+    return;
   }
-  if (sink != nullptr) {
-    sink->complete(sent_at, transit, "net", "net.transit",
-                   {obs::arg("bytes", static_cast<std::uint64_t>(payload.size()))});
+
+  if (!payload.empty() && rng_.chance(config_.corrupt_probability)) {
+    // Flip at least one bit of one byte; position and flip pattern come
+    // from the link RNG so corruption is reproducible from the seed.
+    const std::size_t at = rng_.below(payload.size());
+    payload[at] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+    ++corrupted_;
+    count("net.corrupted");
+    if (sink != nullptr) {
+      sink->instant(sent_at, "net", "net.corrupt",
+                    {obs::arg("offset", static_cast<std::uint64_t>(at))});
+    }
   }
-  sim_.schedule_in(transit, [this, payload = std::move(payload),
-                             handler = std::move(on_delivery)]() mutable {
-    ++delivered_;
-    handler(std::move(payload));
-  });
+
+  Duration transit = transit_time(payload.size());
+  if (rng_.chance(config_.reorder_probability)) {
+    transit += config_.reorder_delay;
+    ++reordered_;
+    count("net.reordered");
+    if (sink != nullptr) sink->instant(sent_at, "net", "net.reorder");
+  }
+
+  const bool duplicate = rng_.chance(config_.duplicate_probability);
+  if (duplicate) {
+    ++duplicated_;
+    count("net.duplicated");
+    if (sink != nullptr) sink->instant(sent_at, "net", "net.duplicate");
+    // The copy rides behind the original with its own second transit.
+    deliver_after(transit + transit_time(payload.size()), payload, on_delivery);
+  }
+  deliver_after(transit, std::move(payload), std::move(on_delivery));
 }
 
 }  // namespace rasc::sim

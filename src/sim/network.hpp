@@ -1,24 +1,50 @@
 #pragma once
 /// \file network.hpp
 /// Point-to-point link between verifier and prover with latency, jitter,
-/// serialization delay and loss — enough to model the paper's networking
-/// delays (Fig. 1 deferral) and SeED's dropped-response false positives.
+/// serialization delay and a deterministic fault model — loss, duplication,
+/// reordering, payload corruption and timed partition windows — enough to
+/// model the paper's networking delays (Fig. 1 deferral), SeED's
+/// dropped-response false positives, and the lossy-fleet scenarios the
+/// reliable session layer (attest::ReliableSession) is built to survive.
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
+#include "src/obs/metrics.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/bytes.hpp"
 #include "src/support/rng.hpp"
 
 namespace rasc::sim {
 
+/// Total outage interval [start, end): every message *sent* inside the
+/// window is dropped (messages already in flight still arrive — the model
+/// is a sender-side blackout, e.g. a gateway reboot).
+struct PartitionWindow {
+  Time start = 0;
+  Time end = 0;
+};
+
 struct LinkConfig {
   Duration base_latency = 2 * kMillisecond;
   Duration jitter = 500 * kMicrosecond;  ///< uniform extra delay in [0, jitter]
   double drop_probability = 0.0;
+  /// Probability that a delivered message arrives twice; the duplicate
+  /// takes an independently drawn second transit after the original.
+  double duplicate_probability = 0.0;
+  /// Probability that one byte of the payload is flipped in transit (the
+  /// flip is drawn from the link RNG, so runs are reproducible).
+  double corrupt_probability = 0.0;
+  /// Probability that a message is held back by `reorder_delay`, letting
+  /// later messages overtake it.
+  double reorder_probability = 0.0;
+  Duration reorder_delay = 10 * kMillisecond;
   double bytes_per_second = 1e6;  ///< serialization rate (1 MB/s default)
   std::uint64_t seed = 0x11ce;
+  /// Timed blackout windows (see PartitionWindow); checked at send time.
+  std::vector<PartitionWindow> partitions;
 };
 
 class Link {
@@ -29,22 +55,53 @@ class Link {
       : sim_(sim), config_(config), rng_(config.seed) {}
 
   /// Queue a message; the handler fires after the simulated transit time
-  /// unless the message is dropped.
+  /// for every delivered copy (possibly twice under duplication, possibly
+  /// with a flipped byte under corruption) unless the message is dropped.
+  /// In-flight deliveries hold only a weak reference to the link, so
+  /// destroying a Link cancels them instead of dereferencing freed memory.
   void send(support::Bytes payload, Handler on_delivery);
 
   std::size_t sent() const noexcept { return sent_; }
+  /// Delivered handler invocations; duplicates count once each, so after
+  /// the queue drains: delivered() == sent() - dropped() + duplicated().
   std::size_t delivered() const noexcept { return delivered_; }
   std::size_t dropped() const noexcept { return dropped_; }
+  std::size_t duplicated() const noexcept { return duplicated_; }
+  std::size_t corrupted() const noexcept { return corrupted_; }
+  std::size_t reordered() const noexcept { return reordered_; }
+  /// Subset of dropped(): losses caused by a partition window.
+  std::size_t partition_dropped() const noexcept { return partition_dropped_; }
+
+  /// Attach a metrics registry (not owned; nullptr to detach).  The link
+  /// then accounts "net.sent", "net.delivered", "net.dropped",
+  /// "net.duplicated", "net.corrupted", "net.reordered" and
+  /// "net.partition_dropped".
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
   const LinkConfig& config() const noexcept { return config_; }
 
  private:
+  /// base latency + jitter draw + rounded-to-nearest serialization delay
+  /// (>= 1 ns for any nonzero payload so distinct sizes never alias to a
+  /// free transit).
+  Duration transit_time(std::size_t bytes);
+  bool in_partition(Time t) const noexcept;
+  void deliver_after(Duration transit, support::Bytes payload, Handler handler);
+  void count(const char* metric) const;
+
   Simulator& sim_;
   LinkConfig config_;
   support::Xoshiro256 rng_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::size_t sent_ = 0;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t corrupted_ = 0;
+  std::size_t reordered_ = 0;
+  std::size_t partition_dropped_ = 0;
+  /// Lifetime token observed (weakly) by in-flight delivery events.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace rasc::sim

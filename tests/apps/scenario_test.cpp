@@ -222,6 +222,67 @@ TEST(Scenario, AvailabilityOrderingMatchesTable1) {
   EXPECT_LT(inc_lock, 1.0);
 }
 
+// ---- lossy-link reliable sessions ------------------------------------------
+
+TEST(Scenario, NetworkScenarioCleanLinkVerifiesEveryRound) {
+  NetworkScenarioConfig config;
+  config.rounds = 3;
+  const NetworkScenarioOutcome outcome = run_network_scenario(config);
+  EXPECT_TRUE(outcome.all_resolved);
+  EXPECT_EQ(outcome.rounds_resolved, 3u);
+  EXPECT_EQ(outcome.verified, 3u);
+  EXPECT_EQ(outcome.total_attempts, 3u);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(outcome.wasted_measure_time, 0u);
+  EXPECT_EQ(outcome.link_dropped, 0u);
+}
+
+TEST(Scenario, NetworkScenarioResolvesEveryRoundOnVeryLossyLink) {
+  NetworkScenarioConfig config;
+  config.rounds = 6;
+  config.drop_probability = 0.4;
+  config.duplicate_probability = 0.2;
+  config.corrupt_probability = 0.1;
+  config.reorder_probability = 0.2;
+  config.session.max_attempts = 5;
+  config.session.response_timeout = 100 * sim::kMillisecond;
+  const NetworkScenarioOutcome outcome = run_network_scenario(config);
+  EXPECT_TRUE(outcome.all_resolved);
+  EXPECT_EQ(outcome.rounds_resolved, 6u);
+  EXPECT_GT(outcome.link_dropped, 0u);
+  // Every terminal outcome is accounted for exactly once.
+  EXPECT_EQ(outcome.verified + outcome.compromised + outcome.timeouts +
+                outcome.corrupt_report + outcome.replay_rejected,
+            outcome.rounds_resolved);
+}
+
+TEST(Scenario, NetworkScenarioDetectsInfectionDespiteLoss) {
+  NetworkScenarioConfig config;
+  config.rounds = 4;
+  config.infected = true;
+  config.drop_probability = 0.2;
+  config.session.max_attempts = 6;
+  const NetworkScenarioOutcome outcome = run_network_scenario(config);
+  EXPECT_TRUE(outcome.all_resolved);
+  EXPECT_GT(outcome.compromised, 0u);
+  EXPECT_EQ(outcome.verified, 0u);  // never misjudged healthy
+}
+
+TEST(Scenario, NetworkScenarioIsDeterministic) {
+  NetworkScenarioConfig config;
+  config.rounds = 4;
+  config.drop_probability = 0.3;
+  config.duplicate_probability = 0.1;
+  const NetworkScenarioOutcome a = run_network_scenario(config);
+  const NetworkScenarioOutcome b = run_network_scenario(config);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.total_attempts, b.total_attempts);
+  EXPECT_EQ(a.total_round_latency, b.total_round_latency);
+  EXPECT_EQ(a.link_dropped, b.link_dropped);
+  EXPECT_EQ(a.wasted_measure_time, b.wasted_measure_time);
+}
+
 TEST(Scenario, AdversaryNamesAreStable) {
   EXPECT_EQ(adversary_name(AdversaryKind::kNone), "none");
   EXPECT_EQ(adversary_name(AdversaryKind::kTransientLeaver), "transient");

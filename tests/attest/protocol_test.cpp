@@ -113,5 +113,82 @@ TEST(Protocol, DroppedRequestNeverCompletes) {
   EXPECT_FALSE(done);
 }
 
+TEST(Protocol, ChallengeRequestRoundTripsThroughWire) {
+  const support::Bytes key = to_bytes("wire-key");
+  ChallengeRequest request{42, to_bytes("nonce-0123456789")};
+  const support::Bytes wire = seal_challenge_request(request, key);
+  const auto opened = open_challenge_request(wire, key);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->counter, 42u);
+  EXPECT_EQ(opened->challenge, request.challenge);
+}
+
+TEST(Protocol, TamperedChallengeRequestIsRejected) {
+  const support::Bytes key = to_bytes("wire-key");
+  const support::Bytes wire =
+      seal_challenge_request({7, to_bytes("nonce-0123456789")}, key);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    support::Bytes tampered = wire;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(open_challenge_request(tampered, key).has_value())
+        << "byte " << i << " flip accepted";
+  }
+  // Wrong key and truncation fail too.
+  EXPECT_FALSE(open_challenge_request(wire, to_bytes("other-key")).has_value());
+  EXPECT_FALSE(
+      open_challenge_request(support::ByteView(wire).subspan(0, wire.size() - 1), key)
+          .has_value());
+}
+
+TEST(Protocol, ReportWireRoundTripsAndRejectsTruncation) {
+  ProtocolFixture fx;
+  Report captured;
+  fx.protocol.run(1, [&](OnDemandTimings t) { captured = t.attestation.report; });
+  fx.simulator.run();
+  const support::Bytes wire = serialize_report_wire(captured);
+  const auto parsed = parse_report_wire(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counter, captured.counter);
+  EXPECT_EQ(parsed->measurement, captured.measurement);
+  EXPECT_EQ(parsed->mac, captured.mac);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(parse_report_wire(support::ByteView(wire).subspan(0, cut)).has_value())
+        << "truncation to " << cut << " bytes parsed";
+  }
+}
+
+TEST(Protocol, StaleCounterRequestIsIgnoredAsReplay) {
+  ProtocolFixture fx;
+  int completions = 0;
+  fx.protocol.run(5, [&](OnDemandTimings) { ++completions; });
+  fx.simulator.run();
+  ASSERT_EQ(completions, 1);
+  // Re-sending counter 5 (or lower) replays an old request: the prover
+  // must ignore it, so the round never completes.
+  fx.protocol.run(5, [&](OnDemandTimings) { ++completions; });
+  fx.simulator.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(fx.protocol.requests_rejected_replay(), 1u);
+}
+
+TEST(Protocol, RequestWhileMeasurementBusyIsIgnoredNotFatal) {
+  ProtocolFixture fx;
+  sim::LinkConfig dup;
+  dup.duplicate_probability = 1.0;  // every challenge arrives twice
+  sim::Link duplicating(fx.simulator, dup);
+  OnDemandProtocol protocol(fx.device, fx.verifier, fx.mp, duplicating,
+                            fx.prv_to_vrf);
+  int completions = 0;
+  // The duplicate copy lands while MP is measuring for the first copy;
+  // without busy-gating AttestationProcess::start would throw.
+  protocol.run(1, [&](OnDemandTimings t) {
+    if (t.outcome.ok()) ++completions;
+  });
+  fx.simulator.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(protocol.requests_ignored_busy() + protocol.requests_rejected_replay(),
+            1u);
+}
+
 }  // namespace
 }  // namespace rasc::attest

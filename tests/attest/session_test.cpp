@@ -1,0 +1,236 @@
+#include "src/attest/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::attest {
+namespace {
+
+using support::to_bytes;
+
+constexpr sim::Duration kMs = sim::kMillisecond;
+
+struct SessionFixture {
+  sim::Simulator simulator;
+  sim::Device device;
+  Verifier verifier;
+  AttestationProcess mp;
+  sim::Link vrf_to_prv;
+  sim::Link prv_to_vrf;
+  ReliableSession session;
+
+  SessionFixture(sim::LinkConfig to_prv = {}, sim::LinkConfig to_vrf = {},
+                 SessionConfig config = fast_config())
+      : device(simulator, sim::DeviceConfig{"dev-session", 16 * 256, 256,
+                                            to_bytes("session-key")}),
+        verifier(crypto::HashKind::kSha256, to_bytes("session-key"),
+                 [&] {
+                   support::Xoshiro256 rng(11);
+                   support::Bytes image(16 * 256);
+                   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+                   device.memory().load(image);
+                   return image;
+                 }(),
+                 256),
+        mp(device, {}),
+        vrf_to_prv(simulator, to_prv),
+        prv_to_vrf(simulator, to_vrf),
+        session(device, verifier, mp, vrf_to_prv, prv_to_vrf, config) {}
+
+  /// Short, jitterless timers so the deterministic timelines below are
+  /// easy to reason about: one clean round completes in ~6 ms.
+  static SessionConfig fast_config() {
+    SessionConfig config;
+    config.response_timeout = 20 * kMs;
+    config.max_attempts = 3;
+    config.backoff_base = 5 * kMs;
+    config.backoff_jitter = 0.0;
+    return config;
+  }
+
+  RoundResult run_round() {
+    RoundResult result;
+    bool fired = false;
+    session.run([&](RoundResult r) {
+      result = std::move(r);
+      fired = true;
+    });
+    simulator.run();
+    EXPECT_TRUE(fired) << "round leaked its done callback";
+    return result;
+  }
+};
+
+TEST(ReliableSession, CleanLinkVerifiesOnFirstAttempt) {
+  SessionFixture fx;
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(result.attempt_timeouts, 0u);
+  EXPECT_EQ(result.backoff_total, 0u);
+  EXPECT_EQ(result.wasted_measure_time, 0u);
+  EXPECT_GT(result.measure_time, 0u);
+  EXPECT_GT(result.t_resolved, result.t_started);
+  EXPECT_TRUE(result.verdict.ok());
+}
+
+TEST(ReliableSession, TotalLossExhaustsBudgetAndTimesOut) {
+  sim::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  SessionFixture fx(dead, {});
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kTimeout);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(result.attempt_timeouts, 3u);
+  EXPECT_EQ(fx.session.retries(), 2u);
+  // Exponential, jitterless backoff: 5 ms + 10 ms.
+  EXPECT_EQ(result.backoff_total, 15 * kMs);
+}
+
+TEST(ReliableSession, PartitionDroppedReportIsRetriedToVerification) {
+  // The report leg is blacked out for the first 10 ms, so attempt 1's
+  // report vanishes; the retry lands after the partition lifts.
+  sim::LinkConfig report_leg;
+  report_leg.partitions.push_back({0, 10 * kMs});
+  SessionFixture fx({}, report_leg);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.attempt_timeouts, 1u);
+  EXPECT_EQ(fx.prv_to_vrf.partition_dropped(), 1u);
+  // The first attempt's measurement bought nothing.
+  EXPECT_GT(result.wasted_measure_time, 0u);
+}
+
+TEST(ReliableSession, CorruptedReportsClassifyAsCorruptReport) {
+  sim::LinkConfig garbling;
+  garbling.corrupt_probability = 1.0;
+  SessionConfig config = SessionFixture::fast_config();
+  config.max_attempts = 2;
+  SessionFixture fx({}, garbling, config);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kCorruptReport);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.corrupt_reports, 2u);
+  // Corrupt answers consume the attempt immediately instead of waiting
+  // out the response timer.
+  EXPECT_EQ(result.attempt_timeouts, 0u);
+  EXPECT_EQ(fx.session.corrupt_reports(), 2u);
+}
+
+TEST(ReliableSession, DuplicatedWinningReportIsRejectedAsLate) {
+  sim::LinkConfig duplicating;
+  duplicating.duplicate_probability = 1.0;
+  SessionFixture fx({}, duplicating);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_EQ(fx.session.late_reports(), 1u);
+}
+
+TEST(ReliableSession, StaleReportOnlyClassifiesAsReplayRejected) {
+  // Attempt 1's report is held back past the response timeout (reorder
+  // delay), and attempt 2's challenge dies in a partition.  The only
+  // thing the verifier ever hears inside the budget is a stale answer to
+  // the superseded challenge.
+  sim::LinkConfig challenge_leg;
+  challenge_leg.partitions.push_back({10 * kMs, 500 * kMs});
+  sim::LinkConfig report_leg;
+  report_leg.reorder_probability = 1.0;
+  report_leg.reorder_delay = 50 * kMs;
+  SessionConfig config = SessionFixture::fast_config();
+  config.response_timeout = 30 * kMs;
+  config.max_attempts = 2;
+  SessionFixture fx(challenge_leg, report_leg, config);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kReplayRejected);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(result.replays_rejected, 1u);
+  EXPECT_EQ(fx.session.replays_rejected(), 1u);
+}
+
+TEST(ReliableSession, InfectedDeviceIsCompromisedNotRetried) {
+  SessionFixture fx;
+  (void)fx.device.memory().write(300, to_bytes("evil"), 0, sim::Actor::kMalware);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.outcome, SessionOutcome::kCompromised);
+  EXPECT_EQ(result.attempts, 1u);
+  EXPECT_TRUE(result.verdict.mac_ok);
+  EXPECT_FALSE(result.verdict.digest_ok);
+}
+
+TEST(ReliableSession, EveryRoundResolvesUnderHeavyFaults) {
+  sim::LinkConfig lossy;
+  lossy.drop_probability = 0.25;
+  lossy.duplicate_probability = 0.2;
+  lossy.corrupt_probability = 0.2;
+  lossy.reorder_probability = 0.2;
+  lossy.seed = 0xbad;
+  sim::LinkConfig lossy2 = lossy;
+  lossy2.seed = 0xbad2;
+  SessionConfig config = SessionFixture::fast_config();
+  config.max_attempts = 4;
+  SessionFixture fx(lossy, lossy2, config);
+
+  constexpr std::size_t kRounds = 30;
+  std::size_t resolved = 0;
+  std::function<void()> next = [&] {
+    fx.session.run([&](RoundResult) {
+      ++resolved;
+      if (resolved < kRounds) fx.simulator.schedule_in(kMs, next);
+    });
+  };
+  fx.simulator.schedule_at(0, next);
+  fx.simulator.run();
+  // The whole point of the session layer: no amount of link misbehavior
+  // may leave a round unresolved.
+  EXPECT_EQ(resolved, kRounds);
+  EXPECT_EQ(fx.session.rounds_resolved(), kRounds);
+}
+
+TEST(ReliableSession, BackoffGrowsExponentiallyWithJitterBounded) {
+  sim::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  SessionConfig config = SessionFixture::fast_config();
+  config.max_attempts = 4;
+  config.backoff_jitter = 0.5;
+  SessionFixture fx(dead, {}, config);
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.attempts, 4u);
+  // Three retries at 5/10/20 ms nominal, each stretched by at most 50%.
+  EXPECT_GE(result.backoff_total, 35 * kMs);
+  EXPECT_LE(result.backoff_total, 35 * kMs + 35 * kMs / 2);
+}
+
+TEST(ReliableSession, MisuseThrows) {
+  SessionFixture fx;
+  fx.session.run([](RoundResult) {});
+  EXPECT_THROW(fx.session.run([](RoundResult) {}), std::logic_error);
+  fx.simulator.run();
+
+  SessionConfig config;
+  config.max_attempts = 0;
+  SessionFixture broken({}, {}, config);
+  EXPECT_THROW(broken.session.run([](RoundResult) {}), std::invalid_argument);
+}
+
+TEST(ReliableSession, MetricsAccountTerminalOutcomes) {
+  sim::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  SessionFixture fx(dead, {});
+  obs::MetricsRegistry metrics;
+  fx.session.set_metrics(&metrics);
+  (void)fx.run_round();
+  ASSERT_NE(metrics.find_counter("session.rounds"), nullptr);
+  EXPECT_EQ(metrics.find_counter("session.rounds")->value(), 1u);
+  ASSERT_NE(metrics.find_counter("session.timeout"), nullptr);
+  EXPECT_EQ(metrics.find_counter("session.timeout")->value(), 1u);
+  ASSERT_NE(metrics.find_counter("session.retries"), nullptr);
+  EXPECT_EQ(metrics.find_counter("session.retries")->value(), 2u);
+  ASSERT_NE(metrics.find_histogram("session.round_latency_ms"), nullptr);
+  EXPECT_EQ(metrics.find_histogram("session.round_latency_ms")->count(), 1u);
+}
+
+}  // namespace
+}  // namespace rasc::attest

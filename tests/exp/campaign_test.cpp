@@ -152,6 +152,23 @@ TEST(Campaign, TrialExceptionPropagates) {
   EXPECT_THROW(run_campaign(spec), std::runtime_error);
 }
 
+TEST(Campaign, RequireFailureFailsTheCampaignLoudly) {
+  // TrialOutput::require is the per-trial invariant hook (e.g. "every
+  // attestation round resolved"); a violation must abort the campaign,
+  // not quietly skew its aggregates.
+  TrialOutput out;
+  out.require(true, "fine");  // no-op
+  CampaignSpec spec;
+  spec.trials_per_point = 32;
+  spec.threads = 2;
+  spec.trial = [](const GridPoint&, TrialContext& ctx) -> TrialOutput {
+    TrialOutput trial;
+    trial.require(ctx.trial_index != 9, "round leaked its done callback");
+    return trial;
+  };
+  EXPECT_THROW(run_campaign(spec), std::runtime_error);
+}
+
 TEST(Campaign, ReportJsonShape) {
   const CampaignResult result = run_campaign(make_test_spec(2));
   const std::string json = campaign_json(result);

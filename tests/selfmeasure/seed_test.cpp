@@ -55,7 +55,7 @@ struct SeedFixture {
   sim::Link to_vrf;
   SeedConfig config;
 
-  explicit SeedFixture(double drop = 0.0)
+  explicit SeedFixture(double drop = 0.0, double duplicate = 0.0)
       : device(simulator,
                sim::DeviceConfig{"dev-s", 16 * 256, 256, to_bytes("seed-key")}),
         verifier(crypto::HashKind::kSha256, to_bytes("seed-key"),
@@ -71,6 +71,7 @@ struct SeedFixture {
                [&] {
                  sim::LinkConfig lc;
                  lc.drop_probability = drop;
+                 lc.duplicate_probability = duplicate;
                  lc.seed = 1234;
                  return lc;
                }()) {
@@ -126,6 +127,32 @@ TEST(Seed, DroppedReportsBecomeFalseAlarms) {
   // Every epoch is missing despite the device being healthy: the
   // unidirectional protocol cannot distinguish loss from suppression.
   EXPECT_EQ(seed_verifier.false_alarms(), 6u);
+}
+
+TEST(Seed, DuplicatedReportsAreRejectedAsReplays) {
+  // Every report arrives twice; the epoch binding dedups the second copy
+  // without re-judging it, and the accounting makes the rejects visible.
+  SeedFixture fx(/*drop=*/0.0, /*duplicate=*/1.0);
+  SeedProver prover(fx.device, fx.config, fx.to_vrf);
+  SeedVerifier seed_verifier(fx.simulator, fx.verifier, fx.config);
+  obs::MetricsRegistry metrics;
+  seed_verifier.set_metrics(&metrics);
+  prover.set_delivery_handler(
+      [&](const attest::Report& r) { seed_verifier.on_report(r); });
+  prover.start(sim::from_seconds(60));
+  seed_verifier.start(sim::from_seconds(60));
+  fx.simulator.run();
+
+  EXPECT_EQ(seed_verifier.replays_rejected(), 6u);
+  EXPECT_EQ(seed_verifier.false_alarms(), 0u);
+  EXPECT_EQ(seed_verifier.detections(), 0u);
+  for (const auto& o : seed_verifier.outcomes()) EXPECT_TRUE(o.verified_ok);
+  ASSERT_NE(metrics.find_counter("seed.replays_rejected"), nullptr);
+  EXPECT_EQ(metrics.find_counter("seed.replays_rejected")->value(), 6u);
+  ASSERT_NE(metrics.find_counter("seed.reports_received"), nullptr);
+  EXPECT_EQ(metrics.find_counter("seed.reports_received")->value(), 6u);
+  ASSERT_NE(metrics.find_counter("seed.epochs"), nullptr);
+  EXPECT_EQ(metrics.find_counter("seed.epochs")->value(), 6u);
 }
 
 TEST(Seed, FalseAlarmRateTracksLossRate) {
