@@ -1,0 +1,120 @@
+/// Bench regression gate CLI: compare a current BENCH_*.json artifact
+/// against a committed baseline and exit non-zero on regression, so CI can
+/// hold every PR's campaign numbers to the numbers checked in under
+/// bench/baselines/.
+///
+///   bench_diff bench/baselines/BENCH_network.json build/BENCH_network.json
+///   bench_diff base.json cur.json --tolerance 0.02 --rule wall=0.5 --ignore .stderr
+///
+/// Exit codes: 0 = within tolerance, 1 = regression (numeric deviation,
+/// missing leaf, or type change), 2 = usage / I/O / parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/bench_diff.hpp"
+
+using namespace rasc;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s BASELINE.json CURRENT.json [--tolerance T]\n"
+      "          [--rule PATTERN=T]... [--ignore PATTERN]...\n\n"
+      "  --tolerance T      default relative tolerance for numeric leaves\n"
+      "                     (|cur-base| / max(|base|,|cur|); default 0 = exact)\n"
+      "  --rule PATTERN=T   tolerance T for every path containing PATTERN\n"
+      "                     (substring match; last matching rule wins)\n"
+      "  --ignore PATTERN   skip paths containing PATTERN entirely\n",
+      argv0);
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  obs::BenchDiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") {
+      options.default_tolerance = std::strtod(next(), nullptr);
+    } else if (arg == "--rule") {
+      const std::string spec = next();
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "bench_diff: --rule wants PATTERN=TOLERANCE, got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      options.rules.push_back(
+          {spec.substr(0, eq), std::strtod(spec.c_str() + eq + 1, nullptr)});
+    } else if (arg == "--ignore") {
+      options.ignore.emplace_back(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown argument '%s'\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::string baseline_text;
+  std::string current_text;
+  if (!read_file(positional[0], &baseline_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read baseline '%s'\n",
+                 positional[0].c_str());
+    return 2;
+  }
+  if (!read_file(positional[1], &current_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read current '%s'\n",
+                 positional[1].c_str());
+    return 2;
+  }
+
+  std::string error;
+  const auto baseline = obs::parse_json(baseline_text, &error);
+  if (!baseline) {
+    std::fprintf(stderr, "bench_diff: baseline '%s': %s\n", positional[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const auto current = obs::parse_json(current_text, &error);
+  if (!current) {
+    std::fprintf(stderr, "bench_diff: current '%s': %s\n", positional[1].c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const obs::BenchDiffResult result = obs::diff_bench(*baseline, *current, options);
+  std::printf("%s vs %s\n%s", positional[0].c_str(), positional[1].c_str(),
+              obs::format_bench_diff(result).c_str());
+  return result.ok() ? 0 : 1;
+}

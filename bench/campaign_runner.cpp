@@ -15,6 +15,9 @@
 
 #include "src/apps/campaign.hpp"
 #include "src/exp/report.hpp"
+#include "src/exp/seeding.hpp"
+#include "src/obs/journal.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/smarm/campaign.hpp"
 #include "src/smarm/escape.hpp"
 
@@ -26,6 +29,7 @@ struct Options {
   std::string campaign = "smarm_escape";
   std::string grid_override;
   std::string out_dir;
+  std::string journal_dir;  ///< --journal-out: flight-recorder replays
   std::size_t trials = 0;  // 0 = campaign default
   std::size_t threads = 0;
   std::uint64_t seed = 1;
@@ -35,7 +39,12 @@ struct Options {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--campaign NAME] [--grid \"axis=v1,v2;...\"] [--trials N]\n"
-      "          [--threads N] [--seed S] [--out DIR] [--list]\n\n"
+      "          [--threads N] [--seed S] [--out DIR] [--journal-out DIR] [--list]\n\n"
+      "--journal-out DIR (network_reliability only): per cell, re-run the\n"
+      "first misjudged trial (or trial 0) with the flight recorder attached,\n"
+      "write JOURNAL_network_<grid_index>.ndjson and print its explain\n"
+      "timeline.  The replay is seeded from the campaign coordinates, so the\n"
+      "artifacts are byte-identical for any --threads.\n\n"
       "campaigns:\n"
       "  smarm_escape            abstract SMARM game, rounds x blocks sweep\n"
       "  smarm_escape_fullstack  device sim + verifier, blocks sweep\n"
@@ -116,6 +125,47 @@ bool check_smarm_cells(const exp::CampaignResult& result) {
   return all_ok;
 }
 
+/// Replay one trial per cell of the network campaign with the flight
+/// recorder attached and dump JOURNAL_network_<grid_index>.ndjson +
+/// explain timelines.  Journals stay off during the campaign itself (the
+/// trials above ran bare); the replay re-derives the trial's seed from its
+/// (base_seed, grid_index, trial_index) coordinates, so the re-run is the
+/// same simulation event-for-event and the artifact does not depend on
+/// the campaign's thread count.
+bool write_network_journals(const exp::CampaignResult& result,
+                            const std::string& dir) {
+  const std::size_t rounds = apps::NetworkReliabilityCampaignOptions{}.rounds;
+  bool ok = true;
+  for (const auto& cell : result.cells) {
+    // Replay the lowest misjudging trial; a cell where every round
+    // verified replays trial 0 (still useful: retries/backoff show up).
+    std::size_t trial = 0;
+    if (const auto it = cell.values.find("first_misjudge_trial");
+        it != cell.values.end() && it->second.min() < apps::kNoMisjudgeTrial) {
+      trial = static_cast<std::size_t>(it->second.min());
+    }
+    const std::uint64_t trial_seed =
+        exp::derive_trial_seed(result.base_seed, cell.grid_index, trial);
+    apps::NetworkScenarioConfig config =
+        apps::network_scenario_config(cell.point, trial_seed, rounds);
+    obs::EventJournal journal;
+    config.journal = &journal;
+    (void)apps::run_network_scenario(config);
+
+    std::string path = dir.empty() ? std::string() : dir + "/";
+    path += "JOURNAL_network_" + std::to_string(cell.grid_index) + ".ndjson";
+    if (!journal.write_ndjson(path)) {
+      std::fprintf(stderr, "campaign_runner: cannot write '%s'\n", path.c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("\n=== journal %s: %s, trial %zu (%zu events) ===\n%s",
+                path.c_str(), cell.point.label().c_str(), trial, journal.size(),
+                obs::explain(journal, /*only_problem_rounds=*/true).c_str());
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +191,8 @@ int main(int argc, char** argv) {
       options.seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--out") {
       options.out_dir = next();
+    } else if (arg == "--journal-out") {
+      options.journal_dir = next();
     } else if (arg == "--list") {
       options.list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -197,6 +249,18 @@ int main(int argc, char** argv) {
                        static_cast<unsigned long long>(cell.attempts));
           ok = false;
         }
+      }
+    }
+
+    if (!options.journal_dir.empty()) {
+      if (spec.name == "network") {
+        const std::string dir =
+            options.journal_dir == "." ? std::string() : options.journal_dir;
+        if (!write_network_journals(result, dir)) return 2;
+      } else {
+        std::fprintf(stderr,
+                     "campaign_runner: --journal-out only applies to "
+                     "network_reliability; ignoring\n");
       }
     }
 

@@ -26,6 +26,7 @@
 #include "src/attest/measurement.hpp"
 #include "src/exp/report.hpp"
 #include "src/obs/bench_io.hpp"
+#include "src/obs/journal.hpp"
 #include "src/sim/memory.hpp"
 #include "src/support/rng.hpp"
 #include "src/support/table.hpp"
@@ -136,6 +137,33 @@ int main() {
 
   ok &= expect(speedup_at_10pct >= 5.0,
                "repeated measurement at 10% dirty blocks is >=5x faster cached");
+
+  // A detached flight recorder must be invisible on the measurement hot
+  // path.  Time the disabled-path gate every instrumented site pays per
+  // event (a pointer load + branch; volatile models the member re-load)
+  // and hold it under 1% of one block digest.
+  {
+    obs::EventJournal* volatile journal = nullptr;
+    constexpr std::size_t kGateIters = std::size_t{1} << 24;
+    std::uint64_t armed = 0;
+    const double gate_start = now_seconds();
+    for (std::size_t i = 0; i < kGateIters; ++i) {
+      if (obs::EventJournal* j = journal) {
+        j->append(0, 0, 0, 0, obs::JournalEventKind::kCacheHit, i, 0);
+        ++armed;
+      }
+    }
+    const double per_gate_s = (now_seconds() - gate_start) / kGateIters;
+    const double per_block_s =
+        registry.gauge("measurement.uncached_seconds_dirty_100").value() /
+        static_cast<double>(kRounds * kBlocks);
+    const double overhead = per_block_s > 0.0 ? per_gate_s / per_block_s : 0.0;
+    std::printf("\nnull-journal gate: %.3g ns/event vs %.4g us/block digest (%.5f%%)\n",
+                per_gate_s * 1e9, per_block_s * 1e6, overhead * 100.0);
+    registry.gauge("measurement.null_journal_gate_pct").set(overhead * 100.0);
+    ok &= expect(armed == 0 && overhead < 0.01,
+                 "disabled journal gate costs <1% of a block digest");
+  }
 
   // Deterministic identity/hit-rate aggregates through the campaign
   // engine (the statistical counterpart of the wall-clock sweep above).

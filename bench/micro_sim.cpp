@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/apps/scenario.hpp"
+#include "src/obs/journal.hpp"
 #include "src/smarm/escape.hpp"
 #include "src/smarm/runner.hpp"
 #include "src/support/rng.hpp"
@@ -77,6 +78,53 @@ void BM_SmarmRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SmarmRound)->Arg(16)->Arg(64);
+
+void BM_JournalAppend(benchmark::State& state) {
+  obs::EventJournal journal;
+  const std::uint32_t actor = journal.intern("bench");
+  obs::TimeNs t = 0;
+  for (auto _ : state) {
+    ++t;
+    journal.append(t, actor, 1, t, obs::JournalEventKind::kLinkSend, t, 64);
+  }
+  benchmark::DoNotOptimize(journal);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalAppend);
+
+void BM_JournalDisabledGate(benchmark::State& state) {
+  // The per-event cost with no journal attached: what every instrumented
+  // site in sim/attest/apps pays when the flight recorder is off.
+  sim::Simulator simulator;
+  std::uint64_t armed = 0;
+  for (auto _ : state) {
+    if (auto* j = simulator.journal()) {
+      j->append(0, 0, 0, 0, obs::JournalEventKind::kLinkSend);
+      ++armed;
+    }
+    benchmark::DoNotOptimize(armed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalDisabledGate);
+
+void BM_NetworkScenario(benchmark::State& state) {
+  // Arg toggles the flight recorder so its end-to-end overhead (append
+  // per link/session event) is directly comparable to the bare run.
+  const bool journaled = state.range(0) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    obs::EventJournal journal;
+    apps::NetworkScenarioConfig config;
+    config.rounds = 2;
+    config.drop_probability = 0.1;
+    config.seed = seed++;
+    if (journaled) config.journal = &journal;
+    benchmark::DoNotOptimize(apps::run_network_scenario(config));
+  }
+  state.SetLabel(journaled ? "journal" : "no-journal");
+}
+BENCHMARK(BM_NetworkScenario)->Arg(0)->Arg(1);
 
 void BM_SmarmAbstractGame(benchmark::State& state) {
   std::uint64_t seed = 1;

@@ -8,24 +8,32 @@
 /// Chrome trace_event JSON file; open it in chrome://tracing or Perfetto
 /// to see the fire-alarm CPU segments stall behind the nested
 /// attest.session > attest.measure span while the building burns.
+///
+/// Pass `--journal-out FILE` to capture the same run in the flight
+/// recorder (deadline hits/misses, the alarm raise) as NDJSON; a short
+/// event transcript is printed too.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "src/apps/scenario.hpp"
+#include "src/obs/journal.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/obs/trace.hpp"
 
 using namespace rasc;
 
 namespace {
 
-void run(const char* label, attest::ExecutionMode mode, obs::TraceSink* trace) {
+void run(const char* label, attest::ExecutionMode mode, obs::TraceSink* trace,
+         obs::EventJournal* journal) {
   apps::FireAlarmScenarioConfig config;
   config.modeled_memory_bytes = 1ull << 30;  // the paper's 1 GB prover
   config.mode = mode;
   config.fire_after_mp_start = 100 * sim::kMillisecond;
   config.trace = trace;
+  config.journal = journal;
 
   const auto outcome = apps::run_fire_alarm_scenario(config);
   std::printf("--- %s ---\n", label);
@@ -44,11 +52,15 @@ void run(const char* label, attest::ExecutionMode mode, obs::TraceSink* trace) {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string journal_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--journal-out") == 0 && i + 1 < argc) {
+      journal_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace-out FILE] [--journal-out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -57,10 +69,23 @@ int main(int argc, char** argv) {
   std::printf("the fire starts 100 ms after the measurement begins.\n\n");
 
   obs::TraceSink sink;
+  obs::EventJournal journal;
   run("SMART-style atomic MP (uninterruptible)", attest::ExecutionMode::kAtomic,
-      trace_out.empty() ? nullptr : &sink);
+      trace_out.empty() ? nullptr : &sink,
+      journal_out.empty() ? nullptr : &journal);
   run("Interruptible MP (block-granular preemption)",
-      attest::ExecutionMode::kInterruptible, nullptr);
+      attest::ExecutionMode::kInterruptible, nullptr, nullptr);
+
+  if (!journal_out.empty()) {
+    if (journal.write_ndjson(journal_out)) {
+      std::printf("Flight-recorder journal of the atomic run written to %s\n",
+                  journal_out.c_str());
+      std::printf("%s\n", obs::render_journal_summary(journal).c_str());
+    } else {
+      std::fprintf(stderr, "failed to write journal to %s\n", journal_out.c_str());
+      return 1;
+    }
+  }
 
   if (!trace_out.empty()) {
     if (sink.write_chrome_json(trace_out)) {

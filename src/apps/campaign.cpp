@@ -186,6 +186,26 @@ exp::CampaignSpec make_measurement_cache_campaign(
   return spec;
 }
 
+NetworkScenarioConfig network_scenario_config(const exp::GridPoint& point,
+                                              std::uint64_t trial_seed,
+                                              std::size_t rounds) {
+  NetworkScenarioConfig config;
+  config.rounds = rounds;
+  config.drop_probability = static_cast<double>(point.i64("drop_pct")) / 100.0;
+  // Mild background faults so the duplicate/replay/corrupt machinery is
+  // exercised in every cell, not just the ones the axes sweep.
+  config.duplicate_probability = 0.05;
+  config.reorder_probability = 0.05;
+  config.corrupt_probability = 0.02;
+  config.session.max_attempts =
+      static_cast<std::size_t>(point.i64("max_attempts"));
+  config.session.response_timeout =
+      static_cast<sim::Duration>(point.i64("timeout_ms")) * sim::kMillisecond;
+  config.session.backoff_base = 20 * sim::kMillisecond;
+  config.seed = trial_seed;
+  return config;
+}
+
 exp::CampaignSpec make_network_reliability_campaign(
     const NetworkReliabilityCampaignOptions& options) {
   exp::CampaignSpec spec;
@@ -199,23 +219,10 @@ exp::CampaignSpec make_network_reliability_campaign(
   spec.shard_size = 8;
   const std::size_t rounds = options.rounds;
   spec.trial = [rounds](const exp::GridPoint& point, exp::TrialContext& ctx) {
-    NetworkScenarioConfig config;
-    config.rounds = rounds;
-    config.drop_probability =
-        static_cast<double>(point.i64("drop_pct")) / 100.0;
-    // Mild background faults so the duplicate/replay/corrupt machinery is
-    // exercised in every cell, not just the ones the axes sweep.
-    config.duplicate_probability = 0.05;
-    config.reorder_probability = 0.05;
-    config.corrupt_probability = 0.02;
-    config.session.max_attempts =
-        static_cast<std::size_t>(point.i64("max_attempts"));
-    config.session.response_timeout =
-        static_cast<sim::Duration>(point.i64("timeout_ms")) * sim::kMillisecond;
-    config.session.backoff_base = 20 * sim::kMillisecond;
-    config.seed = ctx.seed;
+    NetworkScenarioConfig config = network_scenario_config(point, ctx.seed, rounds);
     exp::TrialOutput out;
     config.metrics = &out.metrics;
+    config.health = &out.health;
     const NetworkScenarioOutcome outcome = run_network_scenario(config);
     // The acceptance invariant: zero leaked done callbacks, asserted per
     // trial so a hang fails the whole campaign.
@@ -238,6 +245,12 @@ exp::CampaignSpec make_network_reliability_campaign(
                   static_cast<double>(outcome.rounds_resolved));
     out.value("max_round_latency_ms", sim::to_millis(outcome.max_round_latency));
     out.value("late_reports", static_cast<double>(outcome.late_reports));
+    // Which trial campaign_runner --journal-out should replay: the lowest
+    // trial index whose prover got misjudged (min() folds are exact, so
+    // the pick is identical for every thread count).
+    const bool misjudged = outcome.rounds_resolved != outcome.verified;
+    out.value("first_misjudge_trial",
+              misjudged ? static_cast<double>(ctx.trial_index) : kNoMisjudgeTrial);
     out.value("link_drop_rate",
               outcome.link_sent == 0
                   ? 0.0

@@ -60,6 +60,21 @@ struct NetworkReliabilityCampaignOptions {
   std::size_t rounds = 4;
 };
 
+/// Sentinel recorded in the "first_misjudge_trial" value channel when a
+/// trial misjudged nothing; the per-cell min() is then either the lowest
+/// misjudging trial index or this (thread-count independent either way,
+/// which is what lets campaign_runner --journal-out replay the same trial
+/// regardless of -j).
+inline constexpr double kNoMisjudgeTrial = 1e18;
+
+/// Build the scenario config for one (cell, trial seed) of the network
+/// reliability campaign.  Shared by the campaign trial function and
+/// campaign_runner's --journal-out replay, so a re-run with a journal
+/// attached reproduces the selected trial event-for-event.
+NetworkScenarioConfig network_scenario_config(const exp::GridPoint& point,
+                                              std::uint64_t trial_seed,
+                                              std::size_t rounds);
+
 /// Lossy-link reliability sweep (spec name "network", so the artifact is
 /// BENCH_network.json): drop_pct x retry budget x per-attempt timeout,
 /// over a *healthy* prover with mild background duplication/reordering/

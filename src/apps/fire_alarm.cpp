@@ -35,6 +35,12 @@ void FireAlarmTask::complete_sample(sim::Time scheduled_at) {
     sink->instant(now, "app/" + device_.id(), "fire_alarm.deadline_miss",
                   {obs::arg("delay_ms", sim::to_millis(delay))});
   }
+  if (auto* j = device_.sim().journal()) {
+    j->append(now, journal_actor_.get(*j, device_.id()), 0, 0,
+              missed ? obs::JournalEventKind::kDeadlineMiss
+                     : obs::JournalEventKind::kDeadlineHit,
+              delay, config_.deadline);
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("fire_alarm.samples").inc();
     metrics_->histogram("fire_alarm.sample_delay_ms").record(sim::to_millis(delay));
@@ -47,6 +53,10 @@ void FireAlarmTask::complete_sample(sim::Time scheduled_at) {
     if (sink != nullptr) {
       sink->instant(now, "app/" + device_.id(), "fire_alarm.alarm_raised",
                     {obs::arg("latency_ms", sim::to_millis(now - *fire_time_))});
+    }
+    if (auto* j = device_.sim().journal()) {
+      j->append(now, journal_actor_.get(*j, device_.id()), 0, 0,
+                obs::JournalEventKind::kAlarmRaised, now - *fire_time_, 0);
     }
   }
 }

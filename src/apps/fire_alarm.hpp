@@ -63,6 +63,7 @@ class FireAlarmTask final : public sim::Process {
 
   sim::Device& device_;
   FireAlarmConfig config_;
+  obs::ActorId journal_actor_;      ///< journal id of the host device
   std::vector<sim::Time> pending_;  ///< FIFO of arrival times awaiting CPU
   std::optional<sim::Time> fire_time_;
   std::optional<sim::Time> alarm_at_;

@@ -155,6 +155,7 @@ LockScenarioOutcome run_lock_scenario(const LockScenarioConfig& config) {
 NetworkScenarioOutcome run_network_scenario(const NetworkScenarioConfig& config) {
   sim::Simulator simulator;
   simulator.set_trace_sink(config.trace);
+  simulator.set_journal(config.journal);
   sim::DeviceConfig dev_config;
   dev_config.id = "prv-net";
   dev_config.memory_size = config.blocks * config.block_size;
@@ -195,8 +196,10 @@ NetworkScenarioOutcome run_network_scenario(const NetworkScenarioConfig& config)
   link_config.reorder_probability = config.reorder_probability;
   link_config.partitions = config.partitions;
   std::uint64_t link_seed_state = config.seed ^ 0x11c4;
+  link_config.name = "vrf->prv";
   link_config.seed = support::splitmix64(link_seed_state);
   sim::Link vrf_to_prv(simulator, link_config);
+  link_config.name = "prv->vrf";
   link_config.seed = support::splitmix64(link_seed_state);
   sim::Link prv_to_vrf(simulator, link_config);
   vrf_to_prv.set_metrics(config.metrics);
@@ -208,6 +211,7 @@ NetworkScenarioOutcome run_network_scenario(const NetworkScenarioConfig& config)
   attest::ReliableSession session(device, verifier, mp, vrf_to_prv, prv_to_vrf,
                                   session_config);
   session.set_metrics(config.metrics);
+  session.set_health(config.health);
 
   NetworkScenarioOutcome outcome;
   outcome.rounds_requested = config.rounds;
@@ -267,6 +271,7 @@ FireAlarmScenarioOutcome run_fire_alarm_scenario(const FireAlarmScenarioConfig& 
   dev_config.attestation_key = support::to_bytes("fire-alarm-key");
   sim::Device device(simulator, dev_config);
   simulator.set_trace_sink(config.trace);
+  simulator.set_journal(config.journal);
   provision(device, config.provision_seed.value_or(0xf12e + config.seed));
   device.model().set_hash_time_scale(static_cast<double>(config.modeled_memory_bytes) /
                                      static_cast<double>(dev_config.memory_size));

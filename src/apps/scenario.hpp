@@ -18,6 +18,8 @@
 #include "src/locking/policies.hpp"
 #include "src/malware/relocating.hpp"
 #include "src/malware/transient.hpp"
+#include "src/obs/health.hpp"
+#include "src/obs/journal.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 
@@ -98,6 +100,9 @@ struct FireAlarmScenarioConfig {
   /// accumulates fire_alarm.* counters and the sample-delay histogram.
   obs::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight recorder capturing deadline hits/misses, alarm raises and (with
+  /// a digest cache) cache events.
+  obs::EventJournal* journal = nullptr;
 };
 
 struct FireAlarmScenarioOutcome {
@@ -146,6 +151,11 @@ struct NetworkScenarioConfig {
   std::uint64_t seed = 1;
   obs::TraceSink* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Flight recorder: link fates ("vrf->prv"/"prv->vrf" actors), session
+  /// attempts/backoffs/outcomes — the raw material for explain timelines.
+  obs::EventJournal* journal = nullptr;
+  /// Fleet health rollup fed by the session (one record per round).
+  obs::HealthRollup* health = nullptr;
 };
 
 struct NetworkScenarioOutcome {

@@ -27,6 +27,7 @@
 #include "src/attest/digest.hpp"
 #include "src/attest/mac_engine.hpp"
 #include "src/crypto/hash.hpp"
+#include "src/obs/journal.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace rasc::attest {
@@ -53,9 +54,11 @@ class DigestCache {
   void store(std::size_t block, std::uint64_t generation, crypto::HashKind hash,
              MacKind mac, std::uint64_t key_fp, const Digest& digest);
 
-  /// Explicit invalidation (key rotation, defensive flushes).
-  void invalidate_block(std::size_t block);
-  void invalidate_all();
+  /// Explicit invalidation (key rotation, defensive flushes).  `now` is
+  /// the simulated time journaled with the flush when a journal is
+  /// attached; the cache itself is clock-free.
+  void invalidate_block(std::size_t block, obs::TimeNs now = 0);
+  void invalidate_all(obs::TimeNs now = 0);
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
@@ -65,6 +68,14 @@ class DigestCache {
   /// Attach a metrics registry (not owned; nullptr to detach): hit/miss/
   /// store counters are then also accumulated there.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+  /// Attach a flight-recorder journal (not owned; nullptr to detach):
+  /// explicit invalidations are then journaled under `actor`.  Hits and
+  /// misses are journaled by the Measurement (which knows the visit time).
+  void set_journal(obs::EventJournal* journal, std::uint32_t actor) noexcept {
+    journal_ = journal;
+    journal_actor_ = actor;
+  }
 
   /// Stable 64-bit fingerprint of key material (first 8 bytes of its
   /// SHA-256, big-endian) — cache keys never retain the key itself.
@@ -85,6 +96,8 @@ class DigestCache {
   std::uint64_t misses_ = 0;
   std::uint64_t stores_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
+  std::uint32_t journal_actor_ = 0;
 };
 
 }  // namespace rasc::attest

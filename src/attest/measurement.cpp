@@ -83,8 +83,16 @@ void Measurement::visit_block(std::size_t block, sim::Time now,
   if (live) {
     const std::uint64_t generation = memory_.block_generation(block);
     if (const Digest* hit = cache_->lookup(block, generation, hash_, mac_, key_fp_)) {
+      if (journal_ != nullptr) {
+        journal_->append(now, journal_actor_, 0, 0, obs::JournalEventKind::kCacheHit,
+                         block, generation);
+      }
       block_digests_[rel] = *hit;
       return;
+    }
+    if (journal_ != nullptr) {
+      journal_->append(now, journal_actor_, 0, 0, obs::JournalEventKind::kCacheMiss,
+                       block, generation);
     }
     digester_.digest(content, block_digests_[rel]);
     cache_->store(block, generation, hash_, mac_, key_fp_, block_digests_[rel]);

@@ -25,6 +25,7 @@
 #include "src/attest/digest.hpp"
 #include "src/attest/digest_cache.hpp"
 #include "src/attest/mac_engine.hpp"
+#include "src/obs/journal.hpp"
 #include "src/crypto/hash.hpp"
 #include "src/crypto/hmac.hpp"
 #include "src/sim/memory.hpp"
@@ -81,6 +82,15 @@ class Measurement {
   /// the block's generation matches — results are bit-identical to the
   /// uncached path.
   void set_digest_cache(DigestCache* cache);
+
+  /// Attach a flight-recorder journal (not owned; nullptr to detach):
+  /// cache hits and misses are then journaled under `actor` with the
+  /// visit time.  One null-check branch when detached — the measurement
+  /// hot path stays allocation-free either way.
+  void set_journal(obs::EventJournal* journal, std::uint32_t actor) noexcept {
+    journal_ = journal;
+    journal_actor_ = actor;
+  }
 
   /// Digest one block (index relative to memory, must lie inside the
   /// coverage).  May be called in any order; re-visiting overwrites the
@@ -140,6 +150,8 @@ class Measurement {
   MacKind mac_;
   BlockDigester digester_;
   DigestCache* cache_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
+  std::uint32_t journal_actor_ = 0;
   std::uint64_t key_fp_ = 0;  ///< computed when a cache is attached
   std::vector<Digest> block_digests_;
   std::vector<std::optional<sim::Time>> visit_times_;

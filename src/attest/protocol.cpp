@@ -66,6 +66,9 @@ void OnDemandProtocol::run(std::uint64_t counter,
   if (auto* sink = sim.trace_sink()) {
     sink->begin(sim.now(), "vrf", "ra.round", {obs::arg("counter", counter)});
     sink->instant(sim.now(), "vrf", "vrf.challenge_sent");
+    // Flow arrow from this round's span to the measurement span it starts
+    // on the prover track (finished at t_mp_started below).
+    sink->flow_start(sim.now(), "vrf", "ra.challenge", counter);
   }
 
   support::Bytes request_wire =
@@ -109,16 +112,23 @@ void OnDemandProtocol::run(std::uint64_t counter,
                                                  request = *request,
                                                  done = std::move(done)]() mutable {
       timings->t_mp_started = device_.sim().now();
+      const std::uint64_t req_counter = request.counter;
       MeasurementContext context{device_.id(), std::move(request.challenge),
                                  request.counter};
-      mp_.start(std::move(context), [this, timings, done = std::move(done)](
-                                        AttestationResult result) mutable {
+      auto on_measured = [this, timings, done = std::move(done)](
+                             AttestationResult result) mutable {
         timings->t_s = result.t_s;
         timings->t_e = result.t_e;
         timings->t_r = result.t_r;
         timings->attestation = std::move(result);
 
         // Ship the report; the wire bytes are what the verifier judges.
+        // Flow arrow from the measurement span back to the verifier round
+        // (finished at vrf.report_received).
+        if (auto* sink = device_.sim().trace_sink()) {
+          sink->flow_start(device_.sim().now(), mp_.trace_track(), "ra.report",
+                           timings->attestation.report.counter);
+        }
         prv_to_vrf_.send(serialize_report_wire(timings->attestation.report),
                          [this, timings, done = std::move(done)](
                              support::Bytes report_wire) mutable {
@@ -126,6 +136,8 @@ void OnDemandProtocol::run(std::uint64_t counter,
           timings->t_report_received = sim.now();
           if (auto* sink = sim.trace_sink()) {
             sink->instant(sim.now(), "vrf", "vrf.report_received");
+            sink->flow_finish(sim.now(), "vrf", "ra.report",
+                              timings->attestation.report.counter);
           }
           sim.schedule_in(config_.verify_delay,
                           [this, timings, report_wire = std::move(report_wire),
@@ -148,7 +160,14 @@ void OnDemandProtocol::run(std::uint64_t counter,
             done(*timings);
           });
         });
-      });
+      };
+      mp_.start(std::move(context), std::move(on_measured));
+      // The measurement span just opened on the prover track; land the
+      // challenge flow arrow on it.
+      if (auto* sink = device_.sim().trace_sink()) {
+        sink->flow_finish(timings->t_mp_started, mp_.trace_track(), "ra.challenge",
+                          req_counter);
+      }
     });
   });
 }

@@ -70,6 +70,14 @@ void AttestationProcess::start(MeasurementContext context,
   if (config_.use_digest_cache) {
     digest_cache_.resize(device_.memory().block_count());
     measurement_->set_digest_cache(&digest_cache_);
+    if (auto* j = device_.sim().journal()) {
+      const std::uint32_t actor = j->intern(device_.id());
+      measurement_->set_journal(j, actor);
+      digest_cache_.set_journal(j, actor);
+    } else {
+      measurement_->set_journal(nullptr, 0);
+      digest_cache_.set_journal(nullptr, 0);
+    }
   }
   order_ = make_order();
   next_index_ = 0;

@@ -16,6 +16,19 @@ std::string session_outcome_name(SessionOutcome outcome) {
   return "?";
 }
 
+obs::RoundOutcome session_outcome_rollup(SessionOutcome outcome) {
+  // The obs mirror must track this enum one-to-one.
+  static_assert(obs::kRoundOutcomeCount == 5);
+  switch (outcome) {
+    case SessionOutcome::kVerified: return obs::RoundOutcome::kVerified;
+    case SessionOutcome::kCompromised: return obs::RoundOutcome::kCompromised;
+    case SessionOutcome::kTimeout: return obs::RoundOutcome::kTimeout;
+    case SessionOutcome::kCorruptReport: return obs::RoundOutcome::kCorruptReport;
+    case SessionOutcome::kReplayRejected: return obs::RoundOutcome::kReplayRejected;
+  }
+  return obs::RoundOutcome::kTimeout;
+}
+
 ReliableSession::ReliableSession(sim::Device& prover_device, Verifier& verifier,
                                  AttestationProcess& mp, sim::Link& vrf_to_prv,
                                  sim::Link& prv_to_vrf, SessionConfig config)
@@ -24,10 +37,20 @@ ReliableSession::ReliableSession(sim::Device& prover_device, Verifier& verifier,
       config_(std::move(config)),
       protocol_(prover_device, verifier, mp, vrf_to_prv, prv_to_vrf,
                 config_.protocol),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      journal_label_("session/" + prover_device.id()) {}
 
 void ReliableSession::count(const char* metric) const {
   if (metrics_ != nullptr) metrics_->counter(metric).inc();
+}
+
+void ReliableSession::journal(obs::JournalEventKind kind, std::uint64_t round,
+                              std::uint64_t a, std::uint64_t b) {
+  auto& sim = device_.sim();
+  if (auto* j = sim.journal()) {
+    j->append(sim.now(), journal_actor_.get(*j, device_.id()),
+              journal_session_.get(*j, journal_label_), round, kind, a, b);
+  }
 }
 
 void ReliableSession::run(std::function<void(RoundResult)> done) {
@@ -42,6 +65,8 @@ void ReliableSession::run(std::function<void(RoundResult)> done) {
   state_->result.t_started = device_.sim().now();
   state_->measure_time_at_start = mp_.total_measure_time();
   state_->done = std::move(done);
+  journal(obs::JournalEventKind::kSessionStart, state_->round_seq,
+          config_.max_attempts, config_.response_timeout);
   start_attempt();
 }
 
@@ -55,7 +80,10 @@ void ReliableSession::start_attempt() {
                   {obs::arg("attempt",
                             static_cast<std::uint64_t>(state_->result.attempts))});
   }
-  protocol_.run(next_counter_++, [this, seq](OnDemandTimings timings) {
+  const std::uint64_t counter = next_counter_++;
+  journal(obs::JournalEventKind::kSessionAttempt, seq, state_->result.attempts,
+          counter);
+  protocol_.run(counter, [this, seq](OnDemandTimings timings) {
     on_attempt_report(seq, std::move(timings));
   });
   state_->timeout = sim.schedule_in(config_.response_timeout,
@@ -70,6 +98,7 @@ void ReliableSession::on_attempt_report(std::uint64_t round_seq,
     // touching verifier state again.
     ++late_reports_;
     count("session.late_reports");
+    journal(obs::JournalEventKind::kSessionLateReport, round_seq);
     return;
   }
   RoundResult& result = state_->result;
@@ -80,6 +109,8 @@ void ReliableSession::on_attempt_report(std::uint64_t round_seq,
     ++result.corrupt_reports;
     ++corrupt_reports_;
     count("session.corrupt_reports");
+    journal(obs::JournalEventKind::kSessionCorruptReport, round_seq,
+            result.attempts);
     state_->saw_corrupt = true;
     if (!state_->waiting_response) return;  // already backing off
     state_->timeout.cancel();
@@ -97,6 +128,8 @@ void ReliableSession::on_attempt_report(std::uint64_t round_seq,
     ++result.replays_rejected;
     ++replays_rejected_;
     count("session.replays_rejected");
+    journal(obs::JournalEventKind::kSessionReplayRejected, round_seq,
+            result.attempts);
     state_->saw_replay = true;
     return;
   }
@@ -112,6 +145,8 @@ void ReliableSession::on_attempt_timeout(std::uint64_t round_seq) {
   RoundResult& result = state_->result;
   ++result.attempt_timeouts;
   count("session.attempt_timeouts");
+  journal(obs::JournalEventKind::kSessionAttemptTimeout, round_seq,
+          result.attempts);
   state_->waiting_response = false;
   if (auto* sink = device_.sim().trace_sink()) {
     sink->instant(device_.sim().now(), "session", "session.attempt_timeout");
@@ -142,6 +177,8 @@ void ReliableSession::schedule_retry() {
   result.backoff_total += backoff;
   ++retries_;
   count("session.retries");
+  journal(obs::JournalEventKind::kSessionBackoff, state_->round_seq,
+          result.attempts, backoff);
   if (auto* sink = sim.trace_sink()) {
     sink->instant(sim.now(), "session", "session.retry_scheduled",
                   {obs::arg("backoff_ms", sim::to_millis(backoff))});
@@ -171,6 +208,14 @@ void ReliableSession::resolve(SessionOutcome outcome) {
 
   ++rounds_resolved_;
   count("session.rounds");
+  journal(obs::JournalEventKind::kSessionResolved, state.round_seq,
+          static_cast<std::uint64_t>(session_outcome_rollup(outcome)),
+          result.wasted_measure_time);
+  if (health_ != nullptr) {
+    health_->record_round(session_outcome_rollup(outcome), result.attempts,
+                          result.t_resolved - result.t_started,
+                          result.measure_time, result.wasted_measure_time);
+  }
   if (metrics_ != nullptr) {
     metrics_->counter("session." + session_outcome_name(outcome)).inc();
     metrics_

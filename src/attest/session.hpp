@@ -29,6 +29,8 @@
 #include <string>
 
 #include "src/attest/protocol.hpp"
+#include "src/obs/health.hpp"
+#include "src/obs/journal.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace rasc::attest {
@@ -42,6 +44,10 @@ enum class SessionOutcome {
 };
 
 std::string session_outcome_name(SessionOutcome outcome);
+
+/// Map a terminal outcome to its obs-layer mirror (health rollups and the
+/// journal cannot depend on attest, so they carry obs::RoundOutcome).
+obs::RoundOutcome session_outcome_rollup(SessionOutcome outcome);
 
 struct SessionConfig {
   /// How long each attempt waits for a verified report before giving up.
@@ -112,6 +118,12 @@ class ReliableSession {
   /// "session.late_reports" and the "session.round_latency_ms" histogram.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
+  /// Attach a fleet health rollup (not owned; nullptr to detach).  Every
+  /// resolved round records outcome, retry depth, latency and wasted
+  /// measurement time — the mergeable summary the exp shard pool folds
+  /// across trials.
+  void set_health(obs::HealthRollup* health) noexcept { health_ = health; }
+
  private:
   struct RoundState {
     std::uint64_t round_seq = 0;
@@ -131,6 +143,9 @@ class ReliableSession {
   void schedule_retry();
   void resolve(SessionOutcome outcome);
   void count(const char* metric) const;
+  /// Journal one session event (round = round_seq of the affected round).
+  void journal(obs::JournalEventKind kind, std::uint64_t round, std::uint64_t a = 0,
+               std::uint64_t b = 0);
 
   sim::Device& device_;
   AttestationProcess& mp_;
@@ -138,6 +153,10 @@ class ReliableSession {
   OnDemandProtocol protocol_;
   support::Xoshiro256 rng_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::HealthRollup* health_ = nullptr;
+  std::string journal_label_;      ///< journal session name, "session/<device>"
+  obs::ActorId journal_actor_;     ///< prover device id
+  obs::ActorId journal_session_;   ///< this session's id (interned label)
   std::uint64_t next_counter_ = 1;
   std::uint64_t next_round_seq_ = 1;
   std::unique_ptr<RoundState> state_;  ///< null when idle

@@ -26,6 +26,7 @@ void ShardAggregate::fold(const TrialOutput& out) {
   attempts += out.attempts;
   for (const auto& [name, v] : out.values) values[name].add(v);
   merge_registry(metrics, out.metrics);
+  health.merge(out.health);
 }
 
 void ShardAggregate::merge(ShardAggregate&& other) {
@@ -34,6 +35,7 @@ void ShardAggregate::merge(ShardAggregate&& other) {
   attempts += other.attempts;
   for (auto& [name, moments] : other.values) values[name].merge(moments);
   merge_registry(metrics, other.metrics);
+  health.merge(other.health);
 }
 
 }  // namespace detail
@@ -137,6 +139,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     cell.ci = wilson_interval(acc.successes, acc.attempts);
     cell.values = std::move(acc.values);
     cell.metrics = std::move(acc.metrics);
+    cell.health = std::move(acc.health);
     result.cells.push_back(std::move(cell));
   }
   return result;

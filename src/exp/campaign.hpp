@@ -27,6 +27,7 @@
 #include "src/exp/grid.hpp"
 #include "src/exp/seeding.hpp"
 #include "src/exp/stats.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace rasc::exp {
@@ -52,6 +53,9 @@ struct TrialOutput {
   /// Optional per-trial metrics (histograms/counters) merged into the
   /// cell's registry; gauges resolve to the last trial in trial order.
   obs::MetricsRegistry metrics;
+  /// Optional per-trial fleet health rollup, merged into the cell's
+  /// rollup (associative, so the result is thread-count independent).
+  obs::HealthRollup health;
 
   /// Record the outcome of a single Bernoulli experiment.
   void bernoulli(bool success) {
@@ -99,6 +103,7 @@ struct CellResult {
   WilsonInterval ci;
   std::map<std::string, StreamingMoments> values;
   obs::MetricsRegistry metrics;
+  obs::HealthRollup health;
 };
 
 struct CampaignResult {
@@ -130,6 +135,7 @@ struct ShardAggregate {
   std::uint64_t attempts = 0;
   std::map<std::string, StreamingMoments> values;
   obs::MetricsRegistry metrics;
+  obs::HealthRollup health;
 
   void fold(const TrialOutput& out);
   void merge(ShardAggregate&& other);

@@ -80,6 +80,10 @@ std::string campaign_json(const CampaignResult& result) {
       w.key("metrics");
       w.raw_value(cell.metrics.to_json());
     }
+    if (!cell.health.empty()) {
+      w.key("health");
+      cell.health.write_json(w);
+    }
     w.end_object();
   }
   w.end_array();

@@ -1,0 +1,203 @@
+#include "src/obs/bench_diff.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/json.hpp"
+
+namespace rasc::obs {
+namespace {
+
+void flatten_into(const JsonValue& node, std::string& path,
+                  std::vector<BenchLeaf>& out) {
+  switch (node.type()) {
+    case JsonValue::Type::kObject:
+      for (const auto& [key, value] : node.members()) {
+        std::size_t len = path.size();
+        if (!path.empty()) path += '.';
+        path += key;
+        flatten_into(value, path, out);
+        path.resize(len);
+      }
+      return;
+    case JsonValue::Type::kArray: {
+      std::size_t index = 0;
+      for (const JsonValue& item : node.items()) {
+        std::size_t len = path.size();
+        path += '[';
+        path += std::to_string(index++);
+        path += ']';
+        flatten_into(item, path, out);
+        path.resize(len);
+      }
+      return;
+    }
+    default:
+      out.push_back(BenchLeaf{path, node});
+      return;
+  }
+}
+
+std::string scalar_text(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull: return "null";
+    case JsonValue::Type::kBool: return v.as_bool() ? "true" : "false";
+    case JsonValue::Type::kNumber: return json_number(v.as_number());
+    case JsonValue::Type::kString: return "\"" + v.as_string() + "\"";
+    default: return "<container>";
+  }
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+double tolerance_for(const std::string& path, const BenchDiffOptions& options) {
+  double tol = options.default_tolerance;
+  for (const BenchDiffRule& rule : options.rules) {
+    if (contains(path, rule.pattern)) tol = rule.tolerance;
+  }
+  return tol;
+}
+
+bool is_ignored(const std::string& path, const BenchDiffOptions& options) {
+  for (const std::string& pattern : options.ignore) {
+    if (contains(path, pattern)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<BenchLeaf> flatten_bench_json(const JsonValue& root) {
+  std::vector<BenchLeaf> out;
+  std::string path;
+  flatten_into(root, path, out);
+  return out;
+}
+
+BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& current,
+                           const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  std::vector<BenchLeaf> base_leaves = flatten_bench_json(baseline);
+  std::vector<BenchLeaf> cur_leaves = flatten_bench_json(current);
+
+  // Document order matches between same-schema artifacts, but index the
+  // current side by path so renames/reorders degrade to missing+added
+  // instead of comparing unrelated leaves.
+  std::vector<bool> cur_used(cur_leaves.size(), false);
+  auto find_current = [&](const std::string& path) -> std::size_t {
+    for (std::size_t i = 0; i < cur_leaves.size(); ++i) {
+      if (!cur_used[i] && cur_leaves[i].path == path) return i;
+    }
+    return cur_leaves.size();
+  };
+
+  for (const BenchLeaf& base : base_leaves) {
+    if (is_ignored(base.path, options)) {
+      ++result.ignored;
+      continue;
+    }
+    std::size_t ci = find_current(base.path);
+    if (ci == cur_leaves.size()) {
+      BenchDiffEntry e;
+      e.path = base.path;
+      e.status = BenchDiffStatus::kMissing;
+      e.baseline_text = scalar_text(base.value);
+      result.entries.push_back(std::move(e));
+      continue;
+    }
+    cur_used[ci] = true;
+    const BenchLeaf& cur = cur_leaves[ci];
+    ++result.compared;
+
+    if (base.value.type() != cur.value.type()) {
+      BenchDiffEntry e;
+      e.path = base.path;
+      e.status = BenchDiffStatus::kTypeMismatch;
+      e.baseline_text = scalar_text(base.value);
+      e.current_text = scalar_text(cur.value);
+      result.entries.push_back(std::move(e));
+      continue;
+    }
+
+    if (base.value.is_number()) {
+      double b = base.value.as_number();
+      double c = cur.value.as_number();
+      double denom = std::max(std::fabs(b), std::fabs(c));
+      double rel = denom == 0.0 ? 0.0 : std::fabs(c - b) / denom;
+      double tol = tolerance_for(base.path, options);
+      if (rel > tol) {
+        BenchDiffEntry e;
+        e.path = base.path;
+        e.status = BenchDiffStatus::kRegression;
+        e.baseline = b;
+        e.current = c;
+        e.rel_delta = rel;
+        e.tolerance = tol;
+        result.entries.push_back(std::move(e));
+      }
+      continue;
+    }
+
+    // Non-numeric scalars (names, flags) must match exactly.
+    if (scalar_text(base.value) != scalar_text(cur.value)) {
+      BenchDiffEntry e;
+      e.path = base.path;
+      e.status = BenchDiffStatus::kRegression;
+      e.baseline_text = scalar_text(base.value);
+      e.current_text = scalar_text(cur.value);
+      result.entries.push_back(std::move(e));
+    }
+  }
+
+  for (std::size_t i = 0; i < cur_leaves.size(); ++i) {
+    if (cur_used[i] || is_ignored(cur_leaves[i].path, options)) continue;
+    BenchDiffEntry e;
+    e.path = cur_leaves[i].path;
+    e.status = BenchDiffStatus::kAdded;
+    e.current_text = scalar_text(cur_leaves[i].value);
+    result.entries.push_back(std::move(e));
+    ++result.added;
+  }
+  return result;
+}
+
+std::string format_bench_diff(const BenchDiffResult& result) {
+  std::string out;
+  char buf[256];
+  for (const BenchDiffEntry& e : result.entries) {
+    switch (e.status) {
+      case BenchDiffStatus::kRegression:
+        if (e.baseline_text.empty()) {
+          std::snprintf(buf, sizeof(buf), "REGRESS %s: %s -> %s (rel %.4g > tol %.4g)\n",
+                        e.path.c_str(), json_number(e.baseline).c_str(),
+                        json_number(e.current).c_str(), e.rel_delta, e.tolerance);
+        } else {
+          std::snprintf(buf, sizeof(buf), "REGRESS %s: %s -> %s\n", e.path.c_str(),
+                        e.baseline_text.c_str(), e.current_text.c_str());
+        }
+        out += buf;
+        break;
+      case BenchDiffStatus::kMissing:
+        out += "MISSING " + e.path + ": baseline had " + e.baseline_text + "\n";
+        break;
+      case BenchDiffStatus::kTypeMismatch:
+        out += "TYPE    " + e.path + ": " + e.baseline_text + " -> " + e.current_text +
+               "\n";
+        break;
+      case BenchDiffStatus::kAdded:
+        out += "ADDED   " + e.path + ": " + e.current_text + "\n";
+        break;
+      case BenchDiffStatus::kOk:
+        break;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "%zu compared, %zu ignored, %zu added: %s\n",
+                result.compared, result.ignored, result.added,
+                result.ok() ? "OK" : "REGRESSION");
+  out += buf;
+  return out;
+}
+
+}  // namespace rasc::obs

@@ -1,0 +1,89 @@
+#pragma once
+/// \file bench_diff.hpp
+/// Bench regression gate: compare two BENCH_*.json artifacts leaf-by-leaf
+/// against per-metric relative tolerances.  The artifacts are already
+/// machine-comparable by convention (no wall-clock time, no thread counts,
+/// deterministic key order), so a diff is meaningful across commits — this
+/// is the library behind the bench/bench_diff CLI and the CI gate that
+/// holds each PR's numbers against the committed baselines in
+/// bench/baselines/.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/json_parse.hpp"
+
+namespace rasc::obs {
+
+/// One numeric (or scalar) leaf of an artifact, addressed by a dotted
+/// path with array indices, e.g. "cells[2].values.retries.mean".
+struct BenchLeaf {
+  std::string path;
+  JsonValue value;
+};
+
+/// Flatten every scalar leaf of `root` in document order.
+std::vector<BenchLeaf> flatten_bench_json(const JsonValue& root);
+
+/// Tolerance override: applies to every path containing `pattern` as a
+/// substring.  The last matching rule wins.
+struct BenchDiffRule {
+  std::string pattern;
+  double tolerance = 0.0;
+};
+
+struct BenchDiffOptions {
+  /// Allowed two-sided relative deviation |cur-base| / max(|base|,|cur|)
+  /// for numeric leaves without a matching rule.  0 = exact.
+  double default_tolerance = 0.0;
+  std::vector<BenchDiffRule> rules;
+  /// Paths containing any of these substrings are skipped entirely.
+  std::vector<std::string> ignore;
+};
+
+enum class BenchDiffStatus : std::uint8_t {
+  kOk,            ///< within tolerance
+  kRegression,    ///< numeric deviation beyond tolerance
+  kMissing,       ///< present in baseline, absent in current (regression)
+  kAdded,         ///< new leaf in current (informational, not a failure)
+  kTypeMismatch,  ///< leaf changed JSON type (regression)
+};
+
+struct BenchDiffEntry {
+  std::string path;
+  BenchDiffStatus status = BenchDiffStatus::kOk;
+  double baseline = 0.0;   ///< numeric leaves only
+  double current = 0.0;    ///< numeric leaves only
+  double rel_delta = 0.0;  ///< |cur-base| / max(|base|,|cur|), 0 if both 0
+  double tolerance = 0.0;  ///< the tolerance this leaf was held to
+  /// For non-numeric leaves: rendered values for the report.
+  std::string baseline_text;
+  std::string current_text;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;  ///< failures and additions only
+  std::size_t compared = 0;             ///< leaves held to a tolerance
+  std::size_t ignored = 0;
+  std::size_t added = 0;
+
+  bool ok() const noexcept {
+    for (const auto& e : entries) {
+      if (e.status != BenchDiffStatus::kOk && e.status != BenchDiffStatus::kAdded) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+BenchDiffResult diff_bench(const JsonValue& baseline, const JsonValue& current,
+                           const BenchDiffOptions& options);
+
+/// Human-readable report: one line per failing (or added) leaf plus a
+/// summary tail, e.g.
+///   REGRESS cells[0].values.retries.mean: 1.25 -> 1.5 (rel 0.1667 > tol 0.01)
+std::string format_bench_diff(const BenchDiffResult& result);
+
+}  // namespace rasc::obs

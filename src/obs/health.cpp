@@ -1,0 +1,114 @@
+#include "src/obs/health.hpp"
+
+#include "src/obs/json.hpp"
+
+namespace rasc::obs {
+
+std::string_view round_outcome_name(RoundOutcome outcome) {
+  switch (outcome) {
+    case RoundOutcome::kVerified: return "verified";
+    case RoundOutcome::kCompromised: return "compromised";
+    case RoundOutcome::kTimeout: return "timeout";
+    case RoundOutcome::kCorruptReport: return "corrupt_report";
+    case RoundOutcome::kReplayRejected: return "replay_rejected";
+  }
+  return "?";
+}
+
+// Fixed bounds so any two rollups are always mergeable.
+HealthRollup::HealthRollup() : latency_ms_(Histogram::default_latency_bounds_ms()) {}
+
+void HealthRollup::record_round(RoundOutcome outcome, std::uint64_t attempts,
+                                std::uint64_t latency_ns, std::uint64_t measure_ns,
+                                std::uint64_t wasted_measure_ns) {
+  ++rounds_;
+  ++outcomes_[static_cast<std::size_t>(outcome)];
+  if (attempts < 1) attempts = 1;
+  if (attempts > kMaxRetryDepth) attempts = kMaxRetryDepth;
+  ++retry_depth_[attempts - 1];
+  latency_ms_.record(static_cast<double>(latency_ns) / 1e6);
+  measure_ns_ += measure_ns;
+  wasted_measure_ns_ += wasted_measure_ns;
+}
+
+void HealthRollup::merge(const HealthRollup& other) {
+  rounds_ += other.rounds_;
+  for (std::size_t i = 0; i < outcomes_.size(); ++i) outcomes_[i] += other.outcomes_[i];
+  for (std::size_t i = 0; i < retry_depth_.size(); ++i) {
+    retry_depth_[i] += other.retry_depth_[i];
+  }
+  latency_ms_.merge(other.latency_ms_);
+  measure_ns_ += other.measure_ns_;
+  wasted_measure_ns_ += other.wasted_measure_ns_;
+}
+
+double HealthRollup::outcome_rate(RoundOutcome outcome) const noexcept {
+  if (rounds_ == 0) return 0.0;
+  return static_cast<double>(outcome_count(outcome)) / static_cast<double>(rounds_);
+}
+
+std::uint64_t HealthRollup::retry_depth(std::size_t attempts) const noexcept {
+  if (attempts < 1 || attempts > kMaxRetryDepth) return 0;
+  return retry_depth_[attempts - 1];
+}
+
+double HealthRollup::measure_ms_total() const noexcept {
+  return static_cast<double>(measure_ns_) / 1e6;
+}
+
+double HealthRollup::wasted_measure_ms_total() const noexcept {
+  return static_cast<double>(wasted_measure_ns_) / 1e6;
+}
+
+void HealthRollup::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("rounds");
+  w.uint_value(rounds_);
+  w.key("outcomes");
+  w.begin_object();
+  for (std::size_t i = 0; i < kRoundOutcomeCount; ++i) {
+    auto outcome = static_cast<RoundOutcome>(i);
+    w.key(round_outcome_name(outcome));
+    w.begin_object();
+    w.key("count");
+    w.uint_value(outcomes_[i]);
+    w.key("rate");
+    w.number_value(outcome_rate(outcome));
+    w.end_object();
+  }
+  w.end_object();
+  // Trailing zero depths are elided so small runs stay readable; merge
+  // never depends on the serialized form.
+  std::size_t depth_len = retry_depth_.size();
+  while (depth_len > 1 && retry_depth_[depth_len - 1] == 0) --depth_len;
+  w.key("retry_depth");
+  w.begin_array();
+  for (std::size_t i = 0; i < depth_len; ++i) w.uint_value(retry_depth_[i]);
+  w.end_array();
+  w.key("latency_ms");
+  w.begin_object();
+  w.key("count");
+  w.uint_value(latency_ms_.count());
+  w.key("mean");
+  w.number_value(latency_ms_.mean());
+  w.key("p50");
+  w.number_value(latency_ms_.percentile(50));
+  w.key("p99");
+  w.number_value(latency_ms_.percentile(99));
+  w.key("max");
+  w.number_value(latency_ms_.max());
+  w.end_object();
+  w.key("measure_ms_total");
+  w.number_value(measure_ms_total());
+  w.key("wasted_measure_ms_total");
+  w.number_value(wasted_measure_ms_total());
+  w.end_object();
+}
+
+std::string HealthRollup::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace rasc::obs

@@ -1,0 +1,85 @@
+#pragma once
+/// \file health.hpp
+/// Fleet health rollup: a mergeable per-fleet summary of attestation round
+/// outcomes — per-outcome rates, retry-depth histogram, p50/p99 round
+/// latency, and wasted measurement time — designed to fold across
+/// Monte-Carlo trials by the src/exp shard pool exactly like
+/// MetricsRegistry (associative merge, deterministic JSON).  This is the
+/// seed data structure for the ROADMAP fleet verifier: a gateway can keep
+/// one rollup per subnet and merge them upstream without ever shipping raw
+/// events.
+///
+/// The obs layer cannot depend on attest, so the outcome taxonomy is
+/// mirrored here; attest::ReliableSession maps its SessionOutcome into
+/// RoundOutcome when recording (see session.cpp).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/obs/metrics.hpp"
+
+namespace rasc::obs {
+
+/// Terminal verdicts of one attestation round, mirrored from
+/// attest::SessionOutcome (values must stay in sync; session.cpp
+/// static_asserts the mapping).
+enum class RoundOutcome : std::uint8_t {
+  kVerified = 0,
+  kCompromised,
+  kTimeout,
+  kCorruptReport,
+  kReplayRejected,
+};
+inline constexpr std::size_t kRoundOutcomeCount = 5;
+
+std::string_view round_outcome_name(RoundOutcome outcome);
+
+class JsonWriter;
+
+/// Accumulates rounds; merge() is associative and commutative so shard
+/// folds produce the same rollup for any thread count.
+class HealthRollup {
+ public:
+  /// Retry depths above this clamp into the last slot.
+  static constexpr std::size_t kMaxRetryDepth = 16;
+
+  HealthRollup();
+
+  /// Record one resolved round.  `attempts` is 1-based (a first-try
+  /// success records depth 1); times are nanoseconds of simulated time.
+  void record_round(RoundOutcome outcome, std::uint64_t attempts,
+                    std::uint64_t latency_ns, std::uint64_t measure_ns,
+                    std::uint64_t wasted_measure_ns);
+
+  void merge(const HealthRollup& other);
+
+  bool empty() const noexcept { return rounds_ == 0; }
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  std::uint64_t outcome_count(RoundOutcome outcome) const noexcept {
+    return outcomes_[static_cast<std::size_t>(outcome)];
+  }
+  double outcome_rate(RoundOutcome outcome) const noexcept;
+  /// retry_depth(1) = rounds resolved on the first attempt, ...;
+  /// retry_depth(kMaxRetryDepth) includes everything deeper.
+  std::uint64_t retry_depth(std::size_t attempts) const noexcept;
+  const Histogram& latency_ms() const noexcept { return latency_ms_; }
+  double measure_ms_total() const noexcept;
+  double wasted_measure_ms_total() const noexcept;
+
+  /// {"rounds":N,"outcomes":{name:{count,rate},..},"retry_depth":[..],
+  ///  "latency_ms":{p50,p99,mean,max},"measure_ms_total":X,
+  ///  "wasted_measure_ms_total":Y} — written as one JSON value.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  std::uint64_t rounds_ = 0;
+  std::array<std::uint64_t, kRoundOutcomeCount> outcomes_{};
+  std::array<std::uint64_t, kMaxRetryDepth> retry_depth_{};
+  Histogram latency_ms_;
+  std::uint64_t measure_ns_ = 0;
+  std::uint64_t wasted_measure_ns_ = 0;
+};
+
+}  // namespace rasc::obs

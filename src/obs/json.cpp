@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rasc::obs {
 
@@ -35,8 +36,14 @@ std::string json_number(double v) {
   char buf[40];
   if (v == std::floor(v) && std::fabs(v) < 1e15) {
     std::snprintf(buf, sizeof(buf), "%.0f", v);
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+  // Shortest representation that parses back to exactly `v`: 17 significant
+  // digits always round-trip a double, but most values need fewer, so probe
+  // upward and keep the artifact diffs readable.
+  for (int precision = 9; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
   }
   return buf;
 }

@@ -15,7 +15,9 @@ namespace rasc::obs {
 std::string json_escape(std::string_view s);
 
 /// Shortest stable decimal rendering used for all JSON numbers: integers
-/// print without a fractional part, everything else as %.9g.
+/// print without a fractional part; everything else uses the fewest
+/// significant digits (9..17) that strtod back to the exact double, so
+/// artifact comparison (bench_diff) never conflates distinct values.
 std::string json_number(double v);
 
 /// Streaming writer.  The caller is responsible for a well-formed nesting

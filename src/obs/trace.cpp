@@ -90,6 +90,28 @@ void TraceSink::complete(TimeNs start, TimeNs duration, std::string track,
   push(std::move(ev));
 }
 
+void TraceSink::flow_start(TimeNs t, std::string track, std::string name,
+                           std::uint64_t id) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kFlowStart;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.flow_id = id;
+  push(std::move(ev));
+}
+
+void TraceSink::flow_finish(TimeNs t, std::string track, std::string name,
+                            std::uint64_t id) {
+  TraceEvent ev;
+  ev.time = t;
+  ev.kind = TraceEventKind::kFlowFinish;
+  ev.track = std::move(track);
+  ev.name = std::move(name);
+  ev.flow_id = id;
+  push(std::move(ev));
+}
+
 void TraceSink::clear() {
   events_.clear();
   dropped_ = 0;
@@ -143,6 +165,8 @@ std::vector<TraceSpan> TraceSink::spans() const {
       }
       case TraceEventKind::kInstant:
       case TraceEventKind::kCounter:
+      case TraceEventKind::kFlowStart:
+      case TraceEventKind::kFlowFinish:
         break;
     }
   }
@@ -289,6 +313,30 @@ std::string TraceSink::to_chrome_json() const {
         w.string_value("X");
         w.key("dur");
         w.raw_value(micros_fixed(ev.duration));
+        break;
+      case TraceEventKind::kFlowStart:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("cat");
+        w.string_value("flow");
+        w.key("ph");
+        w.string_value("s");
+        w.key("id");
+        w.uint_value(ev.flow_id);
+        break;
+      case TraceEventKind::kFlowFinish:
+        w.key("name");
+        w.string_value(ev.name);
+        w.key("cat");
+        w.string_value("flow");
+        w.key("ph");
+        w.string_value("f");
+        // Bind to the enclosing slice so the arrow lands on the span, not
+        // on the next one to start.
+        w.key("bp");
+        w.string_value("e");
+        w.key("id");
+        w.uint_value(ev.flow_id);
         break;
     }
     w.key("ts");

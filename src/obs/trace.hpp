@@ -24,11 +24,13 @@ namespace rasc::obs {
 using TimeNs = std::uint64_t;  ///< nanoseconds of simulated time
 
 enum class TraceEventKind : std::uint8_t {
-  kBegin,     ///< opens a span on its track
-  kEnd,       ///< closes the innermost open span on its track
-  kInstant,   ///< point event
-  kCounter,   ///< sampled numeric series
-  kComplete,  ///< pre-paired span (start + duration known at emission)
+  kBegin,       ///< opens a span on its track
+  kEnd,         ///< closes the innermost open span on its track
+  kInstant,     ///< point event
+  kCounter,     ///< sampled numeric series
+  kComplete,    ///< pre-paired span (start + duration known at emission)
+  kFlowStart,   ///< start of a flow arrow (Chrome "s" phase)
+  kFlowFinish,  ///< end of a flow arrow (Chrome "f" phase, bp:"e")
 };
 
 /// One key/value annotation; `numeric` values export unquoted.
@@ -49,6 +51,7 @@ struct TraceEvent {
   std::string track;
   std::string name;  ///< empty on kEnd (pairs with the open begin)
   double value = 0;  ///< kCounter only
+  std::uint64_t flow_id = 0;  ///< kFlowStart/kFlowFinish only
   std::vector<TraceArg> args;
 };
 
@@ -85,6 +88,12 @@ class TraceSink {
   void counter(TimeNs t, std::string track, std::string name, double value);
   void complete(TimeNs start, TimeNs duration, std::string track, std::string name,
                 std::vector<TraceArg> args = {});
+  /// Flow arrow across tracks: a start on one track links to the finish
+  /// with the same (name, id) on another — Perfetto draws the arrow
+  /// between the spans enclosing the two events, which is how a challenge
+  /// span on the verifier row points at its report span on the prover row.
+  void flow_start(TimeNs t, std::string track, std::string name, std::uint64_t id);
+  void flow_finish(TimeNs t, std::string track, std::string name, std::uint64_t id);
 
   // -- query ------------------------------------------------------------------
   const std::deque<TraceEvent>& events() const noexcept { return events_; }

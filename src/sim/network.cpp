@@ -17,6 +17,12 @@ void Link::count(const char* metric) const {
   if (metrics_ != nullptr) metrics_->counter(metric).inc();
 }
 
+void Link::journal(obs::JournalEventKind kind, std::uint64_t msg_id, std::uint64_t b) {
+  if (auto* j = sim_.journal()) {
+    j->append(sim_.now(), journal_actor_.get(*j, config_.name), 0, 0, kind, msg_id, b);
+  }
+}
+
 bool Link::in_partition(Time t) const noexcept {
   for (const PartitionWindow& window : config_.partitions) {
     if (t >= window.start && t < window.end) return true;
@@ -46,16 +52,18 @@ Duration Link::transit_time(std::size_t bytes) {
   return transit;
 }
 
-void Link::deliver_after(Duration transit, support::Bytes payload, Handler handler) {
+void Link::deliver_after(Duration transit, support::Bytes payload, Handler handler,
+                         std::uint64_t msg_id) {
   if (auto* sink = sim_.trace_sink()) {
     sink->complete(sim_.now(), transit, "net", "net.transit", {bytes_arg(payload.size())});
   }
-  sim_.schedule_in(transit, [this, token = std::weak_ptr<bool>(alive_),
+  sim_.schedule_in(transit, [this, token = std::weak_ptr<bool>(alive_), msg_id,
                              payload = std::move(payload),
                              handler = std::move(handler)]() mutable {
     if (token.expired()) return;  // link destroyed while in flight
     ++delivered_;
     count("net.delivered");
+    journal(obs::JournalEventKind::kLinkDeliver, msg_id, payload.size());
     handler(std::move(payload));
   });
 }
@@ -63,8 +71,10 @@ void Link::deliver_after(Duration transit, support::Bytes payload, Handler handl
 void Link::send(support::Bytes payload, Handler on_delivery) {
   ++sent_;
   count("net.sent");
+  const std::uint64_t msg_id = ++next_msg_id_;
   const Time sent_at = sim_.now();
   obs::TraceSink* sink = sim_.trace_sink();
+  journal(obs::JournalEventKind::kLinkSend, msg_id, payload.size());
 
   if (in_partition(sent_at)) {
     ++dropped_;
@@ -74,6 +84,7 @@ void Link::send(support::Bytes payload, Handler on_delivery) {
     if (sink != nullptr) {
       sink->instant(sent_at, "net", "net.partition_drop", {bytes_arg(payload.size())});
     }
+    journal(obs::JournalEventKind::kLinkPartitionDrop, msg_id, payload.size());
     return;
   }
   if (rng_.chance(config_.drop_probability)) {
@@ -82,6 +93,7 @@ void Link::send(support::Bytes payload, Handler on_delivery) {
     if (sink != nullptr) {
       sink->instant(sent_at, "net", "net.drop", {bytes_arg(payload.size())});
     }
+    journal(obs::JournalEventKind::kLinkDrop, msg_id, payload.size());
     return;
   }
 
@@ -96,6 +108,7 @@ void Link::send(support::Bytes payload, Handler on_delivery) {
       sink->instant(sent_at, "net", "net.corrupt",
                     {obs::arg("offset", static_cast<std::uint64_t>(at))});
     }
+    journal(obs::JournalEventKind::kLinkCorrupt, msg_id, at);
   }
 
   Duration transit = transit_time(payload.size());
@@ -104,17 +117,20 @@ void Link::send(support::Bytes payload, Handler on_delivery) {
     ++reordered_;
     count("net.reordered");
     if (sink != nullptr) sink->instant(sent_at, "net", "net.reorder");
+    journal(obs::JournalEventKind::kLinkReorder, msg_id, config_.reorder_delay);
   }
 
   const bool duplicate = rng_.chance(config_.duplicate_probability);
   if (duplicate) {
+    const Duration copy_transit = transit + transit_time(payload.size());
     ++duplicated_;
     count("net.duplicated");
     if (sink != nullptr) sink->instant(sent_at, "net", "net.duplicate");
+    journal(obs::JournalEventKind::kLinkDuplicate, msg_id, copy_transit);
     // The copy rides behind the original with its own second transit.
-    deliver_after(transit + transit_time(payload.size()), payload, on_delivery);
+    deliver_after(copy_transit, payload, on_delivery, msg_id);
   }
-  deliver_after(transit, std::move(payload), std::move(on_delivery));
+  deliver_after(transit, std::move(payload), std::move(on_delivery), msg_id);
 }
 
 }  // namespace rasc::sim

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/journal.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/support/bytes.hpp"
@@ -28,6 +29,9 @@ struct PartitionWindow {
 };
 
 struct LinkConfig {
+  /// Label for observability (journal actor, e.g. "vrf->prv").  Links with
+  /// distinct names stay distinguishable in one journal.
+  std::string name = "net";
   Duration base_latency = 2 * kMillisecond;
   Duration jitter = 500 * kMicrosecond;  ///< uniform extra delay in [0, jitter]
   double drop_probability = 0.0;
@@ -59,6 +63,9 @@ class Link {
   /// with a flipped byte under corruption) unless the message is dropped.
   /// In-flight deliveries hold only a weak reference to the link, so
   /// destroying a Link cancels them instead of dereferencing freed memory.
+  /// Each send is assigned a per-link message id (1, 2, ...) that tags
+  /// every journal event of its fate, so a flight recording names the
+  /// exact message that was dropped/duplicated/corrupted.
   void send(support::Bytes payload, Handler on_delivery);
 
   std::size_t sent() const noexcept { return sent_; }
@@ -86,8 +93,10 @@ class Link {
   /// free transit).
   Duration transit_time(std::size_t bytes);
   bool in_partition(Time t) const noexcept;
-  void deliver_after(Duration transit, support::Bytes payload, Handler handler);
+  void deliver_after(Duration transit, support::Bytes payload, Handler handler,
+                     std::uint64_t msg_id);
   void count(const char* metric) const;
+  void journal(obs::JournalEventKind kind, std::uint64_t msg_id, std::uint64_t b);
 
   Simulator& sim_;
   LinkConfig config_;
@@ -100,6 +109,8 @@ class Link {
   std::size_t corrupted_ = 0;
   std::size_t reordered_ = 0;
   std::size_t partition_dropped_ = 0;
+  std::uint64_t next_msg_id_ = 0;
+  obs::ActorId journal_actor_;
   /// Lifetime token observed (weakly) by in-flight delivery events.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

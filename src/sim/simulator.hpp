@@ -10,6 +10,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/obs/journal.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/time.hpp"
 
@@ -69,6 +70,13 @@ class Simulator {
   void set_trace_sink(obs::TraceSink* sink) noexcept { trace_ = sink; }
   obs::TraceSink* trace_sink() const noexcept { return trace_; }
 
+  /// Attach a flight-recorder journal (not owned; nullptr to detach).
+  /// Same plumbing pattern as the trace sink: components query
+  /// `sim.journal()` at each event site, so the disabled path is one null
+  /// check and the simulation is bit-identical with or without it.
+  void set_journal(obs::EventJournal* journal) noexcept { journal_ = journal; }
+  obs::EventJournal* journal() const noexcept { return journal_; }
+
  private:
   struct Event {
     Time time;
@@ -89,6 +97,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t events_fired_ = 0;
   obs::TraceSink* trace_ = nullptr;
+  obs::EventJournal* journal_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

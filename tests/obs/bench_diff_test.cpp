@@ -1,0 +1,154 @@
+#include "src/obs/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace rasc::obs {
+namespace {
+
+JsonValue parse(const char* text) {
+  std::string error;
+  auto v = parse_json(text, &error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return v.value_or(JsonValue{});
+}
+
+const char* kArtifact = R"({
+  "bench": "network",
+  "campaign": {
+    "cells": [
+      {"grid_index": 0, "success_rate": 0.25,
+       "values": {"retries": {"mean": 1.5, "max": 4}}},
+      {"grid_index": 1, "success_rate": 0.0,
+       "values": {"retries": {"mean": 0.0, "max": 0}}}
+    ]
+  }
+})";
+
+TEST(FlattenBenchJson, DottedPathsWithArrayIndices) {
+  const auto leaves = flatten_bench_json(parse(kArtifact));
+  std::vector<std::string> paths;
+  for (const auto& leaf : leaves) paths.push_back(leaf.path);
+  EXPECT_EQ(paths[0], "bench");
+  ASSERT_EQ(paths.size(), 9u);
+  EXPECT_NE(std::find(paths.begin(), paths.end(),
+                      "campaign.cells[0].values.retries.mean"),
+            paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "campaign.cells[1].success_rate"),
+            paths.end());
+}
+
+TEST(DiffBench, IdenticalArtifactsPass) {
+  const JsonValue a = parse(kArtifact);
+  const JsonValue b = parse(kArtifact);
+  const BenchDiffResult result = diff_bench(a, b, {});
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.compared, 9u);
+}
+
+TEST(DiffBench, PerturbedValueFailsAtZeroTolerance) {
+  const JsonValue base = parse(kArtifact);
+  JsonValue cur = parse(kArtifact);
+  // Perturb cells[0].values.retries.mean: 1.5 -> 1.6.
+  cur.members()[1].second.members()[0].second.items()[0]
+      .members()[2].second.members()[0].second.members()[0].second =
+      JsonValue::make_number(1.6);
+  const BenchDiffResult result = diff_bench(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status, BenchDiffStatus::kRegression);
+  EXPECT_EQ(result.entries[0].path, "campaign.cells[0].values.retries.mean");
+  EXPECT_NEAR(result.entries[0].rel_delta, 0.1 / 1.6, 1e-12);
+  // The report names the leaf and the deviation.
+  const std::string report = format_bench_diff(result);
+  EXPECT_NE(report.find("REGRESS campaign.cells[0].values.retries.mean"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+}
+
+TEST(DiffBench, ToleranceAbsorbsSmallDrift) {
+  const JsonValue base = parse(R"({"m": 100.0})");
+  const JsonValue cur = parse(R"({"m": 101.0})");
+  BenchDiffOptions options;
+  EXPECT_FALSE(diff_bench(base, cur, options).ok());
+  options.default_tolerance = 0.02;  // 1% drift < 2% tolerance
+  EXPECT_TRUE(diff_bench(base, cur, options).ok());
+}
+
+TEST(DiffBench, LastMatchingRuleWins) {
+  const JsonValue base = parse(R"({"a": {"wall": 1.0, "rate": 1.0}})");
+  const JsonValue cur = parse(R"({"a": {"wall": 2.0, "rate": 1.004}})");
+  BenchDiffOptions options;
+  options.rules.push_back({"a.", 0.001});
+  options.rules.push_back({"wall", 0.9});  // later rule overrides for wall
+  const BenchDiffResult result = diff_bench(base, cur, options);
+  ASSERT_EQ(result.entries.size(), 1u);  // rate fails its 0.1% budget
+  EXPECT_EQ(result.entries[0].path, "a.rate");
+  EXPECT_DOUBLE_EQ(result.entries[0].tolerance, 0.001);
+}
+
+TEST(DiffBench, IgnoredPathsAreSkipped) {
+  const JsonValue base = parse(R"({"keep": 1.0, "wall_seconds": 3.0})");
+  const JsonValue cur = parse(R"({"keep": 1.0, "wall_seconds": 99.0})");
+  BenchDiffOptions options;
+  options.ignore.push_back("wall");
+  const BenchDiffResult result = diff_bench(base, cur, options);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.ignored, 1u);
+  EXPECT_EQ(result.compared, 1u);
+}
+
+TEST(DiffBench, MissingLeafIsARegressionAddedIsNot) {
+  const JsonValue base = parse(R"({"kept": 1.0, "gone": 2.0})");
+  const JsonValue cur = parse(R"({"kept": 1.0, "fresh": 3.0})");
+  const BenchDiffResult result = diff_bench(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].status, BenchDiffStatus::kMissing);
+  EXPECT_EQ(result.entries[0].path, "gone");
+  EXPECT_EQ(result.entries[1].status, BenchDiffStatus::kAdded);
+  EXPECT_EQ(result.entries[1].path, "fresh");
+  EXPECT_EQ(result.added, 1u);
+
+  // A purely additive artifact still passes.
+  const BenchDiffResult additive =
+      diff_bench(parse(R"({"kept": 1.0})"), cur, {});
+  EXPECT_TRUE(additive.ok());
+  EXPECT_EQ(additive.added, 1u);
+}
+
+TEST(DiffBench, TypeMismatchIsARegression) {
+  const JsonValue base = parse(R"({"v": 1.0})");
+  const JsonValue cur = parse(R"({"v": "1.0"})");
+  const BenchDiffResult result = diff_bench(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status, BenchDiffStatus::kTypeMismatch);
+}
+
+TEST(DiffBench, NonNumericScalarsCompareExactly) {
+  EXPECT_TRUE(diff_bench(parse(R"({"s": "x", "b": true, "n": null})"),
+                         parse(R"({"s": "x", "b": true, "n": null})"), {})
+                  .ok());
+  const BenchDiffResult result = diff_bench(parse(R"({"s": "x"})"),
+                                            parse(R"({"s": "y"})"), {});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].status, BenchDiffStatus::kRegression);
+}
+
+TEST(DiffBench, BothZeroIsNoDeviation) {
+  EXPECT_TRUE(
+      diff_bench(parse(R"({"z": 0.0})"), parse(R"({"z": 0.0})"), {}).ok());
+  // 0 -> nonzero is a full relative deviation.
+  EXPECT_FALSE(
+      diff_bench(parse(R"({"z": 0.0})"), parse(R"({"z": 0.001})"), {}).ok());
+}
+
+}  // namespace
+}  // namespace rasc::obs

@@ -68,6 +68,31 @@ TEST(ChromeTrace, EmptySinkStillEmitsValidSkeleton) {
             "\"args\":{\"name\":\"rasc simulated device\"}}]}");
 }
 
+TEST(ChromeTrace, FlowEventsLinkSpansAcrossTracks) {
+  // The challenge flow starts on the verifier round span and lands on the
+  // measurement span on the prover track (ph "s" -> ph "f" with bp:"e",
+  // matched by id), which is how Perfetto draws the arrow.
+  TraceSink sink;
+  sink.begin(1'000, "vrf", "ra.round");
+  sink.flow_start(1'000, "vrf", "ra.challenge", 7);
+  sink.begin(2'000, "attest/prv", "attest.measure");
+  sink.flow_finish(2'000, "attest/prv", "ra.challenge", 7);
+  sink.end(3'000, "attest/prv");
+  sink.end(4'000, "vrf");
+  const std::string json = sink.to_chrome_json();
+  EXPECT_NE(json.find("\"name\":\"ra.challenge\",\"cat\":\"flow\",\"ph\":\"s\","
+                      "\"id\":7"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"ra.challenge\",\"cat\":\"flow\",\"ph\":\"f\","
+                      "\"bp\":\"e\",\"id\":7"),
+            std::string::npos)
+      << json;
+  // Flow events are trace-only annotations: span reconstruction ignores
+  // them and still sees the two slices.
+  EXPECT_EQ(sink.spans().size(), 2u);
+}
+
 TEST(JsonNumber, FormatsIntegersAndDoubles) {
   EXPECT_EQ(json_number(3.0), "3");
   EXPECT_EQ(json_number(0.25), "0.25");

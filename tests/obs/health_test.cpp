@@ -1,0 +1,115 @@
+#include "src/obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json_parse.hpp"
+
+namespace rasc::obs {
+namespace {
+
+constexpr std::uint64_t kMs = 1000000;  // ns per ms
+
+HealthRollup sample_rollup() {
+  HealthRollup h;
+  h.record_round(RoundOutcome::kVerified, 1, 5 * kMs, 3 * kMs, 0);
+  h.record_round(RoundOutcome::kVerified, 2, 40 * kMs, 6 * kMs, 3 * kMs);
+  h.record_round(RoundOutcome::kTimeout, 3, 200 * kMs, 9 * kMs, 9 * kMs);
+  return h;
+}
+
+TEST(HealthRollup, CountsOutcomesAndRates) {
+  const HealthRollup h = sample_rollup();
+  EXPECT_EQ(h.rounds(), 3u);
+  EXPECT_EQ(h.outcome_count(RoundOutcome::kVerified), 2u);
+  EXPECT_EQ(h.outcome_count(RoundOutcome::kTimeout), 1u);
+  EXPECT_EQ(h.outcome_count(RoundOutcome::kCompromised), 0u);
+  EXPECT_DOUBLE_EQ(h.outcome_rate(RoundOutcome::kVerified), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(h.outcome_rate(RoundOutcome::kTimeout), 1.0 / 3.0);
+}
+
+TEST(HealthRollup, RetryDepthHistogramClampsDeepRounds) {
+  HealthRollup h;
+  h.record_round(RoundOutcome::kVerified, 1, kMs, 0, 0);
+  h.record_round(RoundOutcome::kVerified, 0, kMs, 0, 0);   // clamped up to 1
+  h.record_round(RoundOutcome::kTimeout, 99, kMs, 0, 0);   // clamped to max
+  EXPECT_EQ(h.retry_depth(1), 2u);
+  EXPECT_EQ(h.retry_depth(HealthRollup::kMaxRetryDepth), 1u);
+  EXPECT_EQ(h.retry_depth(2), 0u);
+}
+
+TEST(HealthRollup, TracksMeasureAndWastedTotals) {
+  const HealthRollup h = sample_rollup();
+  EXPECT_DOUBLE_EQ(h.measure_ms_total(), 18.0);
+  EXPECT_DOUBLE_EQ(h.wasted_measure_ms_total(), 12.0);
+  EXPECT_EQ(h.latency_ms().count(), 3u);
+  EXPECT_DOUBLE_EQ(h.latency_ms().max(), 200.0);
+}
+
+TEST(HealthRollup, MergeMatchesSequentialRecording) {
+  // merge() must be associative so shard folds are thread-count
+  // independent: (a+b)+c == a+(b+c) == all-in-one.
+  const auto record = [](HealthRollup& h, int i) {
+    h.record_round(static_cast<RoundOutcome>(i % kRoundOutcomeCount),
+                   1 + static_cast<std::uint64_t>(i % 5),
+                   (1 + static_cast<std::uint64_t>(i)) * kMs, i * kMs,
+                   (i % 3) * kMs);
+  };
+  HealthRollup all;
+  HealthRollup a, b, c;
+  for (int i = 0; i < 30; ++i) {
+    record(all, i);
+    record(i < 10 ? a : (i < 20 ? b : c), i);
+  }
+  HealthRollup left;  // (a+b)+c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  HealthRollup right;  // a+(b+c)
+  HealthRollup bc;
+  bc.merge(b);
+  bc.merge(c);
+  right.merge(a);
+  right.merge(bc);
+  EXPECT_EQ(left.to_json(), all.to_json());
+  EXPECT_EQ(right.to_json(), all.to_json());
+}
+
+TEST(HealthRollup, MergingEmptyIsIdentity) {
+  HealthRollup h = sample_rollup();
+  const std::string before = h.to_json();
+  h.merge(HealthRollup{});
+  EXPECT_EQ(h.to_json(), before);
+  HealthRollup fresh;
+  fresh.merge(h);
+  EXPECT_EQ(fresh.to_json(), before);
+}
+
+TEST(HealthRollup, JsonIsDeterministicAndParses) {
+  const std::string json = sample_rollup().to_json();
+  EXPECT_EQ(json, sample_rollup().to_json());
+  std::string error;
+  const auto v = parse_json(json, &error);
+  ASSERT_TRUE(v.has_value()) << error << "\n" << json;
+  EXPECT_DOUBLE_EQ(v->find("rounds")->as_number(), 3.0);
+  const JsonValue* outcomes = v->find("outcomes");
+  ASSERT_NE(outcomes, nullptr);
+  const JsonValue* verified = outcomes->find("verified");
+  ASSERT_NE(verified, nullptr);
+  EXPECT_DOUBLE_EQ(verified->find("count")->as_number(), 2.0);
+  // Retry-depth array elides trailing zeros but keeps earlier ones.
+  const JsonValue* retry = v->find("retry_depth");
+  ASSERT_NE(retry, nullptr);
+  ASSERT_EQ(retry->items().size(), 3u);  // depths 1..3 were populated
+  EXPECT_DOUBLE_EQ(retry->items()[0].as_number(), 1.0);
+}
+
+TEST(RoundOutcome, NamesAreStable) {
+  EXPECT_EQ(round_outcome_name(RoundOutcome::kVerified), "verified");
+  EXPECT_EQ(round_outcome_name(RoundOutcome::kCompromised), "compromised");
+  EXPECT_EQ(round_outcome_name(RoundOutcome::kTimeout), "timeout");
+  EXPECT_EQ(round_outcome_name(RoundOutcome::kCorruptReport), "corrupt_report");
+  EXPECT_EQ(round_outcome_name(RoundOutcome::kReplayRejected), "replay_rejected");
+}
+
+}  // namespace
+}  // namespace rasc::obs

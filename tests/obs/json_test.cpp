@@ -1,0 +1,193 @@
+#include "src/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "src/obs/json_parse.hpp"
+
+namespace rasc::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// json_number: shortest round-trip rendering
+
+TEST(JsonNumber, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(-42.0), "-42");
+  EXPECT_EQ(json_number(1e12), "1000000000000");
+}
+
+TEST(JsonNumber, ShortValuesStayShort) {
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(0.25), "0.25");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-0.125), "-0.125");
+}
+
+TEST(JsonNumber, RoundTripsValuesThatNeedMoreThanNineDigits) {
+  // 0.1 is not representable; %.9g alone would conflate neighbours.
+  // Every rendering must strtod back to the exact same double.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           2.0 / 3.0,
+                           M_PI,
+                           6.02214076e23,
+                           1e-300,
+                           4.9406564584124654e-324,  // min subnormal
+                           std::numeric_limits<double>::max(),
+                           0.30000000000000004,  // 0.1 + 0.2
+                           123456789.123456789};
+  for (const double v : values) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << "rendered as " << s;
+  }
+}
+
+TEST(JsonNumber, DistinguishesAdjacentDoubles) {
+  const double a = 0.1;
+  const double b = std::nextafter(a, 1.0);
+  EXPECT_NE(json_number(a), json_number(b));
+  EXPECT_EQ(std::strtod(json_number(b).c_str(), nullptr), b);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+// ---------------------------------------------------------------------------
+// json_escape / JsonWriter edge cases
+
+TEST(JsonEscape, ControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape("q\"w\\e"), "q\\\"w\\\\e");
+}
+
+TEST(JsonEscape, Utf8PassesThroughUnchanged) {
+  // Multi-byte sequences are legal JSON string content as-is.
+  const std::string utf8 = "temp \xc2\xb0""C \xe2\x86\x92 alarm \xf0\x9f\x94\xa5";
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(JsonWriter, NestedContainersUnderPendingKeys) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.begin_object();
+  w.key("b");
+  w.begin_array();
+  w.uint_value(1);
+  w.begin_object();
+  w.key("c");
+  w.string_value("x");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  w.key("d");
+  w.bool_value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":{"b":[1,{"c":"x"}]},"d":true})");
+}
+
+TEST(JsonWriter, CommasBetweenArrayElementsAndObjectMembers) {
+  JsonWriter w;
+  w.begin_array();
+  w.uint_value(1);
+  w.uint_value(2);
+  w.begin_array();
+  w.end_array();
+  w.string_value("s");
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([1,2,[],"s"])");
+}
+
+TEST(JsonWriter, NonFiniteNumberValueEmitsNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan");
+  w.number_value(std::numeric_limits<double>::quiet_NaN());
+  w.key("inf");
+  w.number_value(std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"nan":null,"inf":null})");
+}
+
+TEST(JsonWriter, EscapesKeysToo) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("we\"ird\n");
+  w.uint_value(1);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\\n\":1}");
+}
+
+// ---------------------------------------------------------------------------
+// parse_json: reading our own artifacts back
+
+TEST(JsonParse, ParsesScalarsArraysObjects) {
+  std::string error;
+  const auto v = parse_json(R"({"a":1.5,"b":[true,null,"s"],"c":{}})", &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->find("a")->as_number(), 1.5);
+  const JsonValue* b = v->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].as_string(), "s");
+  EXPECT_TRUE(v->find("c")->is_object());
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  const auto v = parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonParse, DecodesEscapesIncludingUnicode) {
+  const auto v = parse_json(R"("a\n\t\"\\\u0041\u00e9")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\n\t\"\\A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("1 2", &error).has_value());  // trailing garbage
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("nul", &error).has_value());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("pi");
+  w.number_value(M_PI);
+  w.key("tiny");
+  w.number_value(1e-300);
+  w.key("text");
+  w.string_value("line1\nline2 \xe2\x9c\x93");
+  w.end_object();
+  std::string error;
+  const auto v = parse_json(w.str(), &error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("pi")->as_number(), M_PI);
+  EXPECT_EQ(v->find("tiny")->as_number(), 1e-300);
+  EXPECT_EQ(v->find("text")->as_string(), "line1\nline2 \xe2\x9c\x93");
+}
+
+}  // namespace
+}  // namespace rasc::obs
