@@ -16,6 +16,7 @@
 #include "src/apps/campaign.hpp"
 #include "src/exp/report.hpp"
 #include "src/exp/seeding.hpp"
+#include "src/fleet/campaign.hpp"
 #include "src/obs/journal.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/smarm/campaign.hpp"
@@ -40,9 +41,9 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [--campaign NAME] [--grid \"axis=v1,v2;...\"] [--trials N]\n"
       "          [--threads N] [--seed S] [--out DIR] [--journal-out DIR] [--list]\n\n"
-      "--journal-out DIR (network_reliability only): per cell, re-run the\n"
-      "first misjudged trial (or trial 0) with the flight recorder attached,\n"
-      "write JOURNAL_network_<grid_index>.ndjson and print its explain\n"
+      "--journal-out DIR (network_reliability and fleet_scale): per cell,\n"
+      "re-run the first misjudged trial (or trial 0) with the flight recorder\n"
+      "attached, write JOURNAL_<name>_<grid_index>.ndjson and print a\n"
       "timeline.  The replay is seeded from the campaign coordinates, so the\n"
       "artifacts are byte-identical for any --threads.\n\n"
       "campaigns:\n"
@@ -51,7 +52,8 @@ void usage(const char* argv0) {
       "  sec25_fire_alarm        fire-alarm deadline misses, mode x memory sweep\n"
       "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n"
       "  measurement_cache       digest-cache identity + hit rate, dirty-%% sweep\n"
-      "  network_reliability     lossy-link RA sessions, drop x retries x timeout\n",
+      "  network_reliability     lossy-link RA sessions, drop x retries x timeout\n"
+      "  fleet_scale             fleet verifier, devices x drop x stagger sweep\n",
       argv0);
 }
 
@@ -97,6 +99,13 @@ exp::CampaignSpec build_spec(const Options& options) {
     o.seed = options.seed;
     o.threads = options.threads;
     return apps::make_network_reliability_campaign(o);
+  }
+  if (options.campaign == "fleet_scale") {
+    fleet::FleetScaleCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return fleet::make_fleet_scale_campaign(o);
   }
   throw std::invalid_argument("unknown campaign '" + options.campaign + "'");
 }
@@ -154,6 +163,45 @@ bool write_network_journals(const exp::CampaignResult& result,
 
     std::string path = dir.empty() ? std::string() : dir + "/";
     path += "JOURNAL_network_" + std::to_string(cell.grid_index) + ".ndjson";
+    if (!journal.write_ndjson(path)) {
+      std::fprintf(stderr, "campaign_runner: cannot write '%s'\n", path.c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("\n=== journal %s: %s, trial %zu (%zu events) ===\n%s",
+                path.c_str(), cell.point.label().c_str(), trial, journal.size(),
+                obs::explain(journal, /*only_problem_rounds=*/true).c_str());
+  }
+  return ok;
+}
+
+/// Fleet counterpart of write_network_journals: per cell, re-run the
+/// lowest misjudging trial's whole fleet with the flight recorder
+/// attached and dump JOURNAL_fleet_<grid_index>.ndjson.  Only the
+/// problem rounds are explained on stdout — a fleet journal holds every
+/// device's events, so the full transcript would drown the interesting
+/// ones.
+bool write_fleet_journals(const exp::CampaignResult& result,
+                          const std::string& dir) {
+  bool ok = true;
+  for (const auto& cell : result.cells) {
+    std::size_t trial = 0;
+    if (const auto it = cell.values.find("first_misjudge_trial");
+        it != cell.values.end() &&
+        it->second.min() < fleet::kNoMisjudgeFleetTrial) {
+      trial = static_cast<std::size_t>(it->second.min());
+    }
+    const std::uint64_t trial_seed =
+        exp::derive_trial_seed(result.base_seed, cell.grid_index, trial);
+    fleet::FleetConfig config = fleet::fleet_config_for(cell.point, trial_seed);
+    obs::EventJournal journal;
+    config.journal = &journal;
+    config.enforce_invariants = false;
+    fleet::FleetVerifier verifier(config);
+    (void)verifier.run();
+
+    std::string path = dir.empty() ? std::string() : dir + "/";
+    path += "JOURNAL_fleet_" + std::to_string(cell.grid_index) + ".ndjson";
     if (!journal.write_ndjson(path)) {
       std::fprintf(stderr, "campaign_runner: cannot write '%s'\n", path.c_str());
       ok = false;
@@ -225,6 +273,19 @@ int main(int argc, char** argv) {
 
     bool ok = true;
     if (spec.name == "smarm_escape") ok = check_smarm_cells(result);
+    if (spec.name == "fleet") {
+      // The per-trial require() already threw on a violated fleet
+      // invariant; assert the aggregate too so the check shows up in the
+      // output even when every trial passed.
+      for (const auto& cell : result.cells) {
+        const auto it = cell.values.find("resolved");
+        if (it == cell.values.end() || it->second.mean() != 1.0) {
+          std::fprintf(stderr, "FAIL: %s: some fleet rounds never resolved\n",
+                       cell.point.label().c_str());
+          ok = false;
+        }
+      }
+    }
     if (spec.name == "network") {
       // Every round in every trial must have reached a terminal outcome
       // (the per-trial require() would already have thrown on a leak, but
@@ -253,14 +314,16 @@ int main(int argc, char** argv) {
     }
 
     if (!options.journal_dir.empty()) {
+      const std::string dir =
+          options.journal_dir == "." ? std::string() : options.journal_dir;
       if (spec.name == "network") {
-        const std::string dir =
-            options.journal_dir == "." ? std::string() : options.journal_dir;
         if (!write_network_journals(result, dir)) return 2;
+      } else if (spec.name == "fleet") {
+        if (!write_fleet_journals(result, dir)) return 2;
       } else {
         std::fprintf(stderr,
                      "campaign_runner: --journal-out only applies to "
-                     "network_reliability; ignoring\n");
+                     "network_reliability and fleet_scale; ignoring\n");
       }
     }
 

@@ -68,15 +68,17 @@ void AttestationProcess::start(MeasurementContext context,
   measurement_.emplace(device_.memory(), config_.hash, device_.attestation_key(),
                        std::move(context), config_.coverage, config_.mac);
   if (config_.use_digest_cache) {
-    digest_cache_.resize(device_.memory().block_count());
-    measurement_->set_digest_cache(&digest_cache_);
+    DigestCache& cache =
+        shared_digest_cache_ != nullptr ? *shared_digest_cache_ : digest_cache_;
+    cache.resize(device_.memory().block_count());
+    measurement_->set_digest_cache(&cache);
     if (auto* j = device_.sim().journal()) {
       const std::uint32_t actor = j->intern(device_.id());
       measurement_->set_journal(j, actor);
-      digest_cache_.set_journal(j, actor);
+      cache.set_journal(j, actor);
     } else {
       measurement_->set_journal(nullptr, 0);
-      digest_cache_.set_journal(nullptr, 0);
+      cache.set_journal(nullptr, 0);
     }
   }
   order_ = make_order();

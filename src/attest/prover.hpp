@@ -86,6 +86,17 @@ class AttestationProcess final : public sim::Process {
   /// Attach a MetricsRegistry via cache.set_metrics() for hit/miss export.
   DigestCache& digest_cache() noexcept { return digest_cache_; }
 
+  /// Use an externally owned digest cache instead of the process-owned
+  /// one (nullptr reverts).  The fleet verifier shares one cache across
+  /// every prover of a shard whose provisioned content is identical —
+  /// generation-per-content must hold for all sharers, which a shard
+  /// guarantees by construction (same image, same key, same infection
+  /// patch).  The cache must outlive the process; it is resized to this
+  /// device's block count on the next start().
+  void set_shared_digest_cache(DigestCache* cache) noexcept {
+    shared_digest_cache_ = cache;
+  }
+
   /// Begin a measurement; `done` fires at t_e with the full result.
   /// Throws std::logic_error if a measurement is already in flight.
   void start(MeasurementContext context, std::function<void(AttestationResult)> done);
@@ -125,6 +136,7 @@ class AttestationProcess final : public sim::Process {
   ProverConfig config_;
   LockPolicy* policy_;
   DigestCache digest_cache_;
+  DigestCache* shared_digest_cache_ = nullptr;
   std::string trace_track_;
   crypto::Signer* signer_ = nullptr;
   std::function<void(std::size_t, std::size_t)> observer_;

@@ -1,0 +1,52 @@
+#pragma once
+/// \file campaign.hpp
+/// The fleet_scale campaign: how many concurrent reliable-attestation
+/// sessions can one verifier process drive, and what does reliability
+/// cost at scale?  Sweeps fleet size (1k -> 10k -> 100k devices) x link
+/// drop rate x stagger policy; every trial runs a full FleetVerifier
+/// epoch schedule with the invariant checker enabled, so the campaign is
+/// simultaneously a benchmark and a property test — any violated fleet
+/// invariant fails the campaign instead of skewing its aggregates.
+///
+/// Determinism: a trial is a pure function of (grid point, trial seed),
+/// so BENCH_fleet.json is bit-identical for any --threads, which is what
+/// the fleet-smoke CI job asserts with cmp.
+
+#include "src/exp/campaign.hpp"
+#include "src/fleet/fleet.hpp"
+
+namespace rasc::fleet {
+
+struct FleetScaleCampaignOptions {
+  /// Fleet trials are heavyweight (one trial = devices x epochs rounds),
+  /// so the default is one trial per cell — the fleet seed still varies
+  /// per cell through derive_trial_seed.
+  std::size_t trials = 1;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Sentinel recorded in the "first_misjudge_trial" value channel when a
+/// trial misjudged no round; the per-cell min() is then either the lowest
+/// misjudging trial index or this (thread-count independent either way,
+/// which lets campaign_runner --journal-out replay the same trial
+/// regardless of -j).
+inline constexpr double kNoMisjudgeFleetTrial = 1e18;
+
+/// Build the fleet configuration for one (cell, trial seed) coordinate.
+/// Shared by the campaign trial function and campaign_runner's
+/// --journal-out replay, so a re-run with a journal attached reproduces
+/// the selected trial event-for-event.
+FleetConfig fleet_config_for(const exp::GridPoint& point, std::uint64_t trial_seed);
+
+/// Spec name "fleet" (artifact BENCH_fleet.json; the campaign_runner CLI
+/// registers it as "fleet_scale").  Axes: devices x drop_pct x
+/// stagger policy.  Bernoulli channel = per-round misjudgement against
+/// the roster's ground truth; scalars track throughput (rounds per
+/// simulated second), verifier memory per device (must shrink as N
+/// grows), time to full fleet coverage, admission high-water and the
+/// wasted prover CPU the reliability layer burned.
+exp::CampaignSpec make_fleet_scale_campaign(
+    const FleetScaleCampaignOptions& options = {});
+
+}  // namespace rasc::fleet

@@ -1,0 +1,646 @@
+#include "src/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+
+#include "src/exp/seeding.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::fleet {
+
+namespace detail {
+
+std::uint64_t device_stream(std::uint64_t fleet_seed, std::uint64_t device,
+                            std::uint64_t salt) noexcept {
+  return exp::mix64(fleet_seed ^ exp::mix64(device ^ exp::mix64(salt)));
+}
+
+std::uint64_t shard_stream(std::uint64_t fleet_seed, std::uint64_t shard,
+                           std::uint64_t salt) noexcept {
+  return exp::mix64(exp::mix64(fleet_seed ^ salt) + shard);
+}
+
+std::size_t resolve_shards(const FleetConfig& config) noexcept {
+  if (config.shards != 0) {
+    return std::min(config.shards, std::max<std::size_t>(config.devices, 1));
+  }
+  const std::size_t autos = (config.devices + 4095) / 4096;
+  return std::max<std::size_t>(autos, 1);
+}
+
+}  // namespace detail
+
+std::string stagger_policy_name(StaggerPolicy policy) {
+  switch (policy) {
+    case StaggerPolicy::kBurst: return "burst";
+    case StaggerPolicy::kUniform: return "uniform";
+    case StaggerPolicy::kShardPhased: return "shard_phased";
+  }
+  return "?";
+}
+
+StaggerPolicy parse_stagger_policy(const std::string& name) {
+  for (StaggerPolicy policy : {StaggerPolicy::kBurst, StaggerPolicy::kUniform,
+                               StaggerPolicy::kShardPhased}) {
+    if (stagger_policy_name(policy) == name) return policy;
+  }
+  throw std::invalid_argument("unknown stagger policy '" + name + "'");
+}
+
+std::vector<sim::Time> FleetResult::start_times(std::size_t device) const {
+  std::vector<sim::Time> times;
+  times.reserve(epochs);
+  for (std::size_t e = 0; e < epochs; ++e) times.push_back(round(device, e).started);
+  return times;
+}
+
+namespace {
+
+using detail::device_stream;
+using detail::shard_stream;
+
+// Fixed salts for the per-device / per-shard seed streams.  Treat like a
+// wire format: the recorded BENCH_fleet baselines depend on them.
+constexpr std::uint64_t kChallengeSalt = 0xc0ffee01;
+constexpr std::uint64_t kLinkForwardSalt = 0x11c40001;
+constexpr std::uint64_t kLinkReverseSalt = 0x11c40002;
+constexpr std::uint64_t kSessionSalt = 0x5e551001;
+constexpr std::uint64_t kImageSalt = 0x1a9e0001;
+constexpr std::uint64_t kKeySalt = 0x6e7f0001;
+constexpr std::uint64_t kRosterSalt = 0x1f3c7ed1;
+
+/// Estimated bytes of one DigestCache slot (the Slot layout is private;
+/// the accounting only needs a stable, order-of-magnitude figure).
+constexpr std::size_t kDigestCacheSlotBytes = sizeof(attest::Digest) + 32;
+/// Per-device label strings (device id, trace tracks, session label) —
+/// small and constant in N, estimated rather than introspected.
+constexpr std::size_t kPerDeviceStringBytes = 128;
+constexpr std::size_t kKeyBytes = 16;
+
+/// State shared by every device of one shard: identical provisioned
+/// content, one key, one pre-digested golden, one prover-side digest
+/// cache (sound to share because same image + same key + same infection
+/// patch make block generation -> content a function within the shard).
+struct ShardState {
+  support::Bytes image;
+  support::Bytes key;
+  std::shared_ptr<const attest::GoldenMeasurement> golden;
+  attest::DigestCache cache;
+  obs::HealthRollup health;
+};
+
+support::Bytes random_bytes(std::uint64_t seed, std::size_t n) {
+  support::Xoshiro256 rng(seed);
+  support::Bytes bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  return bytes;
+}
+
+ShardState make_shard_state(const FleetConfig& config, std::size_t shard) {
+  ShardState state;
+  state.image = random_bytes(shard_stream(config.seed, shard, kImageSalt),
+                             config.blocks * config.block_size);
+  state.key = random_bytes(shard_stream(config.seed, shard, kKeySalt), kKeyBytes);
+  state.golden = std::make_shared<const attest::GoldenMeasurement>(
+      state.image, config.block_size, config.hash, state.key);
+  return state;
+}
+
+sim::DeviceConfig make_device_config(const FleetConfig& config,
+                                     const ShardState& shard, std::size_t device) {
+  sim::DeviceConfig dev;
+  dev.id = "prv-" + std::to_string(device);
+  dev.memory_size = config.blocks * config.block_size;
+  dev.block_size = config.block_size;
+  dev.attestation_key = shard.key;
+  return dev;
+}
+
+sim::LinkConfig make_link_config(const FleetConfig& config, std::size_t device,
+                                 bool forward) {
+  sim::LinkConfig link;
+  link.name = forward ? "vrf->prv" : "prv->vrf";
+  link.base_latency = config.link_latency;
+  link.jitter = config.link_jitter;
+  link.drop_probability = config.drop_probability;
+  link.duplicate_probability = config.duplicate_probability;
+  link.corrupt_probability = config.corrupt_probability;
+  link.reorder_probability = config.reorder_probability;
+  link.seed = device_stream(config.seed, device,
+                            forward ? kLinkForwardSalt : kLinkReverseSalt);
+  return link;
+}
+
+attest::ProverConfig make_prover_config(const FleetConfig& config) {
+  attest::ProverConfig prover;
+  prover.hash = config.hash;
+  prover.mode = config.mode;
+  return prover;
+}
+
+attest::SessionConfig make_session_config(const FleetConfig& config,
+                                          std::size_t device) {
+  attest::SessionConfig session = config.session;
+  session.seed = device_stream(config.seed, device, kSessionSalt);
+  return session;
+}
+
+/// One prover and everything the verifier keeps to talk to it.  All
+/// stacks stay alive for the entire fleet run: CPU segment completions
+/// and link deliveries capture references into them, so tearing a stack
+/// down mid-run would be use-after-free.  The admission window bounds
+/// *concurrent sessions*, not live objects.
+struct DeviceStack {
+  std::shared_ptr<const attest::GoldenMeasurement> own_golden;  ///< iff !share_golden
+  sim::Device device;
+  attest::Verifier verifier;
+  attest::AttestationProcess mp;
+  sim::Link vrf_to_prv;
+  sim::Link prv_to_vrf;
+  attest::ReliableSession session;
+
+  DeviceStack(sim::Simulator& sim, const FleetConfig& config, ShardState& shard,
+              std::size_t index, bool infected)
+      : own_golden(config.share_golden
+                       ? nullptr
+                       : std::make_shared<const attest::GoldenMeasurement>(
+                             shard.image, config.block_size, config.hash,
+                             shard.key)),
+        device(sim, make_device_config(config, shard, index)),
+        verifier(config.share_golden ? shard.golden : own_golden, shard.key,
+                 device_stream(config.seed, index, kChallengeSalt)),
+        mp(device, make_prover_config(config)),
+        vrf_to_prv(sim, make_link_config(config, index, /*forward=*/true)),
+        prv_to_vrf(sim, make_link_config(config, index, /*forward=*/false)),
+        session(device, verifier, mp, vrf_to_prv, prv_to_vrf,
+                make_session_config(config, index)) {
+    device.memory().load(shard.image);
+    if (infected) {
+      // Shard-deterministic infection: same address, same byte flip for
+      // every infected device of the shard, planted before any round —
+      // required both for soundly sharing the shard digest cache (the
+      // infected content at generation 2 is one value shard-wide) and for
+      // the roster's ground truth (correct verdict = kCompromised).
+      const std::size_t addr = device.memory().size() / 2;
+      const std::size_t block = device.memory().block_of(addr);
+      const std::uint8_t original =
+          device.memory().block_view(block)[addr % device.memory().block_size()];
+      const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
+      device.memory().write(addr, patch, 0, sim::Actor::kMalware);
+    }
+    if (config.share_digest_cache) mp.set_shared_digest_cache(&shard.cache);
+    if (config.metrics != nullptr) {
+      verifier.set_metrics(config.metrics);
+      vrf_to_prv.set_metrics(config.metrics);
+      prv_to_vrf.set_metrics(config.metrics);
+      session.set_metrics(config.metrics);
+    }
+  }
+};
+
+}  // namespace
+
+struct FleetVerifier::Impl {
+  FleetConfig config;
+  Roster roster;
+  std::size_t shard_count = 1;
+  std::size_t devices_per_shard = 1;
+  bool ran = false;
+
+  sim::Simulator simulator;
+  std::vector<ShardState> shards;
+  std::vector<std::unique_ptr<DeviceStack>> stacks;
+
+  /// Per-device scheduling record.  `pending` counts epochs whose stagger
+  /// time has passed but whose round has not started yet (waiting on the
+  /// admission window or on the device's previous round).
+  struct DeviceRec {
+    std::uint32_t pending = 0;
+    std::uint32_t rounds_done = 0;
+    bool queued = false;
+    bool in_flight = false;
+  };
+  std::vector<DeviceRec> recs;
+  std::deque<std::uint32_t> admission;
+  std::size_t in_flight_count = 0;
+
+  FleetResult result;
+  sim::Time first_start = 0;
+  sim::Time last_resolve = 0;
+  bool any_started = false;
+
+  Impl(FleetConfig cfg, Roster ros)
+      : config(std::move(cfg)), roster(std::move(ros)) {
+    if (config.devices == 0) throw std::invalid_argument("FleetConfig.devices == 0");
+    if (config.epochs == 0) throw std::invalid_argument("FleetConfig.epochs == 0");
+    if (config.epoch_period == 0) {
+      throw std::invalid_argument("FleetConfig.epoch_period == 0");
+    }
+    if (roster.size() != config.devices) {
+      throw std::invalid_argument("roster size != FleetConfig.devices");
+    }
+    shard_count = detail::resolve_shards(config);
+    devices_per_shard = (config.devices + shard_count - 1) / shard_count;
+
+    simulator.set_journal(config.journal);
+
+    shards.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards.push_back(make_shard_state(config, s));
+    }
+    stacks.reserve(config.devices);
+    for (std::size_t d = 0; d < config.devices; ++d) {
+      stacks.push_back(std::make_unique<DeviceStack>(
+          simulator, config, shards[shard_of(d)], d, roster.infected(d)));
+      stacks.back()->session.set_health(&shards[shard_of(d)].health);
+    }
+    recs.resize(config.devices);
+  }
+
+  std::size_t shard_of(std::size_t device) const noexcept {
+    return std::min(device / devices_per_shard, shard_count - 1);
+  }
+
+  sim::Duration stagger_offset(std::size_t device) const noexcept {
+    const double span = std::clamp(config.stagger_span, 0.0, 1.0);
+    const auto span_ns = static_cast<sim::Duration>(
+        static_cast<double>(config.epoch_period) * span);
+    switch (config.stagger) {
+      case StaggerPolicy::kBurst:
+        return 0;
+      case StaggerPolicy::kUniform:
+        return span_ns * device / config.devices;
+      case StaggerPolicy::kShardPhased:
+        return span_ns * shard_of(device) / shard_count;
+    }
+    return 0;
+  }
+
+  void violation(std::string what) {
+    result.invariant_violations.push_back(std::move(what));
+  }
+
+  /// One dripper event chain per epoch: admit every device whose stagger
+  /// offset has passed, then sleep until the next offset — one pending
+  /// simulator event per epoch instead of N closures.
+  void schedule_epoch(std::size_t epoch) {
+    const sim::Time start = static_cast<sim::Time>(epoch) * config.epoch_period;
+    auto step = std::make_shared<std::function<void(std::size_t)>>();
+    *step = [this, start, step](std::size_t next) {
+      while (next < config.devices &&
+             start + stagger_offset(next) <= simulator.now()) {
+        device_ready(next);
+        ++next;
+      }
+      if (next < config.devices) {
+        simulator.schedule_at(start + stagger_offset(next),
+                              [step, next] { (*step)(next); });
+      }
+    };
+    simulator.schedule_at(start, [step] { (*step)(0); });
+  }
+
+  void device_ready(std::size_t d) {
+    DeviceRec& rec = recs[d];
+    ++rec.pending;
+    if (!rec.queued && !rec.in_flight) {
+      rec.queued = true;
+      admission.push_back(static_cast<std::uint32_t>(d));
+    }
+    pump();
+  }
+
+  void pump() {
+    while (!admission.empty() &&
+           (config.max_in_flight == 0 || in_flight_count < config.max_in_flight)) {
+      const std::size_t d = admission.front();
+      admission.pop_front();
+      start_round(d);
+    }
+  }
+
+  void start_round(std::size_t d) {
+    DeviceRec& rec = recs[d];
+    rec.queued = false;
+    --rec.pending;
+    rec.in_flight = true;
+    ++in_flight_count;
+    result.in_flight_high_water =
+        std::max(result.in_flight_high_water, in_flight_count);
+    EpochStats& es = result.epoch_stats[rec.rounds_done];
+    if (es.admitted == 0) es.first_start = simulator.now();
+    ++es.admitted;
+    if (!any_started) {
+      any_started = true;
+      first_start = simulator.now();
+    }
+    stacks[d]->session.run(
+        [this, d](attest::RoundResult r) { on_round_done(d, std::move(r)); });
+  }
+
+  void on_round_done(std::size_t d, attest::RoundResult r) {
+    DeviceRec& rec = recs[d];
+    const std::size_t epoch = rec.rounds_done;
+    ++rec.rounds_done;
+    rec.in_flight = false;
+    --in_flight_count;
+
+    const obs::RoundOutcome outcome = attest::session_outcome_rollup(r.outcome);
+    RoundRecord& record = result.rounds[d * config.epochs + epoch];
+    record.started = r.t_started;
+    record.outcome = outcome;
+    record.attempts =
+        static_cast<std::uint8_t>(std::min<std::size_t>(r.attempts, 255));
+    record.resolved = true;
+
+    ++result.rounds_resolved;
+    ++result.outcome_counts[static_cast<std::size_t>(outcome)];
+    last_resolve = std::max(last_resolve, r.t_resolved);
+
+    EpochStats& es = result.epoch_stats[epoch];
+    ++es.resolved;
+    es.last_resolve = std::max(es.last_resolve, r.t_resolved);
+    // Independent epoch-grouped fold with the exact arguments the session
+    // records into its shard rollup — the two groupings must agree.
+    es.health.record_round(outcome, r.attempts, r.t_resolved - r.t_started,
+                           r.measure_time, r.wasted_measure_time);
+
+    const obs::RoundOutcome expected = roster.infected(d)
+                                           ? obs::RoundOutcome::kCompromised
+                                           : obs::RoundOutcome::kVerified;
+    if (outcome != expected) {
+      ++result.misjudged_rounds;
+      ++es.misjudged;
+    }
+
+    if (r.attempts == 0 || r.attempts > config.session.max_attempts) {
+      violation("device " + std::to_string(d) + " round " +
+                std::to_string(epoch) + " used " + std::to_string(r.attempts) +
+                " attempts (budget " +
+                std::to_string(config.session.max_attempts) + ")");
+    }
+
+    if (rec.pending > 0 && !rec.queued) {
+      rec.queued = true;
+      admission.push_back(static_cast<std::uint32_t>(d));
+    }
+    pump();
+    if (es.resolved == config.devices) check_epoch(epoch);
+  }
+
+  /// Invariants asserted the moment an epoch's last round resolves.
+  void check_epoch(std::size_t epoch) {
+    const EpochStats& es = result.epoch_stats[epoch];
+    if (es.admitted != config.devices) {
+      violation("epoch " + std::to_string(epoch) + " admitted " +
+                std::to_string(es.admitted) + " of " +
+                std::to_string(config.devices) + " devices");
+    }
+    if (es.health.rounds() != config.devices) {
+      violation("epoch " + std::to_string(epoch) + " health rollup saw " +
+                std::to_string(es.health.rounds()) + " rounds, expected " +
+                std::to_string(config.devices));
+    }
+    if (config.max_in_flight != 0 &&
+        result.in_flight_high_water > config.max_in_flight) {
+      violation("in-flight high water " +
+                std::to_string(result.in_flight_high_water) +
+                " exceeded admission window " +
+                std::to_string(config.max_in_flight));
+    }
+  }
+
+  /// Compare two rollups' integer aggregates (double sums may differ in
+  /// the last ulp between groupings; counts may not differ at all).
+  static bool same_integer_aggregates(const obs::HealthRollup& a,
+                                      const obs::HealthRollup& b) {
+    if (a.rounds() != b.rounds()) return false;
+    for (std::size_t i = 0; i < obs::kRoundOutcomeCount; ++i) {
+      const auto outcome = static_cast<obs::RoundOutcome>(i);
+      if (a.outcome_count(outcome) != b.outcome_count(outcome)) return false;
+    }
+    for (std::size_t depth = 1; depth <= obs::HealthRollup::kMaxRetryDepth;
+         ++depth) {
+      if (a.retry_depth(depth) != b.retry_depth(depth)) return false;
+    }
+    return a.latency_ms().count() == b.latency_ms().count();
+  }
+
+  void finalize() {
+    const std::size_t expected_rounds = config.devices * config.epochs;
+    if (result.rounds_resolved != expected_rounds) {
+      violation("resolved " + std::to_string(result.rounds_resolved) + " of " +
+                std::to_string(expected_rounds) + " rounds");
+    }
+    if (in_flight_count != 0 || !admission.empty()) {
+      violation("simulation quiesced with " + std::to_string(in_flight_count) +
+                " sessions in flight and " + std::to_string(admission.size()) +
+                " queued");
+    }
+    for (std::size_t d = 0; d < config.devices; ++d) {
+      if (recs[d].rounds_done != config.epochs || recs[d].pending != 0) {
+        violation("device " + std::to_string(d) + " finished " +
+                  std::to_string(recs[d].rounds_done) + " of " +
+                  std::to_string(config.epochs) + " rounds (" +
+                  std::to_string(recs[d].pending) + " pending)");
+        break;  // one witness is enough; the counts above give the total
+      }
+      if (stacks[d]->session.busy()) {
+        violation("device " + std::to_string(d) +
+                  " session still busy after drain");
+        break;
+      }
+    }
+
+    // Fleet total = shard-order merge of the per-shard rollups the
+    // sessions fed live.  It must agree (integer-exactly) with the merge
+    // of the independently accumulated per-epoch rollups — the same
+    // rounds grouped two different ways — and with a reversed-order merge
+    // (associativity/commutativity witness on real data).
+    result.shard_health.reserve(shards.size());
+    for (const ShardState& shard : shards) {
+      result.shard_health.push_back(shard.health);
+    }
+    for (const obs::HealthRollup& shard : result.shard_health) {
+      result.health.merge(shard);
+    }
+    obs::HealthRollup by_epoch;
+    for (const EpochStats& es : result.epoch_stats) by_epoch.merge(es.health);
+    if (!same_integer_aggregates(result.health, by_epoch)) {
+      violation("shard-grouped and epoch-grouped health rollups disagree");
+    }
+    obs::HealthRollup reversed;
+    for (auto it = result.shard_health.rbegin(); it != result.shard_health.rend();
+         ++it) {
+      reversed.merge(*it);
+    }
+    if (!same_integer_aggregates(result.health, reversed)) {
+      violation("shard rollup merge is order-sensitive");
+    }
+    std::uint64_t outcome_total = 0;
+    for (std::size_t i = 0; i < obs::kRoundOutcomeCount; ++i) {
+      const auto outcome = static_cast<obs::RoundOutcome>(i);
+      outcome_total += result.outcome_counts[i];
+      if (result.outcome_counts[i] != result.health.outcome_count(outcome)) {
+        violation("per-round outcome tally disagrees with health rollup for " +
+                  std::string(obs::round_outcome_name(outcome)));
+      }
+    }
+    if (outcome_total != result.rounds_resolved) {
+      violation("outcome counts do not sum to rounds resolved");
+    }
+
+    for (const auto& stack : stacks) {
+      for (const sim::Link* link : {&stack->vrf_to_prv, &stack->prv_to_vrf}) {
+        result.link_sent += link->sent();
+        result.link_delivered += link->delivered();
+        result.link_dropped += link->dropped();
+        result.link_duplicated += link->duplicated();
+        result.link_corrupted += link->corrupted();
+        result.link_reordered += link->reordered();
+      }
+    }
+    if (result.link_delivered !=
+        result.link_sent - result.link_dropped + result.link_duplicated) {
+      violation("link counter invariant delivered == sent - dropped + "
+                "duplicated does not hold after drain");
+    }
+
+    result.makespan = any_started ? last_resolve - first_start : 0;
+    result.rounds_per_sim_second =
+        result.makespan == 0 ? 0.0
+                             : static_cast<double>(result.rounds_resolved) /
+                                   sim::to_seconds(result.makespan);
+
+    // Full coverage: the epoch boundary by which every device had its
+    // first round resolved (0 = some device never resolved one).
+    if (!result.epoch_stats.empty() &&
+        result.epoch_stats[0].resolved == config.devices) {
+      result.epochs_to_full_coverage = static_cast<std::size_t>(
+          result.epoch_stats[0].last_resolve / config.epoch_period) + 1;
+    }
+
+    result.memory = memory_stats();
+  }
+
+  FleetMemoryStats memory_stats() const {
+    FleetMemoryStats stats;
+    for (const ShardState& shard : shards) {
+      stats.shared_bytes += shard.image.capacity() + shard.key.capacity();
+      if (config.share_golden) {
+        stats.shared_bytes += sizeof(attest::GoldenMeasurement) +
+                              shard.golden->block_count() * sizeof(attest::Digest) +
+                              shard.key.capacity();
+      }
+      if (config.share_digest_cache) {
+        stats.shared_bytes += sizeof(attest::DigestCache) +
+                              config.blocks * kDigestCacheSlotBytes;
+      }
+    }
+    std::size_t per_device = sizeof(DeviceStack) + sizeof(DeviceRec) +
+                             config.epochs * sizeof(RoundRecord) +
+                             kPerDeviceStringBytes + /*verifier key copy*/ kKeyBytes;
+    if (!config.share_golden) {
+      per_device += sizeof(attest::GoldenMeasurement) +
+                    config.blocks * sizeof(attest::Digest) + kKeyBytes;
+    }
+    if (!config.share_digest_cache) {
+      per_device += sizeof(attest::DigestCache) +
+                    config.blocks * kDigestCacheSlotBytes;
+    }
+    stats.per_device_bytes = config.devices * per_device;
+    stats.roster_bytes = roster.memory_bytes();
+    return stats;
+  }
+
+  FleetResult run() {
+    if (ran) throw std::logic_error("FleetVerifier::run called twice");
+    ran = true;
+    result.devices = config.devices;
+    result.epochs = config.epochs;
+    result.shards = shard_count;
+    result.rounds.resize(config.devices * config.epochs);
+    result.epoch_stats.resize(config.epochs);
+    for (std::size_t e = 0; e < config.epochs; ++e) schedule_epoch(e);
+    simulator.run();
+    finalize();
+    if (config.enforce_invariants && !result.invariant_violations.empty()) {
+      std::string what = "fleet invariants violated:";
+      for (const std::string& v : result.invariant_violations) what += "\n  " + v;
+      throw std::logic_error(what);
+    }
+    return std::move(result);
+  }
+};
+
+FleetVerifier::FleetVerifier(FleetConfig config)
+    : FleetVerifier(config,
+                    Roster::with_infected_fraction(
+                        config.devices, config.infected_fraction,
+                        detail::device_stream(config.seed, 0, 0x1f3c7ed1))) {}
+
+FleetVerifier::FleetVerifier(FleetConfig config, Roster roster)
+    : impl_(std::make_unique<Impl>(std::move(config), std::move(roster))) {}
+
+FleetVerifier::~FleetVerifier() = default;
+
+FleetResult FleetVerifier::run() { return impl_->run(); }
+
+const Roster& FleetVerifier::roster() const noexcept { return impl_->roster; }
+std::size_t FleetVerifier::shard_count() const noexcept {
+  return impl_->shard_count;
+}
+std::size_t FleetVerifier::shard_of(std::size_t device) const noexcept {
+  return impl_->shard_of(device);
+}
+FleetMemoryStats FleetVerifier::memory_stats() const {
+  return impl_->memory_stats();
+}
+
+std::vector<obs::RoundOutcome> replay_device(
+    const FleetConfig& config, const Roster& roster, std::size_t device,
+    const std::vector<sim::Time>& start_times) {
+  if (device >= config.devices) {
+    throw std::out_of_range("replay_device: device index out of range");
+  }
+  const std::size_t shard_count = detail::resolve_shards(config);
+  const std::size_t devices_per_shard =
+      (config.devices + shard_count - 1) / shard_count;
+  const std::size_t shard_index =
+      std::min(device / devices_per_shard, shard_count - 1);
+
+  sim::Simulator simulator;
+  // Fresh shard state: own golden, own digest cache (shared only with
+  // itself) — cache hits are bit-identical to recomputation, so sharing
+  // verifier state with fleet neighbors cannot change outcomes, and the
+  // replay cross-check proves exactly that.
+  FleetConfig replay_config = config;
+  replay_config.metrics = nullptr;
+  replay_config.journal = nullptr;
+  ShardState shard = make_shard_state(replay_config, shard_index);
+  DeviceStack stack(simulator, replay_config, shard, device,
+                    roster.infected(device));
+
+  std::vector<obs::RoundOutcome> outcomes;
+  outcomes.reserve(start_times.size());
+  // Chain rounds through the done callback (mirroring the fleet's
+  // resolve-then-readmit pump) so a round whose recorded start coincides
+  // with the previous round's resolve timestamp starts *after* that
+  // resolution instead of hitting a busy session.
+  std::function<void(std::size_t)> schedule_round = [&](std::size_t r) {
+    if (r >= start_times.size()) return;
+    simulator.schedule_at(start_times[r], [&, r] {
+      stack.session.run([&, r](attest::RoundResult res) {
+        outcomes.push_back(attest::session_outcome_rollup(res.outcome));
+        schedule_round(r + 1);
+      });
+    });
+  };
+  schedule_round(0);
+  simulator.run();
+  return outcomes;
+}
+
+}  // namespace rasc::fleet

@@ -1,0 +1,255 @@
+#pragma once
+/// \file fleet.hpp
+/// Fleet-scale verifier: one process drives N simulated prover devices —
+/// each behind its own pair of faulty sim::Links — through concurrent
+/// attest::ReliableSession rounds on a single simulator event loop.  This
+/// is ROADMAP item 1: the paper attests one simple device; a deployment
+/// verifier must judge tens of thousands without melting.
+///
+/// Architecture (DESIGN.md §11):
+///  - devices are partitioned into contiguous *shards*; every device of a
+///    shard is provisioned with the same image and attestation key, so
+///    the shard shares one pre-digested attest::GoldenMeasurement and
+///    (optionally) one prover-side attest::DigestCache — verifier-side
+///    memory per device therefore shrinks as the fleet grows;
+///  - rounds are scheduled in *epochs*: epoch e's challenges issue from
+///    t = e * epoch_period, smeared over stagger_span * epoch_period by a
+///    StaggerPolicy so measurement load is smoothed, not bursty;
+///  - an *admission window* caps concurrently in-flight sessions; ready
+///    devices beyond the cap queue FIFO and start as slots free up;
+///  - every resolved round feeds three independent obs::HealthRollup
+///    folds (per shard, per epoch, fleet total) whose integer aggregates
+///    must agree — one of the invariants checked after every epoch.
+///
+/// Determinism: a fleet run is a pure function of (FleetConfig, Roster).
+/// All per-device randomness (links, session jitter, challenges) derives
+/// from config.seed and the device id via fixed mix64 chains, so the
+/// fleet_scale campaign built on top is bit-identical for any --threads,
+/// and replay_device() can re-run any single device's rounds in a fresh
+/// simulator and reproduce the fleet's verdicts exactly.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/attest/prover.hpp"
+#include "src/attest/session.hpp"
+#include "src/fleet/roster.hpp"
+#include "src/obs/health.hpp"
+#include "src/obs/journal.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace rasc::fleet {
+
+/// How challenge issuance is spread inside an epoch.
+enum class StaggerPolicy {
+  kBurst,        ///< everything at the epoch boundary (worst case)
+  kUniform,      ///< device d at stagger_span * period * d / N
+  kShardPhased,  ///< shard s at stagger_span * period * s / shards
+};
+
+std::string stagger_policy_name(StaggerPolicy policy);
+/// Inverse of stagger_policy_name; throws std::invalid_argument.
+StaggerPolicy parse_stagger_policy(const std::string& name);
+
+struct FleetConfig {
+  std::size_t devices = 1000;
+  /// Verifier-side shards (golden + digest-cache sharing domains).
+  /// 0 = auto: one shard per 4096 devices, at least one.
+  std::size_t shards = 0;
+  /// Attestation rounds per device — one per epoch.
+  std::size_t epochs = 2;
+  /// Epoch e's issuance begins at e * epoch_period.  Epochs may overlap
+  /// in flight (a slow round can straddle the boundary); a device only
+  /// becomes ready for epoch e+1 once its epoch-e round resolved.
+  sim::Duration epoch_period = sim::kSecond;
+  StaggerPolicy stagger = StaggerPolicy::kUniform;
+  /// Fraction of epoch_period the stagger smears issuance over.
+  double stagger_span = 0.5;
+  /// Admission window: max sessions concurrently in flight (0 = no cap).
+  std::size_t max_in_flight = 1024;
+
+  /// Prover hardware.  Deliberately tiny by default: all N device stacks
+  /// stay alive for the whole run (in-flight events hold references into
+  /// them), so the per-device footprint bounds fleet size in host RAM.
+  std::size_t blocks = 4;
+  std::size_t block_size = 64;
+  crypto::HashKind hash = crypto::HashKind::kSha256;
+  attest::ExecutionMode mode = attest::ExecutionMode::kAtomic;
+  /// Share one GoldenMeasurement / prover DigestCache per shard (off =
+  /// per-device copies; the memory-accounting tests sweep both).
+  bool share_golden = true;
+  bool share_digest_cache = true;
+
+  /// Symmetric per-direction link fault model; per-device decorrelated
+  /// seeds.  Timed partition windows are deliberately not configurable:
+  /// they are absolute-time fault state, which replay_device() — which
+  /// re-runs rounds at recorded absolute times — could not re-interpret.
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  double corrupt_probability = 0.0;
+  double reorder_probability = 0.0;
+  sim::Duration link_latency = 2 * sim::kMillisecond;
+  sim::Duration link_jitter = 500 * sim::kMicrosecond;
+
+  /// Session template; `session.seed` is overridden per device.
+  attest::SessionConfig session;
+
+  /// When constructing a FleetVerifier without an explicit Roster: the
+  /// fraction of devices infected at provision time (ground truth).
+  double infected_fraction = 0.0;
+  std::uint64_t seed = 1;
+
+  /// run() throws std::logic_error when an invariant is violated
+  /// (violations are collected in FleetResult.invariant_violations
+  /// regardless).
+  bool enforce_invariants = true;
+
+  obs::MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
+  obs::EventJournal* journal = nullptr;     ///< not owned; may be null
+};
+
+/// One resolved round of one device.
+struct RoundRecord {
+  sim::Time started = 0;
+  obs::RoundOutcome outcome = obs::RoundOutcome::kTimeout;
+  std::uint8_t attempts = 0;
+  bool resolved = false;
+};
+
+struct EpochStats {
+  std::size_t admitted = 0;   ///< sessions started for this epoch
+  std::size_t resolved = 0;   ///< terminal outcomes observed
+  std::size_t misjudged = 0;  ///< outcome disagrees with roster ground truth
+  sim::Time first_start = 0;
+  sim::Time last_resolve = 0;
+  obs::HealthRollup health;   ///< per-epoch fold (independent of shards)
+};
+
+/// Verifier-side memory accounting.  `shared_bytes` is amortized state
+/// (goldens, shared digest caches, shard images and keys); per_device is
+/// what scales linearly (sessions, verifiers, links, bookkeeping).  The
+/// simulated prover hardware itself (device RAM, CPU) is deliberately
+/// excluded — it models the *prover's* silicon, not verifier memory.
+struct FleetMemoryStats {
+  std::size_t shared_bytes = 0;
+  std::size_t per_device_bytes = 0;
+  std::size_t roster_bytes = 0;
+  std::size_t total_bytes() const noexcept {
+    return shared_bytes + per_device_bytes + roster_bytes;
+  }
+  /// total / N: b + a/N — strictly decreasing in fleet size while the
+  /// shard count stays fixed (the sub-linearity the tests assert).
+  double bytes_per_device(std::size_t devices) const noexcept {
+    return devices == 0 ? 0.0
+                        : static_cast<double>(total_bytes()) /
+                              static_cast<double>(devices);
+  }
+};
+
+struct FleetResult {
+  std::size_t devices = 0;
+  std::size_t epochs = 0;
+  std::size_t shards = 0;
+
+  std::size_t rounds_resolved = 0;
+  std::size_t misjudged_rounds = 0;
+  std::array<std::uint64_t, obs::kRoundOutcomeCount> outcome_counts{};
+
+  /// Device-major: round(device, epoch) = rounds[device * epochs + epoch].
+  std::vector<RoundRecord> rounds;
+  std::vector<EpochStats> epoch_stats;
+
+  /// Per-shard folds (fed live by the sessions) and their shard-order
+  /// merge.  The invariant checker verifies the integer aggregates of
+  /// `health` equal the merge of epoch_stats[*].health — the same rounds
+  /// grouped two independent ways.
+  std::vector<obs::HealthRollup> shard_health;
+  obs::HealthRollup health;
+
+  std::size_t in_flight_high_water = 0;
+  sim::Time makespan = 0;  ///< first challenge issued -> last round resolved
+  double rounds_per_sim_second = 0.0;
+  /// 1-based count of epochs until every device had resolved at least one
+  /// round; 0 = never achieved within config.epochs.
+  std::size_t epochs_to_full_coverage = 0;
+
+  std::uint64_t link_sent = 0;
+  std::uint64_t link_delivered = 0;
+  std::uint64_t link_dropped = 0;
+  std::uint64_t link_duplicated = 0;
+  std::uint64_t link_corrupted = 0;
+  std::uint64_t link_reordered = 0;
+
+  FleetMemoryStats memory;
+
+  /// Human-readable invariant violations (empty on a healthy run).
+  std::vector<std::string> invariant_violations;
+
+  const RoundRecord& round(std::size_t device, std::size_t epoch) const {
+    return rounds.at(device * epochs + epoch);
+  }
+  /// Recorded start times of one device's rounds, in epoch order — the
+  /// exact schedule replay_device() re-runs.
+  std::vector<sim::Time> start_times(std::size_t device) const;
+};
+
+/// Owns the simulator, all N device stacks and the scheduling state.
+/// Build, call run() once, read the FleetResult.
+class FleetVerifier {
+ public:
+  /// Roster derived from config.infected_fraction (seeded from
+  /// config.seed), matching what replay_device() reconstructs.
+  explicit FleetVerifier(FleetConfig config);
+  FleetVerifier(FleetConfig config, Roster roster);
+  ~FleetVerifier();
+  FleetVerifier(const FleetVerifier&) = delete;
+  FleetVerifier& operator=(const FleetVerifier&) = delete;
+
+  /// Drive every device through config.epochs rounds and quiesce.
+  /// Throws std::logic_error on a second call, or (when
+  /// config.enforce_invariants) when the invariant checker trips.
+  FleetResult run();
+
+  const Roster& roster() const noexcept;
+  std::size_t shard_count() const noexcept;
+  std::size_t shard_of(std::size_t device) const noexcept;
+  /// Verifier-side memory accounting (valid after construction; constant
+  /// during the run — stacks are persistent, nothing grows with time).
+  FleetMemoryStats memory_stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Cross-check harness: rebuild device `device`'s stack exactly as the
+/// fleet does — same shard image, key, golden parameters, per-device
+/// link/session/challenge seeds — in a *fresh* simulator, and run one
+/// round at each recorded start time (from FleetResult::start_times).
+/// Because every random draw a device's timeline consumes comes from its
+/// own per-device streams, the standalone outcomes must equal the fleet's
+/// verdicts; a mismatch isolates an orchestration bug (admission window,
+/// stagger, shared-cache contamination), not stack wiring.
+std::vector<obs::RoundOutcome> replay_device(const FleetConfig& config,
+                                             const Roster& roster,
+                                             std::size_t device,
+                                             const std::vector<sim::Time>& start_times);
+
+namespace detail {
+
+/// Fixed seed-derivation chains (treat like a wire format: the recorded
+/// BENCH_fleet baselines depend on them).
+std::uint64_t device_stream(std::uint64_t fleet_seed, std::uint64_t device,
+                            std::uint64_t salt) noexcept;
+std::uint64_t shard_stream(std::uint64_t fleet_seed, std::uint64_t shard,
+                           std::uint64_t salt) noexcept;
+/// Effective shard count for a config (resolves the 0 = auto rule).
+std::size_t resolve_shards(const FleetConfig& config) noexcept;
+
+}  // namespace detail
+
+}  // namespace rasc::fleet

@@ -1,0 +1,88 @@
+#include "src/fleet/roster.hpp"
+
+#include <algorithm>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::fleet {
+
+Roster Roster::with_infected_fraction(std::size_t devices, double fraction,
+                                      std::uint64_t seed) {
+  Roster roster(devices);
+  if (devices == 0 || fraction <= 0.0) return roster;
+  std::size_t count = static_cast<std::size_t>(
+      static_cast<double>(devices) * std::min(fraction, 1.0) + 0.5);
+  count = std::max<std::size_t>(count, 1);
+  count = std::min(count, devices);
+
+  // Partial Fisher-Yates over the id space: the first `count` positions of
+  // the (virtually) shuffled identity permutation are the infected ids.
+  std::vector<std::size_t> ids(devices);
+  for (std::size_t i = 0; i < devices; ++i) ids[i] = i;
+  support::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(devices - i);
+    std::swap(ids[i], ids[j]);
+    roster.set_infected(ids[i]);
+  }
+  return roster;
+}
+
+std::size_t Roster::infected_count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t f : flags_) n += (f & kInfected) != 0;
+  return n;
+}
+
+std::size_t Roster::removed_count() const noexcept {
+  std::size_t n = 0;
+  for (std::uint8_t f : flags_) n += (f & kRemoved) != 0;
+  return n;
+}
+
+std::set<std::size_t> Roster::infected_set() const {
+  std::set<std::size_t> ids;
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    if (flags_[i] & kInfected) ids.insert(i);
+  }
+  return ids;
+}
+
+std::set<std::size_t> Roster::removed_set() const {
+  std::set<std::size_t> ids;
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    if (flags_[i] & kRemoved) ids.insert(i);
+  }
+  return ids;
+}
+
+swarm::SwarmResult run_swarm_round(const Roster& roster, swarm::SwarmConfig config,
+                                   swarm::SwarmProtocol protocol) {
+  config.device_count = roster.size();
+  return swarm::run_swarm_attestation(config, protocol, roster.infected_set(),
+                                      roster.removed_set());
+}
+
+bool swarm_round_matches(const Roster& roster, const swarm::SwarmResult& result) {
+  if (!result.completed) return false;
+  const std::set<std::size_t> failed(result.failed_ids.begin(),
+                                     result.failed_ids.end());
+  const std::set<std::size_t> absent(result.absent_ids.begin(),
+                                     result.absent_ids.end());
+  for (std::size_t id : failed) {
+    // Only genuinely infected devices may be accused of failing.
+    if (id >= roster.size() || !roster.infected(id)) return false;
+  }
+  for (std::size_t id = 0; id < roster.size(); ++id) {
+    // Every removed device must be noticed (failed or absent), and every
+    // infected device must surface unless a removed ancestor hid it.
+    if (roster.removed(id) && !failed.count(id) && !absent.count(id)) return false;
+    if (roster.infected(id) && !roster.removed(id) && !failed.count(id) &&
+        !absent.count(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rasc::fleet

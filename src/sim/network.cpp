@@ -23,6 +23,16 @@ void Link::journal(obs::JournalEventKind kind, std::uint64_t msg_id, std::uint64
   }
 }
 
+void Link::reset_counters() noexcept {
+  sent_ = 0;
+  delivered_ = 0;
+  dropped_ = 0;
+  duplicated_ = 0;
+  corrupted_ = 0;
+  reordered_ = 0;
+  partition_dropped_ = 0;
+}
+
 bool Link::in_partition(Time t) const noexcept {
   for (const PartitionWindow& window : config_.partitions) {
     if (t >= window.start && t < window.end) return true;

@@ -79,6 +79,14 @@ class Link {
   /// Subset of dropped(): losses caused by a partition window.
   std::size_t partition_dropped() const noexcept { return partition_dropped_; }
 
+  /// Zero every per-fault counter (sent/delivered/dropped/duplicated/
+  /// corrupted/reordered/partition_dropped) so a harness reusing one link
+  /// across trials can assert the delivered == sent - dropped + duplicated
+  /// invariant per trial instead of cumulatively.  Message ids keep
+  /// counting up (they tag journal events, and a restart would alias
+  /// fates across trials); the fault RNG is likewise not rewound.
+  void reset_counters() noexcept;
+
   /// Attach a metrics registry (not owned; nullptr to detach).  The link
   /// then accounts "net.sent", "net.delivered", "net.dropped",
   /// "net.duplicated", "net.corrupted", "net.reordered" and

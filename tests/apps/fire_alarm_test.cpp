@@ -3,44 +3,40 @@
 #include <gtest/gtest.h>
 
 #include "src/apps/scenario.hpp"
+#include "tests/support/fleet_fixtures.hpp"
 
 namespace rasc::apps {
 namespace {
 
-using support::to_bytes;
-
 TEST(FireAlarm, SamplesAtConfiguredPeriod) {
-  sim::Simulator simulator;
-  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
+  testfx::DeviceHarness fx;
   FireAlarmConfig config;
   config.period = 100 * sim::kMillisecond;
-  FireAlarmTask alarm(device, config);
+  FireAlarmTask alarm(fx.device, config);
   alarm.arm(sim::from_seconds(1));
-  simulator.run();
+  fx.simulator.run();
   EXPECT_EQ(alarm.samples_taken(), 10u);
   EXPECT_LT(alarm.max_sample_delay(), sim::kMillisecond);
 }
 
 TEST(FireAlarm, DetectsFireAtNextSample) {
-  sim::Simulator simulator;
-  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
+  testfx::DeviceHarness fx;
   FireAlarmConfig config;
   config.period = sim::kSecond;
-  FireAlarmTask alarm(device, config);
+  FireAlarmTask alarm(fx.device, config);
   alarm.set_fire_time(sim::from_seconds(2.5));
   alarm.arm(sim::from_seconds(10));
-  simulator.run();
+  fx.simulator.run();
   ASSERT_TRUE(alarm.alarm_latency().has_value());
   // Fire at 2.5 s, next sample at 3 s (plus the tiny sample cost).
   EXPECT_NEAR(sim::to_seconds(*alarm.alarm_latency()), 0.5, 0.01);
 }
 
 TEST(FireAlarm, NoFireNoAlarm) {
-  sim::Simulator simulator;
-  sim::Device device(simulator, {"dev-f", 4 * 128, 128, to_bytes("k")});
-  FireAlarmTask alarm(device);
+  testfx::DeviceHarness fx;
+  FireAlarmTask alarm(fx.device);
   alarm.arm(sim::from_seconds(3));
-  simulator.run();
+  fx.simulator.run();
   EXPECT_FALSE(alarm.alarm_raised_at().has_value());
   EXPECT_FALSE(alarm.alarm_latency().has_value());
 }

@@ -3,41 +3,16 @@
 #include <gtest/gtest.h>
 
 #include "src/support/rng.hpp"
+#include "tests/support/fleet_fixtures.hpp"
 
 namespace rasc::attest {
 namespace {
 
 using support::to_bytes;
-
-struct ProtocolFixture {
-  sim::Simulator simulator;
-  sim::Device device;
-  Verifier verifier;
-  AttestationProcess mp;
-  sim::Link vrf_to_prv;
-  sim::Link prv_to_vrf;
-  OnDemandProtocol protocol;
-
-  ProtocolFixture()
-      : device(simulator, sim::DeviceConfig{"dev-proto", 16 * 256, 256,
-                                            to_bytes("proto-key")}),
-        verifier(crypto::HashKind::kSha256, to_bytes("proto-key"),
-                 [&] {
-                   support::Xoshiro256 rng(5);
-                   support::Bytes image(16 * 256);
-                   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
-                   device.memory().load(image);
-                   return image;
-                 }(),
-                 256),
-        mp(device, {}),
-        vrf_to_prv(simulator, {}),
-        prv_to_vrf(simulator, {}),
-        protocol(device, verifier, mp, vrf_to_prv, prv_to_vrf) {}
-};
+using testfx::SessionHarness;
 
 TEST(Protocol, TimelineIsOrderedLikeFigure1) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   OnDemandTimings timings;
   bool done = false;
   fx.protocol.run(1, [&](OnDemandTimings t) {
@@ -57,7 +32,7 @@ TEST(Protocol, TimelineIsOrderedLikeFigure1) {
 }
 
 TEST(Protocol, HonestProverPasses) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   bool ok = false;
   fx.protocol.run(1, [&](OnDemandTimings t) { ok = t.outcome.ok(); });
   fx.simulator.run();
@@ -65,7 +40,7 @@ TEST(Protocol, HonestProverPasses) {
 }
 
 TEST(Protocol, InfectedProverFails) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   (void)fx.device.memory().write(100, to_bytes("evil"), 0, sim::Actor::kMalware);
   bool done = false;
   VerifyOutcome outcome;
@@ -80,7 +55,7 @@ TEST(Protocol, InfectedProverFails) {
 }
 
 TEST(Protocol, DeferralReflectsAuthDelay) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   OnDemandTimings timings;
   fx.protocol.run(1, [&](OnDemandTimings t) { timings = t; });
   fx.simulator.run();
@@ -89,7 +64,7 @@ TEST(Protocol, DeferralReflectsAuthDelay) {
 }
 
 TEST(Protocol, SuccessiveRoundsWork) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   int passes = 0;
   fx.protocol.run(1, [&](OnDemandTimings t1) {
     if (t1.outcome.ok()) ++passes;
@@ -102,7 +77,7 @@ TEST(Protocol, SuccessiveRoundsWork) {
 }
 
 TEST(Protocol, DroppedRequestNeverCompletes) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   sim::LinkConfig lossy;
   lossy.drop_probability = 1.0;
   sim::Link dead_link(fx.simulator, lossy);
@@ -141,7 +116,7 @@ TEST(Protocol, TamperedChallengeRequestIsRejected) {
 }
 
 TEST(Protocol, ReportWireRoundTripsAndRejectsTruncation) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   Report captured;
   fx.protocol.run(1, [&](OnDemandTimings t) { captured = t.attestation.report; });
   fx.simulator.run();
@@ -158,7 +133,7 @@ TEST(Protocol, ReportWireRoundTripsAndRejectsTruncation) {
 }
 
 TEST(Protocol, StaleCounterRequestIsIgnoredAsReplay) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   int completions = 0;
   fx.protocol.run(5, [&](OnDemandTimings) { ++completions; });
   fx.simulator.run();
@@ -172,7 +147,7 @@ TEST(Protocol, StaleCounterRequestIsIgnoredAsReplay) {
 }
 
 TEST(Protocol, RequestWhileMeasurementBusyIsIgnoredNotFatal) {
-  ProtocolFixture fx;
+  SessionHarness fx;
   sim::LinkConfig dup;
   dup.duplicate_probability = 1.0;  // every challenge arrives twice
   sim::Link duplicating(fx.simulator, dup);

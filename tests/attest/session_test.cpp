@@ -2,70 +2,21 @@
 
 #include <gtest/gtest.h>
 
-#include "src/support/rng.hpp"
+#include "tests/support/fleet_fixtures.hpp"
 
 namespace rasc::attest {
 namespace {
 
 using support::to_bytes;
+using testfx::SessionHarness;
+using testfx::fast_session_config;
 
 constexpr sim::Duration kMs = sim::kMillisecond;
 
-struct SessionFixture {
-  sim::Simulator simulator;
-  sim::Device device;
-  Verifier verifier;
-  AttestationProcess mp;
-  sim::Link vrf_to_prv;
-  sim::Link prv_to_vrf;
-  ReliableSession session;
-
-  SessionFixture(sim::LinkConfig to_prv = {}, sim::LinkConfig to_vrf = {},
-                 SessionConfig config = fast_config())
-      : device(simulator, sim::DeviceConfig{"dev-session", 16 * 256, 256,
-                                            to_bytes("session-key")}),
-        verifier(crypto::HashKind::kSha256, to_bytes("session-key"),
-                 [&] {
-                   support::Xoshiro256 rng(11);
-                   support::Bytes image(16 * 256);
-                   for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
-                   device.memory().load(image);
-                   return image;
-                 }(),
-                 256),
-        mp(device, {}),
-        vrf_to_prv(simulator, to_prv),
-        prv_to_vrf(simulator, to_vrf),
-        session(device, verifier, mp, vrf_to_prv, prv_to_vrf, config) {}
-
-  /// Short, jitterless timers so the deterministic timelines below are
-  /// easy to reason about: one clean round completes in ~6 ms.
-  static SessionConfig fast_config() {
-    SessionConfig config;
-    config.response_timeout = 20 * kMs;
-    config.max_attempts = 3;
-    config.backoff_base = 5 * kMs;
-    config.backoff_jitter = 0.0;
-    return config;
-  }
-
-  RoundResult run_round() {
-    RoundResult result;
-    bool fired = false;
-    session.run([&](RoundResult r) {
-      result = std::move(r);
-      fired = true;
-    });
-    simulator.run();
-    EXPECT_TRUE(fired) << "round leaked its done callback";
-    return result;
-  }
-};
-
 TEST(ReliableSession, CleanLinkVerifiesOnFirstAttempt) {
-  SessionFixture fx;
+  SessionHarness fx;
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kVerified));
   EXPECT_EQ(result.attempts, 1u);
   EXPECT_EQ(result.attempt_timeouts, 0u);
   EXPECT_EQ(result.backoff_total, 0u);
@@ -78,9 +29,9 @@ TEST(ReliableSession, CleanLinkVerifiesOnFirstAttempt) {
 TEST(ReliableSession, TotalLossExhaustsBudgetAndTimesOut) {
   sim::LinkConfig dead;
   dead.drop_probability = 1.0;
-  SessionFixture fx(dead, {});
+  SessionHarness fx(SessionHarness::with_links(dead, {}));
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kTimeout);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kTimeout));
   EXPECT_EQ(result.attempts, 3u);
   EXPECT_EQ(result.attempt_timeouts, 3u);
   EXPECT_EQ(fx.session.retries(), 2u);
@@ -93,9 +44,9 @@ TEST(ReliableSession, PartitionDroppedReportIsRetriedToVerification) {
   // report vanishes; the retry lands after the partition lifts.
   sim::LinkConfig report_leg;
   report_leg.partitions.push_back({0, 10 * kMs});
-  SessionFixture fx({}, report_leg);
+  SessionHarness fx(SessionHarness::with_links({}, report_leg));
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kVerified));
   EXPECT_EQ(result.attempts, 2u);
   EXPECT_EQ(result.attempt_timeouts, 1u);
   EXPECT_EQ(fx.prv_to_vrf.partition_dropped(), 1u);
@@ -106,11 +57,11 @@ TEST(ReliableSession, PartitionDroppedReportIsRetriedToVerification) {
 TEST(ReliableSession, CorruptedReportsClassifyAsCorruptReport) {
   sim::LinkConfig garbling;
   garbling.corrupt_probability = 1.0;
-  SessionConfig config = SessionFixture::fast_config();
+  SessionConfig config = fast_session_config();
   config.max_attempts = 2;
-  SessionFixture fx({}, garbling, config);
+  SessionHarness fx(SessionHarness::with_links({}, garbling, config));
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kCorruptReport);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kCorruptReport));
   EXPECT_EQ(result.attempts, 2u);
   EXPECT_EQ(result.corrupt_reports, 2u);
   // Corrupt answers consume the attempt immediately instead of waiting
@@ -122,9 +73,9 @@ TEST(ReliableSession, CorruptedReportsClassifyAsCorruptReport) {
 TEST(ReliableSession, DuplicatedWinningReportIsRejectedAsLate) {
   sim::LinkConfig duplicating;
   duplicating.duplicate_probability = 1.0;
-  SessionFixture fx({}, duplicating);
+  SessionHarness fx(SessionHarness::with_links({}, duplicating));
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kVerified);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kVerified));
   EXPECT_EQ(result.attempts, 1u);
   EXPECT_EQ(fx.session.late_reports(), 1u);
 }
@@ -139,22 +90,22 @@ TEST(ReliableSession, StaleReportOnlyClassifiesAsReplayRejected) {
   sim::LinkConfig report_leg;
   report_leg.reorder_probability = 1.0;
   report_leg.reorder_delay = 50 * kMs;
-  SessionConfig config = SessionFixture::fast_config();
+  SessionConfig config = fast_session_config();
   config.response_timeout = 30 * kMs;
   config.max_attempts = 2;
-  SessionFixture fx(challenge_leg, report_leg, config);
+  SessionHarness fx(SessionHarness::with_links(challenge_leg, report_leg, config));
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kReplayRejected);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kReplayRejected));
   EXPECT_EQ(result.attempts, 2u);
   EXPECT_EQ(result.replays_rejected, 1u);
   EXPECT_EQ(fx.session.replays_rejected(), 1u);
 }
 
 TEST(ReliableSession, InfectedDeviceIsCompromisedNotRetried) {
-  SessionFixture fx;
-  (void)fx.device.memory().write(300, to_bytes("evil"), 0, sim::Actor::kMalware);
+  SessionHarness fx;
+  fx.infect();
   const RoundResult result = fx.run_round();
-  EXPECT_EQ(result.outcome, SessionOutcome::kCompromised);
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kCompromised));
   EXPECT_EQ(result.attempts, 1u);
   EXPECT_TRUE(result.verdict.mac_ok);
   EXPECT_FALSE(result.verdict.digest_ok);
@@ -169,9 +120,9 @@ TEST(ReliableSession, EveryRoundResolvesUnderHeavyFaults) {
   lossy.seed = 0xbad;
   sim::LinkConfig lossy2 = lossy;
   lossy2.seed = 0xbad2;
-  SessionConfig config = SessionFixture::fast_config();
+  SessionConfig config = fast_session_config();
   config.max_attempts = 4;
-  SessionFixture fx(lossy, lossy2, config);
+  SessionHarness fx(SessionHarness::with_links(lossy, lossy2, config));
 
   constexpr std::size_t kRounds = 30;
   std::size_t resolved = 0;
@@ -192,10 +143,10 @@ TEST(ReliableSession, EveryRoundResolvesUnderHeavyFaults) {
 TEST(ReliableSession, BackoffGrowsExponentiallyWithJitterBounded) {
   sim::LinkConfig dead;
   dead.drop_probability = 1.0;
-  SessionConfig config = SessionFixture::fast_config();
+  SessionConfig config = fast_session_config();
   config.max_attempts = 4;
   config.backoff_jitter = 0.5;
-  SessionFixture fx(dead, {}, config);
+  SessionHarness fx(SessionHarness::with_links(dead, {}, config));
   const RoundResult result = fx.run_round();
   EXPECT_EQ(result.attempts, 4u);
   // Three retries at 5/10/20 ms nominal, each stretched by at most 50%.
@@ -204,21 +155,48 @@ TEST(ReliableSession, BackoffGrowsExponentiallyWithJitterBounded) {
 }
 
 TEST(ReliableSession, MisuseThrows) {
-  SessionFixture fx;
+  SessionHarness fx;
   fx.session.run([](RoundResult) {});
   EXPECT_THROW(fx.session.run([](RoundResult) {}), std::logic_error);
   fx.simulator.run();
 
   SessionConfig config;
   config.max_attempts = 0;
-  SessionFixture broken({}, {}, config);
+  SessionHarness broken(SessionHarness::with_session(config));
   EXPECT_THROW(broken.session.run([](RoundResult) {}), std::invalid_argument);
+}
+
+TEST(ReliableSession, ReportAfterTerminalOutcomeIsLateNotFatal) {
+  // Every report is held back 100 ms — far past the whole retry budget —
+  // so the round resolves as kTimeout while three measurements' reports
+  // are still in flight.  When they finally land on the resolved (idle)
+  // session they must be counted as late and discarded, never re-judged
+  // and never crashing; a following round must still work.
+  sim::LinkConfig straggling;
+  straggling.reorder_probability = 1.0;
+  straggling.reorder_delay = 100 * kMs;
+  SessionHarness fx(SessionHarness::with_links({}, straggling));
+  const RoundResult first = fx.run_round();  // runs sim to full quiescence
+  EXPECT_TRUE(testfx::resolved_as(first, SessionOutcome::kTimeout));
+  EXPECT_EQ(first.attempts, 3u);
+  // All three straggler reports arrived after resolution.
+  EXPECT_EQ(fx.session.late_reports(), 3u);
+  EXPECT_FALSE(fx.session.busy());
+  EXPECT_EQ(fx.session.rounds_resolved(), 1u);
+
+  // The session is reusable after the straggler storm: a second round on
+  // the same stack still runs to a terminal outcome (the stragglers'
+  // stale state cannot poison the next challenge or wedge the session).
+  const RoundResult second = fx.run_round();
+  EXPECT_TRUE(testfx::resolved_as(second, SessionOutcome::kTimeout));
+  EXPECT_EQ(fx.session.rounds_resolved(), 2u);
+  EXPECT_EQ(fx.session.late_reports(), 6u);
 }
 
 TEST(ReliableSession, MetricsAccountTerminalOutcomes) {
   sim::LinkConfig dead;
   dead.drop_probability = 1.0;
-  SessionFixture fx(dead, {});
+  SessionHarness fx(SessionHarness::with_links(dead, {}));
   obs::MetricsRegistry metrics;
   fx.session.set_metrics(&metrics);
   (void)fx.run_round();

@@ -1,0 +1,144 @@
+/// Property tests for the campaign engine's shard reduction: folding
+/// trial outputs into exp::detail::ShardAggregate shards and merging them
+/// in shard order must equal the direct sequential fold, for any shard
+/// partition — the algebra behind "BENCH JSON is bit-identical for any
+/// --threads".  Plus failure-path coverage for TrialOutput::require, the
+/// per-trial invariant hook the fleet campaign leans on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/exp/campaign.hpp"
+#include "src/support/rng.hpp"
+
+namespace rasc::exp {
+namespace {
+
+std::vector<TrialOutput> random_outputs(std::uint64_t seed, std::size_t count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<TrialOutput> outputs;
+  outputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TrialOutput out;
+    out.successes = rng.below(4);
+    out.attempts = out.successes + rng.below(4);
+    out.value("latency", static_cast<double>(rng.below(1000)));
+    if (rng.below(2)) out.value("sparse", static_cast<double>(rng.below(10)));
+    out.metrics.counter("work").inc(rng.below(8));
+    out.health.record_round(
+        static_cast<obs::RoundOutcome>(rng.below(obs::kRoundOutcomeCount)),
+        1 + rng.below(6), rng.below(1'000'000'000ull), rng.below(1'000'000ull),
+        rng.below(1'000ull));
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+detail::ShardAggregate fold_range(const std::vector<TrialOutput>& outputs,
+                                  std::size_t begin, std::size_t end) {
+  detail::ShardAggregate shard;
+  for (std::size_t i = begin; i < end; ++i) shard.fold(outputs[i]);
+  return shard;
+}
+
+void expect_same(const detail::ShardAggregate& a, const detail::ShardAggregate& b) {
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.attempts, b.attempts);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (const auto& [name, moments] : a.values) {
+    const auto it = b.values.find(name);
+    ASSERT_NE(it, b.values.end()) << name;
+    EXPECT_EQ(moments.count(), it->second.count()) << name;
+    // min/max/count are grouping-independent and must match exactly; the
+    // Welford mean is grouping-sensitive only in its last few ulps (this
+    // is why run_campaign fixes the shard partition by shard_size rather
+    // than by thread count — bit-identity needs identical grouping, which
+    // Campaign.AggregatesBitIdenticalAcrossThreadCounts pins down).
+    EXPECT_NEAR(moments.mean(), it->second.mean(),
+                1e-12 * (1.0 + std::abs(moments.mean())))
+        << name;
+    EXPECT_DOUBLE_EQ(moments.min(), it->second.min()) << name;
+    EXPECT_DOUBLE_EQ(moments.max(), it->second.max()) << name;
+  }
+  EXPECT_EQ(a.health.rounds(), b.health.rounds());
+  for (std::size_t o = 0; o < obs::kRoundOutcomeCount; ++o) {
+    EXPECT_EQ(a.health.outcome_count(static_cast<obs::RoundOutcome>(o)),
+              b.health.outcome_count(static_cast<obs::RoundOutcome>(o)));
+  }
+  const obs::Counter* ca = a.metrics.find_counter("work");
+  const obs::Counter* cb = b.metrics.find_counter("work");
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  EXPECT_EQ(ca->value(), cb->value());
+}
+
+TEST(ShardFoldProperty, AnyShardPartitionMergesToTheDirectFold) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    const std::vector<TrialOutput> outputs = random_outputs(seed, 100);
+    const detail::ShardAggregate reference =
+        fold_range(outputs, 0, outputs.size());
+
+    support::Xoshiro256 rng(seed ^ 0xbeef);
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      // Random shard boundaries, merged in shard order (as run_campaign
+      // does regardless of which worker computed which shard).
+      std::vector<std::size_t> cuts = {0, outputs.size()};
+      for (int i = 0; i < 4; ++i) cuts.push_back(rng.below(outputs.size() + 1));
+      std::sort(cuts.begin(), cuts.end());
+      detail::ShardAggregate merged;
+      for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+        merged.merge(fold_range(outputs, cuts[i], cuts[i + 1]));
+      }
+      expect_same(merged, reference);
+    }
+  }
+}
+
+TEST(ShardFoldProperty, MergeWithEmptyShardIsANoOp) {
+  const std::vector<TrialOutput> outputs = random_outputs(7, 20);
+  const detail::ShardAggregate reference = fold_range(outputs, 0, outputs.size());
+  detail::ShardAggregate merged = fold_range(outputs, 0, outputs.size());
+  merged.merge(detail::ShardAggregate{});
+  expect_same(merged, reference);
+  detail::ShardAggregate from_empty;
+  from_empty.merge(fold_range(outputs, 0, outputs.size()));
+  expect_same(from_empty, reference);
+}
+
+TEST(ShardFoldProperty, SparseValueChannelsUnionAcrossShards) {
+  // A value channel recorded only by some trials must still aggregate the
+  // union of observations, not just the channels the first shard saw.
+  TrialOutput only_a;
+  only_a.value("a", 1.0);
+  TrialOutput only_b;
+  only_b.value("b", 2.0);
+  detail::ShardAggregate left;
+  left.fold(only_a);
+  detail::ShardAggregate right;
+  right.fold(only_b);
+  left.merge(std::move(right));
+  ASSERT_EQ(left.values.size(), 2u);
+  EXPECT_EQ(left.values.at("a").count(), 1u);
+  EXPECT_EQ(left.values.at("b").count(), 1u);
+}
+
+TEST(TrialRequire, ThrowsRuntimeErrorNamingTheInvariant) {
+  TrialOutput out;
+  out.require(true, "holds");  // passing requirement is silent
+  try {
+    out.require(false, "every admitted device reached a terminal outcome");
+    FAIL() << "require(false) did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "every admitted device reached a terminal outcome"),
+              std::string::npos)
+        << "message must name the violated invariant, got: " << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace rasc::exp

@@ -1,0 +1,177 @@
+/// Randomized algebraic property tests for obs::HealthRollup::merge —
+/// the operation every shard fold, epoch fold and campaign aggregate in
+/// the repo leans on for thread-count independence.  merge() must behave
+/// as a commutative monoid on the integer aggregates (rounds, outcome
+/// counts, retry depths, latency sample count): any grouping and any
+/// order of merging the same rounds yields the same rollup.
+
+#include "src/obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/support/rng.hpp"
+
+namespace rasc::obs {
+namespace {
+
+struct Round {
+  RoundOutcome outcome;
+  std::uint64_t attempts;
+  std::uint64_t latency_ns;
+  std::uint64_t measure_ns;
+  std::uint64_t wasted_ns;
+};
+
+std::vector<Round> random_rounds(std::uint64_t seed, std::size_t count) {
+  support::Xoshiro256 rng(seed);
+  std::vector<Round> rounds(count);
+  for (Round& r : rounds) {
+    r.outcome = static_cast<RoundOutcome>(rng.below(kRoundOutcomeCount));
+    // Exercise the depth-clamping slot too (> kMaxRetryDepth).
+    r.attempts = 1 + rng.below(HealthRollup::kMaxRetryDepth + 4);
+    r.latency_ns = rng.below(5'000'000'000ull);
+    r.measure_ns = rng.below(100'000'000ull);
+    r.wasted_ns = rng.below(r.measure_ns + 1);
+  }
+  return rounds;
+}
+
+HealthRollup fold(const std::vector<Round>& rounds, std::size_t begin,
+                  std::size_t end) {
+  HealthRollup rollup;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Round& r = rounds[i];
+    rollup.record_round(r.outcome, r.attempts, r.latency_ns, r.measure_ns,
+                        r.wasted_ns);
+  }
+  return rollup;
+}
+
+::testing::AssertionResult same_integer_aggregates(const HealthRollup& a,
+                                                   const HealthRollup& b) {
+  if (a.rounds() != b.rounds()) {
+    return ::testing::AssertionFailure()
+           << "rounds " << a.rounds() << " vs " << b.rounds();
+  }
+  for (std::size_t o = 0; o < kRoundOutcomeCount; ++o) {
+    const auto outcome = static_cast<RoundOutcome>(o);
+    if (a.outcome_count(outcome) != b.outcome_count(outcome)) {
+      return ::testing::AssertionFailure()
+             << round_outcome_name(outcome) << " " << a.outcome_count(outcome)
+             << " vs " << b.outcome_count(outcome);
+    }
+  }
+  for (std::size_t d = 1; d <= HealthRollup::kMaxRetryDepth; ++d) {
+    if (a.retry_depth(d) != b.retry_depth(d)) {
+      return ::testing::AssertionFailure()
+             << "retry depth " << d << ": " << a.retry_depth(d) << " vs "
+             << b.retry_depth(d);
+    }
+  }
+  if (a.latency_ms().count() != b.latency_ms().count()) {
+    return ::testing::AssertionFailure()
+           << "latency count " << a.latency_ms().count() << " vs "
+           << b.latency_ms().count();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(HealthRollupProperty, MergeWithIdentityIsANoOp) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const std::vector<Round> rounds = random_rounds(seed, 50);
+    const HealthRollup reference = fold(rounds, 0, rounds.size());
+
+    HealthRollup left = fold(rounds, 0, rounds.size());
+    left.merge(HealthRollup{});  // right identity
+    EXPECT_TRUE(same_integer_aggregates(left, reference));
+
+    HealthRollup right;  // left identity
+    right.merge(reference);
+    EXPECT_TRUE(same_integer_aggregates(right, reference));
+    EXPECT_TRUE(HealthRollup{}.empty());
+  }
+}
+
+TEST(HealthRollupProperty, MergeIsCommutative) {
+  for (std::uint64_t seed : {10ull, 11ull, 12ull, 13ull, 14ull}) {
+    const std::vector<Round> rounds = random_rounds(seed, 80);
+    const std::size_t split = 1 + seed % (rounds.size() - 1);
+    const HealthRollup a = fold(rounds, 0, split);
+    const HealthRollup b = fold(rounds, split, rounds.size());
+
+    HealthRollup ab = a;
+    ab.merge(b);
+    HealthRollup ba = b;
+    ba.merge(a);
+    EXPECT_TRUE(same_integer_aggregates(ab, ba)) << "seed " << seed;
+  }
+}
+
+TEST(HealthRollupProperty, MergeIsAssociative) {
+  for (std::uint64_t seed : {20ull, 21ull, 22ull, 23ull, 24ull}) {
+    const std::vector<Round> rounds = random_rounds(seed, 90);
+    const std::size_t third = rounds.size() / 3;
+    const HealthRollup a = fold(rounds, 0, third);
+    const HealthRollup b = fold(rounds, third, 2 * third);
+    const HealthRollup c = fold(rounds, 2 * third, rounds.size());
+
+    HealthRollup left = a;  // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    HealthRollup bc = b;  // a + (b + c)
+    bc.merge(c);
+    HealthRollup right = a;
+    right.merge(bc);
+    EXPECT_TRUE(same_integer_aggregates(left, right)) << "seed " << seed;
+  }
+}
+
+TEST(HealthRollupProperty, AnyShardingEqualsTheSequentialFold) {
+  // The property the campaign engine and the fleet verifier rely on: for
+  // ANY partition of the rounds into shards, merging the shard rollups
+  // (in any order) equals folding everything sequentially.
+  for (std::uint64_t seed : {30ull, 31ull, 32ull}) {
+    const std::vector<Round> rounds = random_rounds(seed, 120);
+    const HealthRollup reference = fold(rounds, 0, rounds.size());
+
+    support::Xoshiro256 rng(seed ^ 0xf00d);
+    // Random shard boundaries.
+    std::vector<std::size_t> cuts = {0, rounds.size()};
+    for (int i = 0; i < 5; ++i) cuts.push_back(rng.below(rounds.size() + 1));
+    std::sort(cuts.begin(), cuts.end());
+
+    std::vector<HealthRollup> shards;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      shards.push_back(fold(rounds, cuts[i], cuts[i + 1]));
+    }
+    // Merge in a shuffled order.
+    for (std::size_t i = shards.size(); i > 1; --i) {
+      std::swap(shards[i - 1], shards[rng.below(i)]);
+    }
+    HealthRollup merged;
+    for (const HealthRollup& shard : shards) merged.merge(shard);
+    EXPECT_TRUE(same_integer_aggregates(merged, reference)) << "seed " << seed;
+  }
+}
+
+TEST(HealthRollupProperty, RetryDepthsPartitionTheRounds) {
+  for (std::uint64_t seed : {40ull, 41ull}) {
+    const HealthRollup rollup = fold(random_rounds(seed, 64), 0, 64);
+    std::uint64_t total = 0;
+    for (std::size_t d = 1; d <= HealthRollup::kMaxRetryDepth; ++d) {
+      total += rollup.retry_depth(d);
+    }
+    EXPECT_EQ(total, rollup.rounds());
+    std::uint64_t by_outcome = 0;
+    for (std::size_t o = 0; o < kRoundOutcomeCount; ++o) {
+      by_outcome += rollup.outcome_count(static_cast<RoundOutcome>(o));
+    }
+    EXPECT_EQ(by_outcome, rollup.rounds());
+  }
+}
+
+}  // namespace
+}  // namespace rasc::obs

@@ -278,6 +278,38 @@ TEST(Link, CountersBalanceUnderAllFaults) {
   EXPECT_GT(run.reordered, 0u);
 }
 
+TEST(Link, ResetCountersGivesPerTrialBalancedBooks) {
+  // A harness reusing one link across trials (the fleet fixtures, the
+  // campaign runner) zeroes the counters between trials; after each trial
+  // the delivered == sent - dropped + duplicated invariant must hold for
+  // that trial alone, not just cumulatively.
+  Simulator sim;
+  LinkConfig config;
+  config.drop_probability = 0.3;
+  config.duplicate_probability = 0.2;
+  config.jitter = 0;
+  config.seed = 7;
+  Link link(sim, config);
+  std::size_t cumulative_delivered = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    link.reset_counters();
+    EXPECT_EQ(link.sent(), 0u);
+    EXPECT_EQ(link.delivered(), 0u);
+    EXPECT_EQ(link.dropped(), 0u);
+    EXPECT_EQ(link.duplicated(), 0u);
+    for (int i = 0; i < 200; ++i) {
+      link.send(support::Bytes(32, 0xcd), [](support::Bytes) {});
+    }
+    sim.run();
+    EXPECT_EQ(link.sent(), 200u) << "trial " << trial;
+    EXPECT_EQ(link.delivered(), link.sent() - link.dropped() + link.duplicated())
+        << "trial " << trial;
+    cumulative_delivered += link.delivered();
+  }
+  // The counters really were per-trial, not cumulative.
+  EXPECT_GT(cumulative_delivered, link.delivered());
+}
+
 TEST(Link, FaultInjectionIsDeterministicIncludingObservability) {
   // Two identical runs must agree bit-for-bit — counters, the exported
   // metrics JSON, and the full Chrome trace.
