@@ -52,6 +52,7 @@ void usage(const char* argv0) {
       "  sec25_fire_alarm        fire-alarm deadline misses, mode x memory sweep\n"
       "  lock_matrix             Table 1 mechanisms x adversaries detection rates\n"
       "  measurement_cache       digest-cache identity + hit rate, dirty-%% sweep\n"
+      "  mtree                   Merkle-tree prover, dirty-%% x infected sweep\n"
       "  network_reliability     lossy-link RA sessions, drop x retries x timeout\n"
       "  fleet_scale             fleet verifier, devices x drop x stagger sweep\n",
       argv0);
@@ -92,6 +93,13 @@ exp::CampaignSpec build_spec(const Options& options) {
     o.seed = options.seed;
     o.threads = options.threads;
     return apps::make_measurement_cache_campaign(o);
+  }
+  if (options.campaign == "mtree") {
+    apps::MtreeCampaignOptions o;
+    if (options.trials != 0) o.trials = options.trials;
+    o.seed = options.seed;
+    o.threads = options.threads;
+    return apps::make_mtree_campaign(o);
   }
   if (options.campaign == "network_reliability") {
     apps::NetworkReliabilityCampaignOptions o;
@@ -305,6 +313,20 @@ int main(int argc, char** argv) {
       for (const auto& cell : result.cells) {
         if (cell.successes != cell.attempts) {
           std::fprintf(stderr, "FAIL: %s: cached/uncached divergence in %llu/%llu trials\n",
+                       cell.point.label().c_str(),
+                       static_cast<unsigned long long>(cell.attempts - cell.successes),
+                       static_cast<unsigned long long>(cell.attempts));
+          ok = false;
+        }
+      }
+    }
+
+    if (spec.name == "mtree") {
+      // Verdict correctness is per-trial exact: healthy cells must verify
+      // and infected cells must localize exactly the infected range.
+      for (const auto& cell : result.cells) {
+        if (cell.successes != cell.attempts) {
+          std::fprintf(stderr, "FAIL: %s: wrong verdict/localization in %llu/%llu trials\n",
                        cell.point.label().c_str(),
                        static_cast<unsigned long long>(cell.attempts - cell.successes),
                        static_cast<unsigned long long>(cell.attempts));

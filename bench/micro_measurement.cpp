@@ -9,11 +9,20 @@
 /// measurements for every round — divergence is a correctness failure, not
 /// noise, and exits non-zero.
 ///
+/// A third column runs the same sweep through the Merkle-tree incremental
+/// path (src/mtree): per round only the dirty blocks are re-digested and
+/// O(dirty * log n) tree nodes re-hashed, and the *root* stands in for the
+/// flat digest.  Tree and flat measurements live in different MAC domains
+/// so their bytes differ by design; what must agree byte-for-byte is the
+/// per-round *verdict* (measurement == the golden expectation for that
+/// context), plus the incremental root must equal a from-scratch rebuild.
+///
 /// Also runs the `measurement_cache` campaign (deterministic identity +
 /// hit-rate aggregates through the exp engine) and folds everything into
-/// BENCH_measurement.json.  Exits non-zero if any identity check fails or
-/// if repeated measurement at <=10% dirty blocks is not at least 5x faster
-/// with the cache than without.
+/// BENCH_measurement.json.  Exits non-zero if any identity check fails, if
+/// repeated measurement at <=10% dirty blocks is not at least 5x faster
+/// with the cache than without, or if the tree path is not at least 50x
+/// faster than uncached at <=1% dirty blocks.
 
 #include <chrono>
 #include <cstdio>
@@ -23,8 +32,10 @@
 
 #include "src/apps/campaign.hpp"
 #include "src/attest/digest_cache.hpp"
+#include "src/attest/golden.hpp"
 #include "src/attest/measurement.hpp"
 #include "src/exp/report.hpp"
+#include "src/mtree/incremental.hpp"
 #include "src/obs/bench_io.hpp"
 #include "src/obs/journal.hpp"
 #include "src/sim/memory.hpp"
@@ -50,6 +61,17 @@ double now_seconds() {
       .count();
 }
 
+/// Identical dirtying stream for every column of one sweep point.
+void dirty_round(sim::DeviceMemory& memory, support::Xoshiro256& rng,
+                 std::size_t dirty_blocks, std::size_t round) {
+  for (std::size_t d = 0; d < dirty_blocks; ++d) {
+    const std::size_t block = static_cast<std::size_t>(rng.below(kBlocks));
+    const support::Bytes patch{static_cast<std::uint8_t>(rng.below(256))};
+    memory.write(block * kBlockSize + static_cast<std::size_t>(rng.below(kBlockSize)),
+                 patch, /*now=*/static_cast<sim::Time>(round), sim::Actor::kApplication);
+  }
+}
+
 /// One sweep point: run `kRounds` measure-dirty-measure cycles, returning
 /// elapsed seconds; every round's measurement is appended to `out`.
 double run_rounds(sim::DeviceMemory& memory, attest::DigestCache* cache,
@@ -59,17 +81,34 @@ double run_rounds(sim::DeviceMemory& memory, attest::DigestCache* cache,
   const double start = now_seconds();
   for (std::size_t round = 0; round < kRounds; ++round) {
     // Dirty a random subset, then measure the whole memory.
-    for (std::size_t d = 0; d < dirty_blocks; ++d) {
-      const std::size_t block = static_cast<std::size_t>(rng.below(kBlocks));
-      const support::Bytes patch{static_cast<std::uint8_t>(rng.below(256))};
-      memory.write(block * kBlockSize + static_cast<std::size_t>(rng.below(kBlockSize)),
-                   patch, /*now=*/static_cast<sim::Time>(round), sim::Actor::kApplication);
-    }
+    dirty_round(memory, rng, dirty_blocks, round);
     attest::Measurement m(memory, crypto::HashKind::kSha256, key,
                           attest::MeasurementContext{"prv-micro", {}, round + 1});
     m.set_digest_cache(cache);
     for (std::size_t b = 0; b < kBlocks; ++b) m.visit_block(b, /*now=*/0);
     out.push_back(m.finalize());
+  }
+  return now_seconds() - start;
+}
+
+/// Same sweep point through the Merkle-tree incremental path: the same
+/// dirtying stream, but each round re-digests only the dirty blocks
+/// (observed via the generation observer), flushes O(dirty * log n) tree
+/// nodes and MACs the root.  Appends the per-round tree measurement to
+/// `out`; returns elapsed seconds.
+double run_tree_rounds(sim::DeviceMemory& memory, support::ByteView key,
+                       std::size_t dirty_blocks, std::uint64_t rng_seed,
+                       std::vector<support::Bytes>& out,
+                       mtree::IncrementalTree& tree) {
+  support::Xoshiro256 rng(rng_seed);
+  const double start = now_seconds();
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    dirty_round(memory, rng, dirty_blocks, round);
+    tree.refresh();
+    out.push_back(attest::Measurement::combine_root(
+        tree.root_bytes(), crypto::HashKind::kSha256, key,
+        attest::MeasurementContext{"prv-micro", {}, round + 1},
+        attest::MacKind::kHmac));
   }
   return now_seconds() - start;
 }
@@ -85,39 +124,89 @@ int main() {
   obs::MetricsRegistry registry;
   bool ok = true;
   double speedup_at_10pct = 0.0;
+  double tree_speedup_at_1pct = 0.0;
 
   support::Table table({"dirty %", "cached s", "uncached s", "speedup",
-                        "hit rate", "identical"});
+                        "tree s", "tree spdup", "hit rate", "identical"});
   for (const std::size_t dirty_pct : {0u, 1u, 5u, 10u, 25u, 50u, 100u}) {
     const std::size_t dirty_blocks = kBlocks * dirty_pct / 100;
-    // Identical initial contents and identical dirtying streams on both
-    // sides, so measurement k is comparable byte-for-byte.
+    // Identical initial contents and identical dirtying streams on all
+    // three sides, so measurement k is comparable round-for-round.
     sim::DeviceMemory cached_mem(kBlocks * kBlockSize, kBlockSize);
     sim::DeviceMemory uncached_mem(kBlocks * kBlockSize, kBlockSize);
+    sim::DeviceMemory tree_mem(kBlocks * kBlockSize, kBlockSize);
+    support::Bytes image(cached_mem.size());
     {
       support::Xoshiro256 rng(0xbeef + dirty_pct);
-      support::Bytes image(cached_mem.size());
       for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
       cached_mem.load(image);
       uncached_mem.load(image);
+      tree_mem.load(image);
     }
     attest::DigestCache cache;
     cache.resize(kBlocks);
     cache.set_metrics(&registry);
 
-    std::vector<support::Bytes> cached_results, uncached_results;
+    std::vector<support::Bytes> cached_results, uncached_results, tree_results;
     cached_results.reserve(kRounds);
     uncached_results.reserve(kRounds);
+    tree_results.reserve(kRounds);
     const std::uint64_t stream_seed = 0xd127 + dirty_pct;
     const double cached_s =
         run_rounds(cached_mem, &cache, key, dirty_blocks, stream_seed, cached_results);
     const double uncached_s = run_rounds(uncached_mem, nullptr, key, dirty_blocks,
                                          stream_seed, uncached_results);
 
+    // Tree column: primed once outside the timed loop (the prover primes
+    // at deployment), then dirty discovery through the generation
+    // observer, exactly as the tree-mode prover runs.
+    attest::BlockDigester digester(attest::MacKind::kHmac, crypto::HashKind::kSha256,
+                                   key);
+    mtree::IncrementalTree tree(
+        tree_mem, crypto::HashKind::kSha256,
+        [&digester](std::size_t, support::ByteView content, attest::Digest& out) {
+          digester.digest(content, out);
+        });
+    tree.rebuild();
+    tree_mem.set_generation_observer(
+        [&tree](std::size_t block) { tree.note_block_changed(block); });
+    tree.use_observed_dirty(true);
+    const double tree_s =
+        run_tree_rounds(tree_mem, key, dirty_blocks, stream_seed, tree_results, tree);
+
     const bool identical = cached_results == uncached_results;
     ok &= identical;
+
+    // The incremental root must equal a from-scratch rebuild over the
+    // final memory state — incrementality is an optimization, never a
+    // different answer.
+    mtree::IncrementalTree reference(
+        tree_mem, crypto::HashKind::kSha256,
+        [&digester](std::size_t, support::ByteView content, attest::Digest& out) {
+          digester.digest(content, out);
+        });
+    reference.rebuild();
+    const bool root_matches_rebuild = tree.root_bytes() == reference.root_bytes();
+    ok &= root_matches_rebuild;
+
+    // Flat and tree measurements differ byte-wise (separate MAC domains);
+    // the per-round *verdicts* against the golden image must be identical.
+    attest::GoldenMeasurement golden(image, kBlockSize, crypto::HashKind::kSha256,
+                                     key);
+    bool verdicts_identical = true;
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      const attest::MeasurementContext context{"prv-micro", {}, round + 1};
+      const bool flat_verdict = uncached_results[round] == golden.expected(context);
+      const bool tree_verdict = tree_results[round] == golden.expected_tree(context);
+      verdicts_identical &= flat_verdict == tree_verdict;
+    }
+    ok &= verdicts_identical;
+    const bool column_ok = identical && root_matches_rebuild && verdicts_identical;
+
     const double speedup = cached_s > 0.0 ? uncached_s / cached_s : 0.0;
     if (dirty_pct == 10) speedup_at_10pct = speedup;
+    const double tree_speedup = tree_s > 0.0 ? uncached_s / tree_s : 0.0;
+    if (dirty_pct == 1) tree_speedup_at_1pct = tree_speedup;
     const double hit_rate =
         static_cast<double>(cache.hits()) /
         static_cast<double>(cache.hits() + cache.misses());
@@ -126,17 +215,24 @@ int main() {
     registry.gauge("measurement.cached_seconds_dirty_" + suffix).set(cached_s);
     registry.gauge("measurement.uncached_seconds_dirty_" + suffix).set(uncached_s);
     registry.gauge("measurement.speedup_dirty_" + suffix).set(speedup);
+    registry.gauge("measurement.tree_seconds_dirty_" + suffix).set(tree_s);
+    registry.gauge("measurement.tree_speedup_dirty_" + suffix).set(tree_speedup);
     registry.gauge("measurement.hit_rate_dirty_" + suffix).set(hit_rate);
     if (!identical) registry.counter("measurement.divergence").inc();
+    if (!root_matches_rebuild || !verdicts_identical)
+      registry.counter("measurement.tree_divergence").inc();
 
     table.add_row({std::to_string(dirty_pct), support::fmt_double(cached_s, 4),
                    support::fmt_double(uncached_s, 4), support::fmt_double(speedup, 1),
-                   support::fmt_double(hit_rate, 3), identical ? "yes" : "NO"});
+                   support::fmt_double(tree_s, 4), support::fmt_double(tree_speedup, 1),
+                   support::fmt_double(hit_rate, 3), column_ok ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
 
   ok &= expect(speedup_at_10pct >= 5.0,
                "repeated measurement at 10% dirty blocks is >=5x faster cached");
+  ok &= expect(tree_speedup_at_1pct >= 50.0,
+               "tree re-measurement at 1% dirty blocks is >=50x faster than uncached");
 
   // A detached flight recorder must be invisible on the measurement hot
   // path.  Time the disabled-path gate every instrumented site pays per

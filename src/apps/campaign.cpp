@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "src/attest/digest_cache.hpp"
+#include "src/attest/prover.hpp"
+#include "src/attest/verifier.hpp"
 #include "src/locking/policies.hpp"
 
 namespace rasc::apps {
@@ -181,6 +183,97 @@ exp::CampaignSpec make_measurement_cache_campaign(
     out.value("cache_hits", static_cast<double>(round_hits));
     out.value("expected_clean", static_cast<double>(kBlocks - dirty));
     out.value("hit_rate", static_cast<double>(round_hits) / kBlocks);
+    return out;
+  };
+  return spec;
+}
+
+exp::CampaignSpec make_mtree_campaign(const MtreeCampaignOptions& options) {
+  exp::CampaignSpec spec;
+  spec.name = "mtree";
+  spec.grid.axis("dirty_pct", {std::int64_t{0}, std::int64_t{1}, std::int64_t{10}});
+  spec.grid.axis("infected", {std::int64_t{0}, std::int64_t{1}});
+  spec.trials_per_point = options.trials;
+  spec.base_seed = options.seed;
+  spec.threads = options.threads;
+  spec.shard_size = 8;
+  spec.trial = [](const exp::GridPoint& point, exp::TrialContext& ctx) {
+    constexpr std::size_t kBlocks = 64;
+    constexpr std::size_t kBlockSize = 1024;
+    constexpr std::size_t kInfectedFirst = kBlocks / 2;
+    constexpr std::size_t kInfectedCount = 2;
+    const support::Bytes key = support::to_bytes("mtree-campaign-key");
+
+    sim::Simulator simulator;
+    sim::Device device(simulator, sim::DeviceConfig{"dev-mtree", kBlocks * kBlockSize,
+                                                    kBlockSize, key});
+    const support::Bytes image =
+        provision_image(kBlocks * kBlockSize, 0x7ee00000 + ctx.seed);
+    device.memory().load(image);
+    attest::Verifier verifier(crypto::HashKind::kSha256, key, image, kBlockSize);
+
+    attest::ProverConfig config;
+    config.mode = attest::ExecutionMode::kAtomic;
+    config.use_merkle_tree = true;
+    attest::AttestationProcess mp(device, config);
+    mp.prime_tree();
+
+    exp::TrialOutput out;
+
+    // Healthy churn: rewrite dirty_pct% of the blocks with their *own*
+    // bytes.  Generations bump and the tree re-hashes those leaves, but
+    // every digest is unchanged, so this must stay Verified.
+    sim::DeviceMemory& memory = device.memory();
+    const std::size_t dirty =
+        kBlocks * static_cast<std::size_t>(point.i64("dirty_pct")) / 100;
+    std::vector<std::size_t> order(kBlocks);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    for (std::size_t i = 0; i < dirty; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(ctx.rng.below(kBlocks - i));
+      std::swap(order[i], order[j]);
+      const support::ByteView view = memory.block_view(order[i]);
+      const support::Bytes same(view.begin(), view.end());
+      memory.write(order[i] * kBlockSize, same, /*now=*/0, sim::Actor::kApplication);
+    }
+
+    const bool infected = point.i64("infected") != 0;
+    if (infected) {
+      for (std::size_t b = kInfectedFirst; b < kInfectedFirst + kInfectedCount; ++b) {
+        const support::Bytes patch{
+            static_cast<std::uint8_t>(memory.block_view(b)[0] ^ 0xff)};
+        memory.write(b * kBlockSize, patch, /*now=*/0, sim::Actor::kMalware);
+      }
+    }
+
+    attest::AttestationResult result;
+    bool done = false;
+    mp.start(attest::MeasurementContext{device.id(), verifier.issue_challenge(), 1},
+             [&](attest::AttestationResult r) {
+               result = std::move(r);
+               done = true;
+             });
+    simulator.run();
+    out.require(done, "tree-mode attestation round never completed");
+
+    const attest::VerifyOutcome verdict = verifier.verify(result.report);
+    out.require(verdict.used_tree, "report did not carry a Merkle root");
+
+    // Bernoulli channel: the verdict is exactly right for this cell.
+    const bool exact_localization =
+        verdict.localized.size() == 1 &&
+        verdict.localized.front().first == kInfectedFirst &&
+        verdict.localized.front().count == kInfectedCount;
+    const bool correct =
+        infected ? (!verdict.ok() && exact_localization) : verdict.ok();
+    out.bernoulli(correct);
+    out.value("verified", verdict.ok() ? 1.0 : 0.0);
+    out.value("localized_ranges", static_cast<double>(verdict.localized.size()));
+    out.value("proof_leaves", [&] {
+      std::size_t leaves = 0;
+      for (const auto& proof : result.report.proofs) leaves += proof.leaf_count;
+      return static_cast<double>(leaves);
+    }());
+    out.value("dirty_blocks", static_cast<double>(dirty));
     return out;
   };
   return spec;

@@ -52,6 +52,23 @@ struct MeasurementCacheCampaignOptions {
 exp::CampaignSpec make_measurement_cache_campaign(
     const MeasurementCacheCampaignOptions& options = {});
 
+struct MtreeCampaignOptions {
+  std::size_t trials = 40;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;
+};
+
+/// Tree-mode attestation sweep (spec name "mtree", artifact
+/// BENCH_mtree.json): dirty_pct x infected over a Merkle-tree prover.
+/// Healthy trials churn dirty_pct% of the blocks by rewriting their own
+/// bytes — generations bump and the tree re-hashes those leaves, but every
+/// digest is unchanged, so the round must stay Verified.  Infected trials
+/// additionally patch a known contiguous block range; the Bernoulli
+/// channel is "the verifier's localized range is exactly the infected
+/// range" (healthy: "the round verified"), which must hold in every trial.
+/// All values are deterministic — identical aggregates for any --threads.
+exp::CampaignSpec make_mtree_campaign(const MtreeCampaignOptions& options = {});
+
 struct NetworkReliabilityCampaignOptions {
   std::size_t trials = 100;
   std::uint64_t seed = 1;

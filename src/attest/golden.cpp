@@ -17,10 +17,17 @@ GoldenMeasurement::GoldenMeasurement(support::ByteView image, std::size_t block_
   for (std::size_t i = 0; i < n; ++i) {
     digester.digest(image.subspan(i * block_size, block_size), digests_[i]);
   }
+  tree_.emplace(n, hash);
+  for (std::size_t i = 0; i < n; ++i) tree_->set_leaf(i, digests_[i]);
+  tree_->flush();
 }
 
 support::Bytes GoldenMeasurement::expected(const MeasurementContext& context) const {
   return Measurement::combine(digests_, hash_, key_, context, mac_);
+}
+
+support::Bytes GoldenMeasurement::expected_tree(const MeasurementContext& context) const {
+  return Measurement::combine_root(tree_root(), hash_, key_, context, mac_);
 }
 
 }  // namespace rasc::attest

@@ -13,9 +13,11 @@
 /// calls are thread-safe because each builds its own combiner MAC state.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "src/attest/measurement.hpp"
+#include "src/mtree/mtree.hpp"
 
 namespace rasc::attest {
 
@@ -31,11 +33,25 @@ class GoldenMeasurement {
   /// Bit-identical to Measurement::expected on the same image.
   support::Bytes expected(const MeasurementContext& context) const;
 
+  /// Expected *tree-mode* measurement for a context: the MAC of the
+  /// golden Merkle root under the context header
+  /// (Measurement::combine_root).  Bit-identical to what a tree-mode
+  /// prover over pristine memory produces.
+  support::Bytes expected_tree(const MeasurementContext& context) const;
+
   std::size_t block_count() const noexcept { return digests_.size(); }
   std::size_t block_size() const noexcept { return block_size_; }
   crypto::HashKind hash_kind() const noexcept { return hash_; }
   MacKind mac_kind() const noexcept { return mac_; }
   const Digest& block_digest(std::size_t block) const { return digests_.at(block); }
+
+  /// Golden Merkle tree over the per-block digests, built once at
+  /// construction like the digests themselves.  The root is what shard /
+  /// fleet aggregation combines, and the interior nodes are what the
+  /// verifier-side memory accounting charges per shard.
+  const mtree::MerkleTree& tree() const noexcept { return *tree_; }
+  support::Bytes tree_root() const { return tree_->root_bytes(); }
+  std::size_t tree_memory_bytes() const noexcept { return tree_->memory_bytes(); }
 
  private:
   crypto::HashKind hash_;
@@ -43,6 +59,7 @@ class GoldenMeasurement {
   support::Bytes key_;
   std::size_t block_size_;
   std::vector<Digest> digests_;
+  std::optional<mtree::MerkleTree> tree_;  ///< engaged in every constructor
 };
 
 }  // namespace rasc::attest

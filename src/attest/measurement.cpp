@@ -110,18 +110,39 @@ support::Bytes Measurement::block_digest(MacKind mac, crypto::HashKind hash,
   return out.to_bytes();
 }
 
-support::Bytes Measurement::combine(const std::vector<Digest>& digests,
-                                    crypto::HashKind hash, support::ByteView key,
-                                    const MeasurementContext& context, MacKind mac_kind) {
-  MacEngine mac(mac_kind, hash, key);
+namespace {
+
+/// Context header shared by both combiners.
+support::Bytes combine_header(const MeasurementContext& context) {
   support::Bytes header;
   support::append(header, support::to_bytes(context.device_id));
   support::append_u32_be(header, static_cast<std::uint32_t>(context.challenge.size()));
   support::append(header, context.challenge);
   support::append_u64_be(header, context.counter);
+  return header;
+}
+
+}  // namespace
+
+support::Bytes Measurement::combine(const std::vector<Digest>& digests,
+                                    crypto::HashKind hash, support::ByteView key,
+                                    const MeasurementContext& context, MacKind mac_kind) {
+  MacEngine mac(mac_kind, hash, key);
+  support::Bytes header = combine_header(context);
   support::append_u64_be(header, digests.size());
   mac.update(header);
   for (const auto& d : digests) mac.update(d.view());
+  return mac.finalize();
+}
+
+support::Bytes Measurement::combine_root(support::ByteView tree_root,
+                                         crypto::HashKind hash, support::ByteView key,
+                                         const MeasurementContext& context,
+                                         MacKind mac_kind) {
+  MacEngine mac(mac_kind, hash, key);
+  mac.update(support::to_bytes("mtree-root/v1"));
+  mac.update(combine_header(context));
+  mac.update(tree_root);
   return mac.finalize();
 }
 

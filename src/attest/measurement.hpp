@@ -106,6 +106,14 @@ class Measurement {
   std::size_t total_blocks() const noexcept { return block_digests_.size(); }
   bool complete() const noexcept { return visited_count_ == block_digests_.size(); }
 
+  /// Digest recorded for `block` (absolute index) by a prior visit_block.
+  /// The tree-mode prover routes per-block digests through visit_block —
+  /// so the cache and journal behave identically to flat mode — then
+  /// reads them back here to feed the Merkle tree.
+  const Digest& visited_digest(std::size_t block) const {
+    return block_digests_.at(block - coverage_.first_block);
+  }
+
   /// Visit times per covered block (for the consistency analyzer);
   /// nullopt for unvisited blocks.
   const std::vector<std::optional<sim::Time>>& visit_times() const noexcept {
@@ -140,6 +148,15 @@ class Measurement {
   static support::Bytes combine(const std::vector<Digest>& digests,
                                 crypto::HashKind hash, support::ByteView key,
                                 const MeasurementContext& context, MacKind mac);
+
+  /// Tree-mode combiner: MAC the context header and the Merkle root
+  /// instead of all n block digests — O(1) in the block count, which is
+  /// what makes tree-mode finalization constant-cost.  Domain-separated
+  /// from combine() by an explicit tag, so a flat measurement can never
+  /// collide with a tree measurement over the same memory.
+  static support::Bytes combine_root(support::ByteView tree_root,
+                                     crypto::HashKind hash, support::ByteView key,
+                                     const MeasurementContext& context, MacKind mac);
 
  private:
   const sim::DeviceMemory& memory_;

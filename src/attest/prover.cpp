@@ -1,5 +1,6 @@
 #include "src/attest/prover.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -31,22 +32,76 @@ sim::Duration AttestationProcess::block_cost() const {
 }
 
 sim::Duration AttestationProcess::finalize_cost() const {
-  const std::size_t n = config_.coverage.resolve_count(device_.memory());
   const std::size_t digest_size = config_.mac == MacKind::kCbcMac
                                       ? crypto::CbcMac::kTagSize
                                       : crypto::hash_digest_size(config_.hash);
-  sim::Duration cost = config_.mac == MacKind::kCbcMac
-                           ? device_.model().cbcmac_time(n * digest_size)
-                           : device_.model().mac_time(config_.hash, n * digest_size);
+  sim::Duration cost;
+  if (config_.use_merkle_tree) {
+    // Re-hash the invalidated tree paths (each node hash covers a 1-byte
+    // domain prefix plus two child digests), then MAC the root — O(dirty
+    // * log n) instead of the flat combiner's O(n).
+    cost = device_.model().hash_time(config_.hash,
+                                     planned_nodes_ * (2 * digest_size + 1));
+    cost += config_.mac == MacKind::kCbcMac
+                ? device_.model().cbcmac_time(digest_size)
+                : device_.model().mac_time(config_.hash, digest_size);
+  } else {
+    const std::size_t n = config_.coverage.resolve_count(device_.memory());
+    cost = config_.mac == MacKind::kCbcMac
+               ? device_.model().cbcmac_time(n * digest_size)
+               : device_.model().mac_time(config_.hash, n * digest_size);
+  }
   if (config_.signature) cost += device_.model().sign_time(*config_.signature);
   return cost;
 }
 
-std::vector<std::size_t> AttestationProcess::make_order() const {
-  const std::size_t first = config_.coverage.first_block;
-  const std::size_t n = config_.coverage.resolve_count(device_.memory());
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), first);
+void AttestationProcess::ensure_tree() {
+  if (tree_) return;
+  tree_digester_.emplace(config_.mac, config_.hash, device_.attestation_key());
+  tree_.emplace(device_.memory(), config_.hash,
+                [this](std::size_t block, support::ByteView content, Digest& out) {
+                  if (measurement_) {
+                    // In-round path: route through the measurement so the
+                    // digest cache and journal see exactly what flat mode
+                    // would (hits/misses are bit-identical).
+                    measurement_->visit_block(block, tree_now_);
+                    out = measurement_->visited_digest(block);
+                  } else {
+                    // Host-side priming (provisioning), outside sim time.
+                    tree_digester_->digest(content, out);
+                  }
+                });
+}
+
+void AttestationProcess::clear_proof_backlog() noexcept {
+  for (std::uint32_t block : proof_backlog_) proof_backlog_flag_[block] = false;
+  proof_backlog_.clear();
+}
+
+void AttestationProcess::prime_tree() {
+  if (!config_.use_merkle_tree) {
+    throw std::logic_error("prime_tree without use_merkle_tree");
+  }
+  if (busy()) throw std::logic_error("prime_tree while a measurement is in flight");
+  ensure_tree();
+  tree_->rebuild();
+  device_.memory().set_generation_observer(
+      [this](std::size_t block) { tree_->note_block_changed(block); });
+  tree_->use_observed_dirty(true);
+}
+
+std::vector<std::size_t> AttestationProcess::make_order() {
+  std::vector<std::size_t> order;
+  if (config_.use_merkle_tree && tree_->primed()) {
+    // Incremental round: only the blocks written since the last round.
+    order = tree_->collect_dirty();
+  } else {
+    const std::size_t first = config_.coverage.first_block;
+    const std::size_t n = config_.coverage.resolve_count(device_.memory());
+    order.resize(n);
+    std::iota(order.begin(), order.end(), first);
+  }
+  const std::size_t n = order.size();
   if (config_.order == TraversalOrder::kShuffledSecret) {
     // Secret permutation derived from the attestation key and counter.
     // Stored state is what SMARM keeps in secure memory.
@@ -65,6 +120,21 @@ std::vector<std::size_t> AttestationProcess::make_order() const {
 void AttestationProcess::start(MeasurementContext context,
                                std::function<void(AttestationResult)> done) {
   if (busy()) throw std::logic_error("AttestationProcess::start while busy");
+  if (config_.use_merkle_tree) {
+    if (config_.coverage.first_block != 0 ||
+        (config_.coverage.block_count != 0 &&
+         config_.coverage.block_count != device_.memory().block_count())) {
+      throw std::invalid_argument("tree mode requires full memory coverage");
+    }
+    if (policy_ != nullptr && policy_->snapshots_at_start()) {
+      throw std::invalid_argument(
+          "tree mode is incompatible with snapshotting lock policies");
+    }
+    if (config_.zero_region) {
+      throw std::invalid_argument("tree mode is incompatible with zero_region");
+    }
+    ensure_tree();
+  }
   measurement_.emplace(device_.memory(), config_.hash, device_.attestation_key(),
                        std::move(context), config_.coverage, config_.mac);
   if (config_.use_digest_cache) {
@@ -82,6 +152,7 @@ void AttestationProcess::start(MeasurementContext context,
     }
   }
   order_ = make_order();
+  if (config_.use_merkle_tree) planned_nodes_ = tree_->tree().plan_rehash(order_);
   next_index_ = 0;
   result_ = AttestationResult{};
   result_.order = order_;
@@ -147,35 +218,42 @@ void AttestationProcess::complete_lock() {
                     sim::Actor::kMeasurement);
   }
   if (policy_) policy_->on_start(device_.memory(), config_.coverage);
-  stage_ = Stage::kBlocks;
+  // A fully clean tree-mode round has nothing to visit: skip straight to
+  // the (root-MAC only) finalization segment.
+  stage_ = order_.empty() ? Stage::kCombine : Stage::kBlocks;
+}
+
+void AttestationProcess::visit_one(std::size_t block, sim::Time visit_time) {
+  auto& mem = device_.memory();
+  if (config_.use_merkle_tree) {
+    tree_now_ = visit_time;
+    tree_->refresh_one(block);  // leaf fn -> measurement_->visit_block
+  } else {
+    measurement_->visit_block(block, visit_time,
+                              policy_ ? policy_->block_source(mem, block)
+                                      : mem.block_view(block));
+  }
+  if (policy_) policy_->on_block_visited(mem, block);
 }
 
 void AttestationProcess::complete_atomic() {
   // Nothing else ran between t_s and now, so reading all blocks at the end
   // of the segment observes exactly the memory state throughout.
-  auto& mem = device_.memory();
   const sim::Time now = device_.sim().now();
   for (std::size_t block : order_) {
     const sim::Time visit_time =
         (policy_ && policy_->snapshots_at_start()) ? result_.t_s : now;
-    measurement_->visit_block(block, visit_time,
-                              policy_ ? policy_->block_source(mem, block)
-                                      : mem.block_view(block));
-    if (policy_) policy_->on_block_visited(mem, block);
+    visit_one(block, visit_time);
   }
   if (observer_) observer_(order_.size(), order_.size());
   finish();
 }
 
 void AttestationProcess::complete_block() {
-  auto& mem = device_.memory();
   const std::size_t block = order_[next_index_];
   const sim::Time visit_time =
       (policy_ && policy_->snapshots_at_start()) ? result_.t_s : device_.sim().now();
-  measurement_->visit_block(block, visit_time,
-                            policy_ ? policy_->block_source(mem, block)
-                                    : mem.block_view(block));
-  if (policy_) policy_->on_block_visited(mem, block);
+  visit_one(block, visit_time);
   ++next_index_;
   if (observer_) observer_(next_index_, order_.size());
   if (next_index_ == order_.size()) stage_ = Stage::kCombine;
@@ -201,7 +279,55 @@ void AttestationProcess::finish() {
   report.t_start = result_.t_s;
   report.t_end = result_.t_e;
   report.hash = config_.hash;
-  report.measurement = measurement_->finalize();
+  if (config_.use_merkle_tree) {
+    const mtree::RehashStats stats = tree_->flush_tree();
+    auto* journal = device_.sim().journal();
+    const std::uint32_t actor = journal ? journal->intern(device_.id()) : 0;
+    if (journal) {
+      journal->append(result_.t_e, actor, 0, 0, obs::JournalEventKind::kMtreeRehash,
+                      stats.dirty_leaves, stats.nodes_rehashed);
+    }
+    report.tree_root = tree_->root_bytes();
+    report.measurement =
+        Measurement::combine_root(report.tree_root, config_.hash,
+                                  device_.attestation_key(),
+                                  measurement_->context(), config_.mac);
+    // Prove the whole backlog — every block dirtied since the last
+    // decisive round, not just this round's visits — one subtree proof
+    // per contiguous run, split at max_proof_leaves (the verifier
+    // re-merges).  A report lost in transit therefore cannot lose
+    // localization: the retry proves the same blocks again.
+    if (proof_backlog_flag_.size() != device_.memory().block_count()) {
+      proof_backlog_flag_.assign(device_.memory().block_count(), false);
+      proof_backlog_.clear();
+    }
+    for (std::size_t block : order_) {
+      if (!proof_backlog_flag_[block]) {
+        proof_backlog_flag_[block] = true;
+        proof_backlog_.push_back(static_cast<std::uint32_t>(block));
+      }
+    }
+    std::vector<std::size_t> visited(proof_backlog_.begin(), proof_backlog_.end());
+    std::sort(visited.begin(), visited.end());
+    std::size_t i = 0;
+    while (i < visited.size()) {
+      std::size_t j = i + 1;
+      while (j < visited.size() && visited[j] == visited[j - 1] + 1 &&
+             j - i < config_.max_proof_leaves) {
+        ++j;
+      }
+      const std::size_t first = visited[i];
+      const std::size_t count = j - i;
+      report.proofs.push_back(tree_->prove_range(first, count));
+      if (journal) {
+        journal->append(result_.t_e, actor, 0, 0, obs::JournalEventKind::kMtreeProof,
+                        first, count);
+      }
+      i = j;
+    }
+  } else {
+    report.measurement = measurement_->finalize();
+  }
   authenticate_report(report, device_.attestation_key());
   if (signer_ != nullptr && config_.signature) sign_report(report, *signer_);
 

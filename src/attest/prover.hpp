@@ -25,6 +25,7 @@
 #include "src/attest/measurement.hpp"
 #include "src/attest/report.hpp"
 #include "src/crypto/drbg.hpp"
+#include "src/mtree/incremental.hpp"
 #include "src/sim/device.hpp"
 
 namespace rasc::attest {
@@ -54,6 +55,19 @@ struct ProverConfig {
   /// Accelerates host wall-clock only — simulated timing and results are
   /// identical either way (cache hits are bit-identical by construction).
   bool use_digest_cache = true;
+  /// Merkle-tree incremental measurement (ROADMAP item 2).  The process
+  /// maintains an IncrementalTree across rounds: each round visits only
+  /// the blocks written since the last one, re-hashes O(dirty * log n)
+  /// tree nodes, MACs the *root* (Measurement::combine_root) and attaches
+  /// subtree proofs for the re-measured ranges so the verifier can
+  /// localize divergent blocks.  Requires full coverage and rejects
+  /// snapshotting lock policies and zero_region (both would decouple the
+  /// measured bytes from the generation counters the tree keys on).
+  /// Changing this changes the report wire format — see report.hpp.
+  bool use_merkle_tree = false;
+  /// Leaves carried per subtree proof; longer dirty runs are split (the
+  /// verifier re-merges adjacent localized ranges).
+  std::size_t max_proof_leaves = 64;
 };
 
 struct AttestationResult {
@@ -101,6 +115,26 @@ class AttestationProcess final : public sim::Process {
   /// Throws std::logic_error if a measurement is already in flight.
   void start(MeasurementContext context, std::function<void(AttestationResult)> done);
 
+  /// Tree mode only: build the tree from current memory host-side (a
+  /// provisioning step, outside simulated time), wire the memory's
+  /// generation observer to it, and switch dirty discovery to observed
+  /// mode.  After priming, a round with no intervening writes visits zero
+  /// blocks.  Claims the device memory's single observer slot.
+  void prime_tree();
+
+  /// The incremental tree (tree mode, after the first round or
+  /// prime_tree(); nullptr otherwise) — exposed for benches and the fleet
+  /// aggregation layer.
+  const mtree::IncrementalTree* tree() const noexcept {
+    return tree_ ? &*tree_ : nullptr;
+  }
+
+  /// Tree mode: drop the proof backlog.  Reports prove every block dirtied
+  /// since this was last called — not just since the previous report — so
+  /// a report lost in transit cannot lose localization; the session calls
+  /// this once a round resolves decisively (some report reached Vrf).
+  void clear_proof_backlog() noexcept;
+
   bool busy() const noexcept { return stage_ != Stage::kIdle; }
 
   /// Lifetime totals across all measurements this process completed —
@@ -130,7 +164,9 @@ class AttestationProcess final : public sim::Process {
   void complete_block();
   void complete_combine();
   void finish();
-  std::vector<std::size_t> make_order() const;
+  std::vector<std::size_t> make_order();
+  void ensure_tree();
+  void visit_one(std::size_t block, sim::Time visit_time);
 
   sim::Device& device_;
   ProverConfig config_;
@@ -145,6 +181,12 @@ class AttestationProcess final : public sim::Process {
   std::size_t measurements_completed_ = 0;
   sim::Duration total_measure_time_ = 0;
   std::optional<Measurement> measurement_;
+  std::optional<mtree::IncrementalTree> tree_;     ///< persists across rounds
+  std::optional<BlockDigester> tree_digester_;     ///< host-side priming path
+  std::size_t planned_nodes_ = 0;  ///< tree nodes this round will re-hash
+  sim::Time tree_now_ = 0;         ///< visit time plumbed into the leaf fn
+  std::vector<bool> proof_backlog_flag_;       ///< block -> in backlog
+  std::vector<std::uint32_t> proof_backlog_;   ///< unacknowledged dirty blocks
   std::vector<std::size_t> order_;
   std::size_t next_index_ = 0;
   AttestationResult result_;

@@ -6,6 +6,11 @@ namespace rasc::attest {
 
 namespace {
 constexpr crypto::HashKind kReportMacHash = crypto::HashKind::kSha256;
+
+/// Tag opening the tree-mode trailer ('MTRE').  A legacy wire can never
+/// start a MAC section with it: the value is far above any real MAC
+/// length, so the parser's peek is unambiguous.
+constexpr std::uint32_t kMtreeMagic = 0x4d545245;
 }
 
 support::Bytes Report::serialize_body() const {
@@ -20,6 +25,17 @@ support::Bytes Report::serialize_body() const {
   support::append_u32_be(out, static_cast<std::uint32_t>(hash));
   support::append_u32_be(out, static_cast<std::uint32_t>(measurement.size()));
   support::append(out, measurement);
+  if (!tree_root.empty()) {
+    support::append_u32_be(out, kMtreeMagic);
+    support::append_u32_be(out, static_cast<std::uint32_t>(tree_root.size()));
+    support::append(out, tree_root);
+    support::append_u32_be(out, static_cast<std::uint32_t>(proofs.size()));
+    for (const auto& proof : proofs) {
+      const support::Bytes wire = proof.serialize();
+      support::append_u32_be(out, static_cast<std::uint32_t>(wire.size()));
+      support::append(out, wire);
+    }
+  }
   return out;
 }
 
@@ -111,6 +127,31 @@ std::optional<Report> parse_report_wire(support::ByteView wire) {
   report.hash = static_cast<crypto::HashKind>(r.u32());
   const std::uint32_t measurement_len = r.u32();
   report.measurement = r.bytes(measurement_len);
+  // Tree-mode trailer?  A peek is safe because a MAC length can never
+  // equal the magic (MACs are tens of bytes, the magic is > 10^9).
+  if (r.has(4) && support::get_u32_be(r.wire.subspan(r.pos, 4)) == kMtreeMagic) {
+    r.pos += 4;
+    const std::uint32_t root_len = r.u32();
+    report.tree_root = r.bytes(root_len);
+    const std::uint32_t proof_count = r.u32();
+    for (std::uint32_t i = 0; r.ok && i < proof_count; ++i) {
+      const std::uint32_t proof_len = r.u32();
+      if (!r.has(proof_len)) {
+        r.ok = false;
+        break;
+      }
+      std::size_t proof_pos = 0;
+      auto proof =
+          mtree::MtreeProof::parse(r.wire.subspan(r.pos, proof_len), proof_pos);
+      if (!proof || proof_pos != proof_len) {
+        r.ok = false;
+        break;
+      }
+      report.proofs.push_back(std::move(*proof));
+      r.pos += proof_len;
+    }
+    if (report.tree_root.empty()) r.ok = false;  // would not round-trip
+  }
   const std::uint32_t mac_len = r.u32();
   report.mac = r.bytes(mac_len);
   const std::uint32_t sig_len = r.u32();

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/crypto/hash.hpp"
 #include "src/crypto/sig.hpp"
+#include "src/mtree/mtree.hpp"
 #include "src/sim/time.hpp"
 #include "src/support/bytes.hpp"
 
@@ -23,6 +25,16 @@ struct Report {
   sim::Time t_end = 0;            ///< t_e of the measurement
   crypto::HashKind hash = crypto::HashKind::kSha256;
   support::Bytes measurement;     ///< output of Measurement::finalize()
+
+  /// Tree-mode extension (empty in flat mode).  When tree_root is
+  /// non-empty the serialized body grows a magic-tagged trailer carrying
+  /// the root and the subtree proofs for this round's re-measured leaf
+  /// ranges — all covered by the report MAC, so tampering with a proof is
+  /// indistinguishable from tampering with the measurement itself.  A
+  /// flat-mode report serializes byte-identically to the pre-tree wire.
+  support::Bytes tree_root;
+  std::vector<mtree::MtreeProof> proofs;
+
   support::Bytes mac;             ///< HMAC over the serialized body
   support::Bytes signature;       ///< optional hash-and-sign signature
 

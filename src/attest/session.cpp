@@ -201,6 +201,9 @@ void ReliableSession::resolve(SessionOutcome outcome) {
   result.measure_time = mp_.total_measure_time() - state.measure_time_at_start;
   const bool decisive = outcome == SessionOutcome::kVerified ||
                         outcome == SessionOutcome::kCompromised;
+  // A decisive verdict means some report reached Vrf, and every report
+  // carries the full proof backlog — safe to stop re-proving it.
+  if (decisive) mp_.clear_proof_backlog();
   const sim::Duration useful =
       decisive ? result.timings.attestation.t_e - result.timings.attestation.t_s : 0;
   result.wasted_measure_time =
@@ -215,6 +218,16 @@ void ReliableSession::resolve(SessionOutcome outcome) {
     health_->record_round(session_outcome_rollup(outcome), result.attempts,
                           result.t_resolved - result.t_started,
                           result.measure_time, result.wasted_measure_time);
+    if (outcome == SessionOutcome::kCompromised && result.verdict.used_tree) {
+      if (result.verdict.localized.empty()) {
+        health_->record_unlocalized_compromise();
+      } else {
+        for (const auto& range : result.verdict.localized) {
+          health_->record_localization(range.first, range.count,
+                                       result.verdict.total_blocks);
+        }
+      }
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->counter("session." + session_outcome_name(outcome)).inc();

@@ -1,5 +1,6 @@
 #include "src/attest/verifier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rasc::attest {
@@ -58,7 +59,63 @@ VerifyOutcome Verifier::verify(const Report& report, bool expect_challenge) {
   }
 
   MeasurementContext context{report.device_id, report.challenge, report.counter};
-  out.digest_ok = support::ct_equal(report.measurement, expected_measurement(context));
+  if (report.tree_root.empty()) {
+    out.digest_ok = support::ct_equal(report.measurement, expected_measurement(context));
+  } else {
+    out.used_tree = true;
+    out.total_blocks = golden_->block_count();
+    // Tree mode compares against the MAC of the *golden* root — same
+    // verdict as the flat comparison (both are injective in the memory
+    // content), different domain.
+    out.digest_ok =
+        support::ct_equal(report.measurement, golden_->expected_tree(context));
+    // Is the carried root the one the measurement was computed from?  If
+    // not, the proofs prove statements about some other tree and must not
+    // steer localization.
+    out.tree_root_bound = support::ct_equal(
+        report.measurement,
+        Measurement::combine_root(report.tree_root, hash_, key_, context, mac_));
+    if (out.mac_ok && out.tree_root_bound) {
+      for (const auto& proof : report.proofs) {
+        if (proof.total_leaves != golden_->block_count() ||
+            !proof.verify(report.tree_root)) {
+          out.proofs_ok = false;  // tampered / mis-shaped proof: discard
+          continue;
+        }
+        // Proof is sound relative to the device's root; any leaf digest
+        // differing from the golden digest localizes a divergent block.
+        std::size_t run_start = 0;
+        std::size_t run_len = 0;
+        for (std::size_t i = 0; i < proof.leaves.size(); ++i) {
+          const std::size_t block = proof.first_leaf + i;
+          if (proof.leaves[i] == golden_->block_digest(block)) {
+            if (run_len != 0) out.localized.push_back({run_start, run_len});
+            run_len = 0;
+          } else {
+            if (run_len == 0) run_start = block;
+            ++run_len;
+          }
+        }
+        if (run_len != 0) out.localized.push_back({run_start, run_len});
+      }
+      // Proofs arrive in leaf order but may split one divergent region at
+      // a proof boundary — merge touching ranges so the caller sees each
+      // infected region once.
+      std::sort(out.localized.begin(), out.localized.end(),
+                [](const BlockRange& a, const BlockRange& b) { return a.first < b.first; });
+      std::vector<BlockRange> merged;
+      for (const auto& range : out.localized) {
+        if (!merged.empty() && range.first <= merged.back().first + merged.back().count) {
+          const std::size_t end =
+              std::max(merged.back().first + merged.back().count, range.first + range.count);
+          merged.back().count = end - merged.back().first;
+        } else {
+          merged.push_back(range);
+        }
+      }
+      out.localized = std::move(merged);
+    }
+  }
 
   if (out.ok()) {
     last_counter_seen_ = true;
@@ -72,6 +129,13 @@ VerifyOutcome Verifier::verify(const Report& report, bool expect_challenge) {
     if (!out.digest_ok) metrics_->counter("verifier.fail_digest").inc();
     if (!out.challenge_ok) metrics_->counter("verifier.fail_challenge").inc();
     if (!out.counter_ok) metrics_->counter("verifier.fail_counter").inc();
+    if (out.used_tree) {
+      if (!out.tree_root_bound) metrics_->counter("verifier.fail_tree_binding").inc();
+      if (!out.proofs_ok) metrics_->counter("verifier.fail_proof").inc();
+      if (!out.localized.empty()) {
+        metrics_->counter("verifier.localized_ranges").inc(out.localized.size());
+      }
+    }
   }
   return out;
 }

@@ -15,12 +15,29 @@
 
 namespace rasc::attest {
 
+/// Contiguous block range the verifier localized as divergent from the
+/// golden image (tree-mode reports only).
+struct BlockRange {
+  std::size_t first = 0;
+  std::size_t count = 0;
+};
+
 struct VerifyOutcome {
   bool mac_ok = false;        ///< report authentication (key possession)
   bool digest_ok = false;     ///< measurement matches the golden image
   bool challenge_ok = true;   ///< matches the expected challenge, if any
   bool counter_ok = true;     ///< strictly increasing counter
   bool ok() const noexcept { return mac_ok && digest_ok && challenge_ok && counter_ok; }
+
+  // --- tree-mode diagnostics (untouched for flat reports) ---
+  bool used_tree = false;       ///< report carried the tree trailer
+  bool tree_root_bound = false; ///< measurement is the MAC of the carried root
+  bool proofs_ok = true;        ///< every carried proof verified against the root
+  std::size_t total_blocks = 0; ///< golden block count, for normalizing ranges
+  /// Mismatching block ranges localized from verified subtree proofs.
+  /// Only populated when the MAC held and the root was bound — a forged
+  /// report never steers localization.
+  std::vector<BlockRange> localized;
 };
 
 class Verifier {
@@ -61,7 +78,9 @@ class Verifier {
   /// Attach a metrics registry (not owned; nullptr to detach).  verify()
   /// then accounts "verifier.verify_total", "verifier.verify_fail" and a
   /// per-cause breakdown ("verifier.fail_mac", "verifier.fail_digest",
-  /// "verifier.fail_challenge", "verifier.fail_counter").
+  /// "verifier.fail_challenge", "verifier.fail_counter"); tree-mode
+  /// reports additionally account "verifier.fail_tree_binding",
+  /// "verifier.fail_proof" and "verifier.localized_ranges".
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
  private:

@@ -30,6 +30,15 @@ std::size_t resolve_shards(const FleetConfig& config) noexcept {
   return std::max<std::size_t>(autos, 1);
 }
 
+std::pair<std::size_t, std::size_t> infection_range(const FleetConfig& config) noexcept {
+  const std::size_t count =
+      std::min(std::max<std::size_t>(config.infection_blocks, 1), config.blocks);
+  // Centered like the legacy single-byte patch (block size/2), clamped so
+  // the range fits; count == 1 reproduces the legacy patch exactly.
+  const std::size_t first = std::min(config.blocks / 2, config.blocks - count);
+  return {first, count};
+}
+
 }  // namespace detail
 
 std::string stagger_policy_name(StaggerPolicy policy) {
@@ -137,6 +146,7 @@ attest::ProverConfig make_prover_config(const FleetConfig& config) {
   attest::ProverConfig prover;
   prover.hash = config.hash;
   prover.mode = config.mode;
+  prover.use_merkle_tree = config.use_merkle_tree;
   return prover;
 }
 
@@ -177,18 +187,23 @@ struct DeviceStack {
         session(device, verifier, mp, vrf_to_prv, prv_to_vrf,
                 make_session_config(config, index)) {
     device.memory().load(shard.image);
+    // Tree mode: prime from the *clean* image before the infection patch
+    // lands, so the infection is the only dirtiness the first round sees
+    // and the subtree proofs localize exactly the infected range.
+    if (config.use_merkle_tree) mp.prime_tree();
     if (infected) {
-      // Shard-deterministic infection: same address, same byte flip for
+      // Shard-deterministic infection: same blocks, same byte flips for
       // every infected device of the shard, planted before any round —
       // required both for soundly sharing the shard digest cache (the
       // infected content at generation 2 is one value shard-wide) and for
       // the roster's ground truth (correct verdict = kCompromised).
-      const std::size_t addr = device.memory().size() / 2;
-      const std::size_t block = device.memory().block_of(addr);
-      const std::uint8_t original =
-          device.memory().block_view(block)[addr % device.memory().block_size()];
-      const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
-      device.memory().write(addr, patch, 0, sim::Actor::kMalware);
+      const auto [first, count] = detail::infection_range(config);
+      for (std::size_t block = first; block < first + count; ++block) {
+        const std::size_t addr = block * device.memory().block_size();
+        const std::uint8_t original = device.memory().block_view(block)[0];
+        const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
+        device.memory().write(addr, patch, 0, sim::Actor::kMalware);
+      }
     }
     if (config.share_digest_cache) mp.set_shared_digest_cache(&shard.cache);
     if (config.metrics != nullptr) {
@@ -354,6 +369,14 @@ struct FleetVerifier::Impl {
     record.attempts =
         static_cast<std::uint8_t>(std::min<std::size_t>(r.attempts, 255));
     record.resolved = true;
+    if (r.verdict.used_tree && !r.verdict.localized.empty()) {
+      record.localized_ranges =
+          static_cast<std::uint32_t>(r.verdict.localized.size());
+      record.localized_first =
+          static_cast<std::uint32_t>(r.verdict.localized.front().first);
+      record.localized_count =
+          static_cast<std::uint32_t>(r.verdict.localized.front().count);
+    }
 
     ++result.rounds_resolved;
     ++result.outcome_counts[static_cast<std::size_t>(outcome)];
@@ -523,6 +546,15 @@ struct FleetVerifier::Impl {
     }
 
     result.memory = memory_stats();
+
+    // Shard golden roots and their fleet aggregate — the one digest a
+    // higher-tier verifier would pin for this fleet's expected state.
+    result.shard_tree_roots.reserve(shards.size());
+    for (const ShardState& shard : shards) {
+      result.shard_tree_roots.push_back(shard.golden->tree().root());
+    }
+    result.fleet_tree_root =
+        mtree::MerkleTree::combine_roots(result.shard_tree_roots, config.hash);
   }
 
   FleetMemoryStats memory_stats() const {
@@ -532,6 +564,7 @@ struct FleetVerifier::Impl {
       if (config.share_golden) {
         stats.shared_bytes += sizeof(attest::GoldenMeasurement) +
                               shard.golden->block_count() * sizeof(attest::Digest) +
+                              shard.golden->tree_memory_bytes() +
                               shard.key.capacity();
       }
       if (config.share_digest_cache) {
@@ -544,7 +577,8 @@ struct FleetVerifier::Impl {
                              kPerDeviceStringBytes + /*verifier key copy*/ kKeyBytes;
     if (!config.share_golden) {
       per_device += sizeof(attest::GoldenMeasurement) +
-                    config.blocks * sizeof(attest::Digest) + kKeyBytes;
+                    config.blocks * sizeof(attest::Digest) +
+                    shards.front().golden->tree_memory_bytes() + kKeyBytes;
     }
     if (!config.share_digest_cache) {
       per_device += sizeof(attest::DigestCache) +

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/attest/prover.hpp"
@@ -83,6 +84,16 @@ struct FleetConfig {
   /// per-device copies; the memory-accounting tests sweep both).
   bool share_golden = true;
   bool share_digest_cache = true;
+  /// Merkle-tree incremental measurement (prover.use_merkle_tree): every
+  /// stack primes its tree from the provisioned image *before* the
+  /// infection patch lands, so an infected device's first round visits
+  /// exactly the infected blocks and its report's subtree proofs let the
+  /// verifier localize them (RoundRecord.localized_*).
+  bool use_merkle_tree = false;
+  /// Number of consecutive blocks the infection patch covers (ground
+  /// truth; 1 = the legacy single-byte flip at size/2).  The range is
+  /// centered per detail::infection_range.
+  std::size_t infection_blocks = 1;
 
   /// Symmetric per-direction link fault model; per-device decorrelated
   /// seeds.  Timed partition windows are deliberately not configurable:
@@ -118,6 +129,12 @@ struct RoundRecord {
   obs::RoundOutcome outcome = obs::RoundOutcome::kTimeout;
   std::uint8_t attempts = 0;
   bool resolved = false;
+  /// Tree-mode fault localization from the decisive report's subtree
+  /// proofs: how many divergent block ranges the verifier localized, and
+  /// the first one.  All zero for flat-mode rounds and clean devices.
+  std::uint32_t localized_ranges = 0;
+  std::uint32_t localized_first = 0;
+  std::uint32_t localized_count = 0;
 };
 
 struct EpochStats {
@@ -186,6 +203,14 @@ struct FleetResult {
 
   FleetMemoryStats memory;
 
+  /// Golden Merkle roots per shard and their domain-separated pairwise
+  /// aggregate (mtree::MerkleTree::combine_roots) — one digest standing
+  /// for the expected state of the whole fleet.  Always populated: the
+  /// goldens build their trees at construction regardless of
+  /// use_merkle_tree.
+  std::vector<attest::Digest> shard_tree_roots;
+  attest::Digest fleet_tree_root;
+
   /// Human-readable invariant violations (empty on a healthy run).
   std::vector<std::string> invariant_violations;
 
@@ -249,6 +274,10 @@ std::uint64_t shard_stream(std::uint64_t fleet_seed, std::uint64_t shard,
                            std::uint64_t salt) noexcept;
 /// Effective shard count for a config (resolves the 0 = auto rule).
 std::size_t resolve_shards(const FleetConfig& config) noexcept;
+/// Ground-truth infected block range {first, count} for a config —
+/// exactly the blocks DeviceStack patches on infected devices (the range
+/// the chaos tests compare the verifier's localization against).
+std::pair<std::size_t, std::size_t> infection_range(const FleetConfig& config) noexcept;
 
 }  // namespace detail
 

@@ -1,5 +1,7 @@
 #include "src/obs/health.hpp"
 
+#include <algorithm>
+
 #include "src/obs/json.hpp"
 
 namespace rasc::obs {
@@ -31,6 +33,20 @@ void HealthRollup::record_round(RoundOutcome outcome, std::uint64_t attempts,
   wasted_measure_ns_ += wasted_measure_ns;
 }
 
+void HealthRollup::record_localization(std::uint64_t first_block,
+                                       std::uint64_t block_count,
+                                       std::uint64_t total_blocks) {
+  if (block_count == 0 || total_blocks == 0) return;
+  ++localized_ranges_;
+  localized_blocks_ += block_count;
+  for (std::uint64_t b = first_block;
+       b < first_block + block_count && b < total_blocks; ++b) {
+    const std::size_t bucket = static_cast<std::size_t>(
+        b * kLocalizationBuckets / total_blocks);
+    ++localization_[std::min(bucket, kLocalizationBuckets - 1)];
+  }
+}
+
 void HealthRollup::merge(const HealthRollup& other) {
   rounds_ += other.rounds_;
   for (std::size_t i = 0; i < outcomes_.size(); ++i) outcomes_[i] += other.outcomes_[i];
@@ -40,6 +56,12 @@ void HealthRollup::merge(const HealthRollup& other) {
   latency_ms_.merge(other.latency_ms_);
   measure_ns_ += other.measure_ns_;
   wasted_measure_ns_ += other.wasted_measure_ns_;
+  localized_ranges_ += other.localized_ranges_;
+  localized_blocks_ += other.localized_blocks_;
+  unlocalized_compromised_ += other.unlocalized_compromised_;
+  for (std::size_t i = 0; i < localization_.size(); ++i) {
+    localization_[i] += other.localization_[i];
+  }
 }
 
 double HealthRollup::outcome_rate(RoundOutcome outcome) const noexcept {
@@ -102,6 +124,24 @@ void HealthRollup::write_json(JsonWriter& w) const {
   w.number_value(measure_ms_total());
   w.key("wasted_measure_ms_total");
   w.number_value(wasted_measure_ms_total());
+  // Only emitted when tree-mode localization was recorded, so rollups
+  // from flat-measurement runs keep their byte-exact legacy form (the
+  // committed BENCH baselines depend on it).
+  if (localized_ranges_ != 0 || unlocalized_compromised_ != 0) {
+    w.key("localization");
+    w.begin_object();
+    w.key("ranges");
+    w.uint_value(localized_ranges_);
+    w.key("blocks");
+    w.uint_value(localized_blocks_);
+    w.key("unlocalized");
+    w.uint_value(unlocalized_compromised_);
+    w.key("block_histogram");
+    w.begin_array();
+    for (std::uint64_t count : localization_) w.uint_value(count);
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
 }
 

@@ -52,6 +52,22 @@ class HealthRollup {
                     std::uint64_t latency_ns, std::uint64_t measure_ns,
                     std::uint64_t wasted_measure_ns);
 
+  /// Normalized block-index histogram for verifier fault localization:
+  /// bucket i covers block-index fractions [i/16, (i+1)/16) of the
+  /// prover's attested region, so fleets of mixed memory sizes fold into
+  /// one comparable "where do infections land" picture.
+  static constexpr std::size_t kLocalizationBuckets = 16;
+
+  /// Record one localized mismatching block range [first_block,
+  /// first_block + block_count) out of total_blocks attested blocks (tree
+  /// mode; one call per localized range).  No-op when block_count or
+  /// total_blocks is zero.
+  void record_localization(std::uint64_t first_block, std::uint64_t block_count,
+                           std::uint64_t total_blocks);
+  /// Record a compromised round whose report carried no usable subtree
+  /// proof (root mismatch only — the flat-measurement equivalent).
+  void record_unlocalized_compromise() { ++unlocalized_compromised_; }
+
   void merge(const HealthRollup& other);
 
   bool empty() const noexcept { return rounds_ == 0; }
@@ -67,9 +83,22 @@ class HealthRollup {
   double measure_ms_total() const noexcept;
   double wasted_measure_ms_total() const noexcept;
 
+  std::uint64_t localized_ranges() const noexcept { return localized_ranges_; }
+  std::uint64_t localized_blocks() const noexcept { return localized_blocks_; }
+  std::uint64_t unlocalized_compromised() const noexcept {
+    return unlocalized_compromised_;
+  }
+  /// Localized blocks whose normalized index fell into bucket `i`.
+  std::uint64_t localization_bucket(std::size_t i) const noexcept {
+    return i < kLocalizationBuckets ? localization_[i] : 0;
+  }
+
   /// {"rounds":N,"outcomes":{name:{count,rate},..},"retry_depth":[..],
   ///  "latency_ms":{p50,p99,mean,max},"measure_ms_total":X,
-  ///  "wasted_measure_ms_total":Y} — written as one JSON value.
+  ///  "wasted_measure_ms_total":Y} — written as one JSON value.  A
+  ///  "localization" section {ranges,blocks,unlocalized,block_histogram}
+  ///  is appended only when localization was recorded, so rollups from
+  ///  flat-measurement runs serialize exactly as before.
   void write_json(JsonWriter& w) const;
   std::string to_json() const;
 
@@ -80,6 +109,10 @@ class HealthRollup {
   Histogram latency_ms_;
   std::uint64_t measure_ns_ = 0;
   std::uint64_t wasted_measure_ns_ = 0;
+  std::uint64_t localized_ranges_ = 0;
+  std::uint64_t localized_blocks_ = 0;
+  std::uint64_t unlocalized_compromised_ = 0;
+  std::array<std::uint64_t, kLocalizationBuckets> localization_{};
 };
 
 }  // namespace rasc::obs

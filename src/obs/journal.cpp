@@ -29,6 +29,8 @@ std::string_view journal_event_kind_name(JournalEventKind kind) {
     case JournalEventKind::kDeadlineHit: return "app.deadline_hit";
     case JournalEventKind::kDeadlineMiss: return "app.deadline_miss";
     case JournalEventKind::kAlarmRaised: return "app.alarm_raised";
+    case JournalEventKind::kMtreeRehash: return "mtree.rehash";
+    case JournalEventKind::kMtreeProof: return "mtree.proof";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ enum class JournalEventKind : std::uint8_t {
   kDeadlineHit,
   kDeadlineMiss,
   kAlarmRaised,
+  // mtree incremental measurement (appended at the end so existing
+  // numeric payloads keep their values).
+  kMtreeRehash,  ///< a = dirty leaves folded in, b = tree nodes re-hashed
+  kMtreeProof,   ///< a = first covered leaf, b = covered leaf count
 };
 
 /// Stable machine name ("link.drop", "session.resolved", ...).

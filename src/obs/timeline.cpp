@@ -71,6 +71,11 @@ std::string describe(const JournalEvent& ev) {
       return "delay=" + ms_fixed(ev.a) + " ms";
     case JournalEventKind::kAlarmRaised:
       return "latency=" + ms_fixed(ev.a) + " ms";
+    case JournalEventKind::kMtreeRehash:
+      return "dirty_leaves=" + std::to_string(ev.a) + " nodes=" + std::to_string(ev.b);
+    case JournalEventKind::kMtreeProof:
+      return "leaves=[" + std::to_string(ev.a) + ", " +
+             std::to_string(ev.a + ev.b) + ")";
   }
   return "";
 }

@@ -43,7 +43,10 @@ support::ByteView DeviceMemory::block_view(std::size_t block) const {
 }
 
 void DeviceMemory::bump_generation(std::size_t first_block, std::size_t last_block) {
-  for (std::size_t b = first_block; b <= last_block; ++b) ++generations_[b];
+  for (std::size_t b = first_block; b <= last_block; ++b) {
+    ++generations_[b];
+    if (generation_observer_) generation_observer_(b);
+  }
   ++global_generation_;
 }
 

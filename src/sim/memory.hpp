@@ -104,6 +104,17 @@ class DeviceMemory {
     write_observer_ = std::move(observer);
   }
 
+  /// Invoked once per block whose *content* actually changed (write,
+  /// zero_region, load) — i.e. exactly when that block's generation is
+  /// bumped, so MPU-rejected writes never fire it.  This is the RATA-style
+  /// last-modified signal the Merkle measurement layer subscribes to
+  /// (mtree::IncrementalTree::note_block_changed): it turns dirty-block
+  /// discovery from an O(n) generation scan into O(writes).
+  using GenerationObserver = std::function<void(std::size_t block)>;
+  void set_generation_observer(GenerationObserver observer) {
+    generation_observer_ = std::move(observer);
+  }
+
   // -- write log ---------------------------------------------------------------
   /// Oldest-first; bounded at write_log_capacity() records (the oldest
   /// half is dropped on overflow so long campaigns stop growing memory).
@@ -150,6 +161,7 @@ class DeviceMemory {
   std::size_t total_write_count_ = 0;
   LockObserver lock_observer_;
   WriteObserver write_observer_;
+  GenerationObserver generation_observer_;
 };
 
 }  // namespace rasc::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/mtree/mtree.hpp"
+
 namespace rasc::attest {
 namespace {
 
@@ -59,6 +61,82 @@ TEST(Report, SerializationUnambiguous) {
   b.device_id = "abc";
   b.challenge = to_bytes("d");
   EXPECT_NE(a.serialize_body(), b.serialize_body());
+}
+
+Report make_tree_report() {
+  Report r = make_report();
+  mtree::MerkleTree tree(8, crypto::HashKind::kSha256);
+  for (std::size_t i = 0; i < 8; ++i) {
+    // Proof wire demands digest-width leaves (32 B for SHA-256).
+    const support::Bytes bytes(32, static_cast<std::uint8_t>(i + 1));
+    tree.set_leaf(i, Digest(support::ByteView(bytes)));
+  }
+  tree.flush();
+  r.tree_root = tree.root_bytes();
+  r.proofs.push_back(tree.prove_range(2, 3));
+  r.proofs.push_back(tree.prove_range(6, 1));
+  return r;
+}
+
+TEST(Report, WireRoundTripsTreeTrailer) {
+  Report r = make_tree_report();
+  authenticate_report(r, to_bytes("key"));
+  const auto parsed = parse_report_wire(serialize_report_wire(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tree_root, r.tree_root);
+  ASSERT_EQ(parsed->proofs.size(), 2u);
+  EXPECT_EQ(parsed->proofs[0].first_leaf, 2u);
+  EXPECT_EQ(parsed->proofs[0].leaf_count, 3u);
+  EXPECT_EQ(parsed->proofs[0].leaves, r.proofs[0].leaves);
+  EXPECT_EQ(parsed->proofs[0].siblings, r.proofs[0].siblings);
+  EXPECT_EQ(parsed->proofs[1].first_leaf, 6u);
+  EXPECT_TRUE(report_mac_valid(*parsed, to_bytes("key")));
+  EXPECT_TRUE(parsed->proofs[0].verify(parsed->tree_root));
+}
+
+TEST(Report, FlatWireCarriesNoTrailerAndParsesBack) {
+  Report r = make_report();
+  authenticate_report(r, to_bytes("key"));
+  const support::Bytes flat_body = r.serialize_body();
+  // Tree fields default-empty: the body is the legacy encoding (adding a
+  // trailer strictly grows it).
+  EXPECT_LT(flat_body.size(), make_tree_report().serialize_body().size());
+  const auto parsed = parse_report_wire(serialize_report_wire(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->tree_root.empty());
+  EXPECT_TRUE(parsed->proofs.empty());
+  EXPECT_EQ(parsed->serialize_body(), flat_body);
+}
+
+TEST(Report, MacCoversTreeTrailer) {
+  Report base = make_tree_report();
+  authenticate_report(base, to_bytes("key"));
+  ASSERT_TRUE(report_mac_valid(base, to_bytes("key")));
+  {
+    Report r = base;
+    r.tree_root[0] ^= 1;
+    EXPECT_FALSE(report_mac_valid(r, to_bytes("key")));
+  }
+  {
+    Report r = base;
+    r.proofs[0].first_leaf ^= 1;
+    EXPECT_FALSE(report_mac_valid(r, to_bytes("key")));
+  }
+  {
+    Report r = base;
+    r.proofs.pop_back();
+    EXPECT_FALSE(report_mac_valid(r, to_bytes("key")));
+  }
+}
+
+TEST(Report, TreeWireParseRejectsTruncation) {
+  Report r = make_tree_report();
+  authenticate_report(r, to_bytes("key"));
+  const support::Bytes wire = serialize_report_wire(r);
+  for (std::size_t cut = wire.size() - 40; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(parse_report_wire(support::ByteView(wire.data(), cut)).has_value())
+        << "cut at " << cut;
+  }
 }
 
 TEST(Report, SignatureRoundTrip) {

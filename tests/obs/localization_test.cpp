@@ -1,0 +1,95 @@
+/// HealthRollup fault-localization rollup + the mtree journal kinds
+/// (ISSUE 8 satellites): localized-block-range histograms fold across
+/// merges, the JSON section appears only when used, and the new journal
+/// event kinds render stable NDJSON.
+
+#include <gtest/gtest.h>
+
+#include "src/obs/health.hpp"
+#include "src/obs/journal.hpp"
+
+namespace rasc::obs {
+namespace {
+
+TEST(HealthLocalization, RecordsRangesBlocksAndBuckets) {
+  HealthRollup rollup;
+  // Blocks 30..33 of a 64-block region: two in bucket 7, two in bucket 8.
+  rollup.record_localization(30, 4, 64);
+  EXPECT_EQ(rollup.localized_ranges(), 1u);
+  EXPECT_EQ(rollup.localized_blocks(), 4u);
+  EXPECT_EQ(rollup.localization_bucket(7), 2u);
+  EXPECT_EQ(rollup.localization_bucket(8), 2u);
+  EXPECT_EQ(rollup.localization_bucket(0), 0u);
+  EXPECT_EQ(rollup.localization_bucket(HealthRollup::kLocalizationBuckets), 0u);
+}
+
+TEST(HealthLocalization, ZeroCountsAreNoOps) {
+  HealthRollup rollup;
+  rollup.record_localization(5, 0, 64);
+  rollup.record_localization(5, 3, 0);
+  EXPECT_EQ(rollup.localized_ranges(), 0u);
+  EXPECT_EQ(rollup.localized_blocks(), 0u);
+}
+
+TEST(HealthLocalization, LastBlockLandsInLastBucket) {
+  HealthRollup rollup;
+  rollup.record_localization(63, 1, 64);
+  EXPECT_EQ(rollup.localization_bucket(15), 1u);
+}
+
+TEST(HealthLocalization, MergeFoldsAllLocalizationState) {
+  HealthRollup a, b;
+  a.record_localization(0, 8, 64);
+  a.record_unlocalized_compromise();
+  b.record_localization(56, 8, 64);
+  b.record_localization(0, 1, 64);
+  a.merge(b);
+  EXPECT_EQ(a.localized_ranges(), 3u);
+  EXPECT_EQ(a.localized_blocks(), 17u);
+  EXPECT_EQ(a.unlocalized_compromised(), 1u);
+  EXPECT_EQ(a.localization_bucket(0), 5u);  // blocks 0..3 from a, block 0 from b
+  EXPECT_EQ(a.localization_bucket(1), 4u);  // blocks 4..7 from a
+  EXPECT_EQ(a.localization_bucket(14), 4u);  // blocks 56..59 from b
+  EXPECT_EQ(a.localization_bucket(15), 4u);  // blocks 60..63 from b
+}
+
+TEST(HealthLocalization, JsonSectionOnlyWhenUsed) {
+  HealthRollup flat;
+  flat.record_round(RoundOutcome::kCompromised, 1, 1000, 1000, 0);
+  EXPECT_EQ(flat.to_json().find("localization"), std::string::npos);
+
+  HealthRollup tree;
+  tree.record_round(RoundOutcome::kCompromised, 1, 1000, 1000, 0);
+  tree.record_localization(4, 2, 16);
+  const std::string json = tree.to_json();
+  EXPECT_NE(json.find("\"localization\""), std::string::npos);
+  EXPECT_NE(json.find("\"ranges\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"blocks\":2"), std::string::npos);
+
+  HealthRollup unlocalized;
+  unlocalized.record_unlocalized_compromise();
+  EXPECT_NE(unlocalized.to_json().find("\"unlocalized\":1"), std::string::npos);
+}
+
+TEST(MtreeJournalKinds, HaveStableNamesAndNdjson) {
+  EXPECT_EQ(journal_event_kind_name(JournalEventKind::kMtreeRehash), "mtree.rehash");
+  EXPECT_EQ(journal_event_kind_name(JournalEventKind::kMtreeProof), "mtree.proof");
+
+  const auto build = [] {
+    EventJournal journal;
+    const std::uint32_t actor = journal.intern("dev-0");
+    journal.append(100, actor, 1, 2, JournalEventKind::kMtreeRehash, 3, 17);
+    journal.append(200, actor, 1, 2, JournalEventKind::kMtreeProof, 8, 4);
+    return journal.to_ndjson();
+  };
+  const std::string ndjson = build();
+  EXPECT_EQ(ndjson,
+            "{\"t\":100,\"actor\":\"dev-0\",\"kind\":\"mtree.rehash\","
+            "\"session\":1,\"round\":2,\"a\":3,\"b\":17}\n"
+            "{\"t\":200,\"actor\":\"dev-0\",\"kind\":\"mtree.proof\","
+            "\"session\":1,\"round\":2,\"a\":8,\"b\":4}\n");
+  EXPECT_EQ(build(), ndjson);  // byte-identical on rebuild
+}
+
+}  // namespace
+}  // namespace rasc::obs

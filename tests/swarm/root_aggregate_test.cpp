@@ -1,0 +1,96 @@
+/// Swarm-scale Merkle aggregation (ISSUE 8): per-device roots fold up the
+/// spanning tree into one swarm digest, and comparing top-level subtree
+/// roots localizes which branch holds a compromised device.
+
+#include <gtest/gtest.h>
+
+#include "src/swarm/swarm.hpp"
+
+namespace rasc::swarm {
+namespace {
+
+SwarmConfig base_config() {
+  SwarmConfig config;
+  config.device_count = 15;  // full binary tree, depth 4
+  config.branching = 2;
+  return config;
+}
+
+TEST(SwarmRoots, CleanSwarmMatchesExpectation) {
+  const SwarmRootAggregate agg = aggregate_swarm_roots(base_config(), {});
+  EXPECT_TRUE(agg.matches);
+  EXPECT_EQ(agg.root, agg.expected_root);
+  EXPECT_FALSE(agg.root.empty());
+  EXPECT_TRUE(agg.suspect_subtrees.empty());
+  EXPECT_EQ(agg.child_roots.size(), 2u);  // device 0's children: 1 and 2
+}
+
+TEST(SwarmRoots, IsDeterministic) {
+  const SwarmRootAggregate a = aggregate_swarm_roots(base_config(), {9});
+  const SwarmRootAggregate b = aggregate_swarm_roots(base_config(), {9});
+  EXPECT_EQ(a.root, b.root);
+  EXPECT_EQ(a.expected_root, b.expected_root);
+  EXPECT_EQ(a.suspect_subtrees, b.suspect_subtrees);
+}
+
+TEST(SwarmRoots, RootDependsOnGroupKey) {
+  SwarmConfig other = base_config();
+  other.group_key = support::to_bytes("different-group-key");
+  EXPECT_NE(aggregate_swarm_roots(base_config(), {}).root,
+            aggregate_swarm_roots(other, {}).root);
+}
+
+TEST(SwarmRoots, LocalizesInfectionToTopLevelBranch) {
+  // With branching 2 and 15 devices, device 9 sits in child 1's subtree
+  // (1 -> 4 -> 9) and device 13 in child 2's (2 -> 6 -> 13).
+  {
+    const SwarmRootAggregate agg = aggregate_swarm_roots(base_config(), {9});
+    EXPECT_FALSE(agg.matches);
+    EXPECT_EQ(agg.suspect_subtrees, (std::vector<std::size_t>{1}));
+  }
+  {
+    const SwarmRootAggregate agg = aggregate_swarm_roots(base_config(), {13});
+    EXPECT_FALSE(agg.matches);
+    EXPECT_EQ(agg.suspect_subtrees, (std::vector<std::size_t>{2}));
+  }
+  {
+    const SwarmRootAggregate agg = aggregate_swarm_roots(base_config(), {9, 13});
+    EXPECT_FALSE(agg.matches);
+    EXPECT_EQ(agg.suspect_subtrees, (std::vector<std::size_t>{1, 2}));
+  }
+}
+
+TEST(SwarmRoots, InfectedRootDeviceIsItsOwnSuspect) {
+  const SwarmRootAggregate agg = aggregate_swarm_roots(base_config(), {0});
+  EXPECT_FALSE(agg.matches);
+  EXPECT_EQ(agg.suspect_subtrees, (std::vector<std::size_t>{0}));
+}
+
+TEST(SwarmRoots, ChildRootCountClampsToSwarmSize) {
+  SwarmConfig tiny = base_config();
+  tiny.device_count = 2;  // device 0 has a single child
+  tiny.branching = 4;
+  const SwarmRootAggregate agg = aggregate_swarm_roots(tiny, {});
+  EXPECT_EQ(agg.child_roots.size(), 1u);
+  EXPECT_TRUE(agg.matches);
+
+  SwarmConfig solo = base_config();
+  solo.device_count = 1;  // root only: the aggregate is its own leaf fold
+  const SwarmRootAggregate alone = aggregate_swarm_roots(solo, {});
+  EXPECT_TRUE(alone.child_roots.empty());
+  EXPECT_TRUE(alone.matches);
+  EXPECT_FALSE(alone.root.empty());
+}
+
+TEST(SwarmRoots, WideBranchingStillLocalizes) {
+  SwarmConfig wide = base_config();
+  wide.device_count = 13;
+  wide.branching = 3;  // children of 0: 1, 2, 3; child of 3: 10, 11, 12
+  const SwarmRootAggregate agg = aggregate_swarm_roots(wide, {11});
+  ASSERT_EQ(agg.child_roots.size(), 3u);
+  EXPECT_FALSE(agg.matches);
+  EXPECT_EQ(agg.suspect_subtrees, (std::vector<std::size_t>{3}));
+}
+
+}  // namespace
+}  // namespace rasc::swarm
