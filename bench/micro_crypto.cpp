@@ -2,11 +2,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "src/attest/measurement.hpp"
 #include "src/bignum/prime.hpp"
 #include "src/crypto/cbcmac.hpp"
 #include "src/crypto/drbg.hpp"
 #include "src/crypto/ecdsa.hpp"
 #include "src/crypto/hmac.hpp"
+#include "src/crypto/lanes.hpp"
 #include "src/crypto/rsa.hpp"
 #include "src/support/rng.hpp"
 
@@ -33,6 +35,77 @@ void BM_Hash(benchmark::State& state) {
 }
 BENCHMARK(BM_Hash)
     ->ArgsProduct({{0, 1, 2, 3}, {1 << 10, 64 << 10, 1 << 20}});
+
+/// Multi-lane digesting: N independent 4 KiB messages per wave.  lanes=1
+/// is the reused-state scalar loop (BlockDigester's per-block baseline);
+/// lanes=4/8 go through LaneHasher on the auto-selected backend.
+template <std::size_t N>
+void lane_rows(benchmark::State& state, crypto::HashKind kind) {
+  constexpr std::size_t kMsg = 4096;
+  const auto pool = random_bytes(kMsg * N);
+  support::Bytes sink(64 * N);
+  support::ByteView views[N];
+  support::MutableByteView outs[N];
+  const std::size_t digest_size = crypto::hash_digest_size(kind);
+  for (std::size_t l = 0; l < N; ++l) {
+    views[l] = support::ByteView(pool.data() + l * kMsg, kMsg);
+    outs[l] = support::MutableByteView(sink.data() + l * digest_size, digest_size);
+  }
+  if constexpr (N == 1) {
+    auto hasher = crypto::make_hash(kind);
+    for (auto _ : state) {
+      crypto::hash_oneshot_into(*hasher, views[0], outs[0]);
+      benchmark::DoNotOptimize(sink.data());
+    }
+    state.SetLabel(crypto::hash_name(kind) + "/scalar");
+  } else {
+    crypto::LaneHasher<N> lanes(kind);
+    for (auto _ : state) {
+      lanes.digest(std::span<const support::ByteView>(views, N),
+                   std::span<const support::MutableByteView>(outs, N));
+      benchmark::DoNotOptimize(sink.data());
+    }
+    state.SetLabel(crypto::hash_name(kind) + "/" +
+                   crypto::lane_backend_name(lanes.backend()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kMsg * N);
+}
+
+void BM_LaneHash(benchmark::State& state) {
+  const auto kind = static_cast<crypto::HashKind>(state.range(0));
+  switch (state.range(1)) {
+    case 1: lane_rows<1>(state, kind); break;
+    case 4: lane_rows<4>(state, kind); break;
+    default: lane_rows<8>(state, kind); break;
+  }
+}
+BENCHMARK(BM_LaneHash)
+    ->ArgsProduct({{0, 3}, {1, 4, 8}});  // SHA-256, BLAKE2s x lanes
+
+/// Per-block digest F cost at the exact measurement block sizes: the
+/// encryption-based F (AES-CBC-MAC) vs the hash-based F (unkeyed SHA-256 /
+/// BLAKE2s), through the same reusable BlockDigester the prover runs.
+void BM_BlockDigestF(benchmark::State& state) {
+  const auto mac = static_cast<attest::MacKind>(state.range(0));
+  const auto kind = static_cast<crypto::HashKind>(state.range(1));
+  const auto block_size = static_cast<std::size_t>(state.range(2));
+  const auto key = random_bytes(16);
+  const auto block = random_bytes(block_size);
+  attest::BlockDigester digester(mac, kind, key);
+  attest::Digest out;
+  for (auto _ : state) {
+    digester.digest(block, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(block_size));
+  state.SetLabel(attest::mac_kind_name(mac) + "/" + crypto::hash_name(kind));
+  state.counters["blocks/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockDigestF)
+    ->ArgsProduct({{0, 1}, {0, 3}, {64, 4096}});  // F x hash x block size
 
 void BM_HmacSha256(benchmark::State& state) {
   const auto key = random_bytes(32);

@@ -24,6 +24,7 @@
 /// with the cache than without, or if the tree path is not at least 50x
 /// faster than uncached at <=1% dirty blocks.
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <numeric>
@@ -74,18 +75,29 @@ void dirty_round(sim::DeviceMemory& memory, support::Xoshiro256& rng,
 
 /// One sweep point: run `kRounds` measure-dirty-measure cycles, returning
 /// elapsed seconds; every round's measurement is appended to `out`.
+/// `batch` routes visitation through the multi-lane visit_blocks path
+/// (byte-identical by contract — checked against the scalar column below).
 double run_rounds(sim::DeviceMemory& memory, attest::DigestCache* cache,
                   support::ByteView key, std::size_t dirty_blocks,
-                  std::uint64_t rng_seed, std::vector<support::Bytes>& out) {
+                  std::uint64_t rng_seed, std::vector<support::Bytes>& out,
+                  attest::MacKind mac = attest::MacKind::kHmac,
+                  bool batch = false) {
   support::Xoshiro256 rng(rng_seed);
+  std::vector<std::size_t> all_blocks(kBlocks);
+  std::iota(all_blocks.begin(), all_blocks.end(), std::size_t{0});
   const double start = now_seconds();
   for (std::size_t round = 0; round < kRounds; ++round) {
     // Dirty a random subset, then measure the whole memory.
     dirty_round(memory, rng, dirty_blocks, round);
     attest::Measurement m(memory, crypto::HashKind::kSha256, key,
-                          attest::MeasurementContext{"prv-micro", {}, round + 1});
+                          attest::MeasurementContext{"prv-micro", {}, round + 1},
+                          attest::Coverage{}, mac);
     m.set_digest_cache(cache);
-    for (std::size_t b = 0; b < kBlocks; ++b) m.visit_block(b, /*now=*/0);
+    if (batch) {
+      m.visit_blocks(all_blocks, /*now=*/0);
+    } else {
+      for (std::size_t b = 0; b < kBlocks; ++b) m.visit_block(b, /*now=*/0);
+    }
     out.push_back(m.finalize());
   }
   return now_seconds() - start;
@@ -124,16 +136,19 @@ int main() {
   obs::MetricsRegistry registry;
   bool ok = true;
   double speedup_at_10pct = 0.0;
+  double batch_speedup_at_100pct = 0.0;
   double tree_speedup_at_1pct = 0.0;
 
   support::Table table({"dirty %", "cached s", "uncached s", "speedup",
-                        "tree s", "tree spdup", "hit rate", "identical"});
+                        "batch s", "batch spdup", "tree s", "tree spdup",
+                        "hit rate", "identical"});
   for (const std::size_t dirty_pct : {0u, 1u, 5u, 10u, 25u, 50u, 100u}) {
     const std::size_t dirty_blocks = kBlocks * dirty_pct / 100;
     // Identical initial contents and identical dirtying streams on all
-    // three sides, so measurement k is comparable round-for-round.
+    // four sides, so measurement k is comparable round-for-round.
     sim::DeviceMemory cached_mem(kBlocks * kBlockSize, kBlockSize);
     sim::DeviceMemory uncached_mem(kBlocks * kBlockSize, kBlockSize);
+    sim::DeviceMemory batch_mem(kBlocks * kBlockSize, kBlockSize);
     sim::DeviceMemory tree_mem(kBlocks * kBlockSize, kBlockSize);
     support::Bytes image(cached_mem.size());
     {
@@ -141,21 +156,30 @@ int main() {
       for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
       cached_mem.load(image);
       uncached_mem.load(image);
+      batch_mem.load(image);
       tree_mem.load(image);
     }
     attest::DigestCache cache;
     cache.resize(kBlocks);
     cache.set_metrics(&registry);
 
-    std::vector<support::Bytes> cached_results, uncached_results, tree_results;
+    std::vector<support::Bytes> cached_results, uncached_results, batch_results,
+        tree_results;
     cached_results.reserve(kRounds);
     uncached_results.reserve(kRounds);
+    batch_results.reserve(kRounds);
     tree_results.reserve(kRounds);
     const std::uint64_t stream_seed = 0xd127 + dirty_pct;
     const double cached_s =
         run_rounds(cached_mem, &cache, key, dirty_blocks, stream_seed, cached_results);
     const double uncached_s = run_rounds(uncached_mem, nullptr, key, dirty_blocks,
                                          stream_seed, uncached_results);
+    // Batch column: the same uncached measurement, but every round visits
+    // through the multi-lane visit_blocks wave instead of the per-block
+    // scalar loop.  Must be byte-identical to the scalar column.
+    const double batch_s =
+        run_rounds(batch_mem, nullptr, key, dirty_blocks, stream_seed, batch_results,
+                   attest::MacKind::kHmac, /*batch=*/true);
 
     // Tree column: primed once outside the timed loop (the prover primes
     // at deployment), then dirty discovery through the generation
@@ -174,7 +198,8 @@ int main() {
     const double tree_s =
         run_tree_rounds(tree_mem, key, dirty_blocks, stream_seed, tree_results, tree);
 
-    const bool identical = cached_results == uncached_results;
+    const bool identical =
+        cached_results == uncached_results && batch_results == uncached_results;
     ok &= identical;
 
     // The incremental root must equal a from-scratch rebuild over the
@@ -205,16 +230,28 @@ int main() {
 
     const double speedup = cached_s > 0.0 ? uncached_s / cached_s : 0.0;
     if (dirty_pct == 10) speedup_at_10pct = speedup;
+    const double batch_speedup = batch_s > 0.0 ? uncached_s / batch_s : 0.0;
+    if (dirty_pct == 100) batch_speedup_at_100pct = batch_speedup;
     const double tree_speedup = tree_s > 0.0 ? uncached_s / tree_s : 0.0;
     if (dirty_pct == 1) tree_speedup_at_1pct = tree_speedup;
     const double hit_rate =
         static_cast<double>(cache.hits()) /
         static_cast<double>(cache.hits() + cache.misses());
+    // blocks/s make the scalar hot path attributable: the uncached row
+    // digests every block every round regardless of dirty fraction.
+    const double total_blocks = static_cast<double>(kRounds * kBlocks);
+    const double uncached_bps = uncached_s > 0.0 ? total_blocks / uncached_s : 0.0;
+    const double batch_bps = batch_s > 0.0 ? total_blocks / batch_s : 0.0;
 
     const std::string suffix = std::to_string(dirty_pct);
     registry.gauge("measurement.cached_seconds_dirty_" + suffix).set(cached_s);
     registry.gauge("measurement.uncached_seconds_dirty_" + suffix).set(uncached_s);
+    registry.gauge("measurement.uncached_blocks_per_s_dirty_" + suffix)
+        .set(uncached_bps);
     registry.gauge("measurement.speedup_dirty_" + suffix).set(speedup);
+    registry.gauge("measurement.batch_seconds_dirty_" + suffix).set(batch_s);
+    registry.gauge("measurement.batch_blocks_per_s_dirty_" + suffix).set(batch_bps);
+    registry.gauge("measurement.batch_speedup_dirty_" + suffix).set(batch_speedup);
     registry.gauge("measurement.tree_seconds_dirty_" + suffix).set(tree_s);
     registry.gauge("measurement.tree_speedup_dirty_" + suffix).set(tree_speedup);
     registry.gauge("measurement.hit_rate_dirty_" + suffix).set(hit_rate);
@@ -224,13 +261,44 @@ int main() {
 
     table.add_row({std::to_string(dirty_pct), support::fmt_double(cached_s, 4),
                    support::fmt_double(uncached_s, 4), support::fmt_double(speedup, 1),
+                   support::fmt_double(batch_s, 4),
+                   support::fmt_double(batch_speedup, 1),
                    support::fmt_double(tree_s, 4), support::fmt_double(tree_speedup, 1),
                    support::fmt_double(hit_rate, 3), column_ok ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
 
+  // Per-MacKind scalar blocks/s at 100% dirty, so a regression in either
+  // F's scalar path is attributable after the batch path lands (the batch
+  // wave only covers the hash-based F; AES-CBC-MAC always runs scalar).
+  {
+    support::Table mac_table({"MacKind", "scalar blocks/s", "batch"});
+    for (const attest::MacKind mac :
+         {attest::MacKind::kHmac, attest::MacKind::kCbcMac}) {
+      sim::DeviceMemory mem(kBlocks * kBlockSize, kBlockSize);
+      support::Bytes image(mem.size());
+      support::Xoshiro256 rng(0xbeef);
+      for (auto& b : image) b = static_cast<std::uint8_t>(rng.below(256));
+      mem.load(image);
+      std::vector<support::Bytes> results;
+      const double seconds =
+          run_rounds(mem, nullptr, key, kBlocks, 0xd127, results, mac);
+      const double bps =
+          seconds > 0.0 ? static_cast<double>(kRounds * kBlocks) / seconds : 0.0;
+      attest::BlockDigester digester(mac, crypto::HashKind::kSha256, key);
+      std::string label = attest::mac_kind_name(mac);
+      for (auto& c : label) c = c == '-' ? '_' : static_cast<char>(std::tolower(c));
+      registry.gauge("measurement.scalar_blocks_per_s_" + label).set(bps);
+      mac_table.add_row({attest::mac_kind_name(mac), support::fmt_double(bps, 0),
+                         digester.batch_uses_lanes() ? "lanes" : "scalar"});
+    }
+    std::printf("%s\n", mac_table.render().c_str());
+  }
+
   ok &= expect(speedup_at_10pct >= 5.0,
                "repeated measurement at 10% dirty blocks is >=5x faster cached");
+  ok &= expect(batch_speedup_at_100pct > 1.0,
+               "batched visit_blocks beats the per-block scalar loop at 100% dirty");
   ok &= expect(tree_speedup_at_1pct >= 50.0,
                "tree re-measurement at 1% dirty blocks is >=50x faster than uncached");
 

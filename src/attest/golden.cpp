@@ -14,9 +14,15 @@ GoldenMeasurement::GoldenMeasurement(support::ByteView image, std::size_t block_
   const std::size_t n = image.size() / block_size;
   BlockDigester digester(mac, hash, key);
   digests_.resize(n);
+  std::vector<support::ByteView> views;
+  std::vector<Digest*> outs;
+  views.reserve(n);
+  outs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    digester.digest(image.subspan(i * block_size, block_size), digests_[i]);
+    views.push_back(image.subspan(i * block_size, block_size));
+    outs.push_back(&digests_[i]);
   }
+  digester.digest_batch(views, outs);
   tree_.emplace(n, hash);
   for (std::size_t i = 0; i < n; ++i) tree_->set_leaf(i, digests_[i]);
   tree_->flush();

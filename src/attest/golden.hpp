@@ -44,6 +44,11 @@ class GoldenMeasurement {
   crypto::HashKind hash_kind() const noexcept { return hash_; }
   MacKind mac_kind() const noexcept { return mac_; }
   const Digest& block_digest(std::size_t block) const { return digests_.at(block); }
+  /// All per-block digests in block order — the fleet verifier primes a
+  /// whole shard wave of tree-mode provers from these
+  /// (AttestationProcess::prime_tree_from) instead of re-digesting the
+  /// identical provisioned image once per device.
+  const std::vector<Digest>& block_digests() const noexcept { return digests_; }
 
   /// Golden Merkle tree over the per-block digests, built once at
   /// construction like the digests themselves.  The root is what shard /

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/crypto/lanes.hpp"
+
 namespace rasc::attest {
 
 namespace {
@@ -15,7 +17,7 @@ support::Bytes derive_block_key(support::ByteView key) {
 }  // namespace
 
 BlockDigester::BlockDigester(MacKind mac, crypto::HashKind hash, support::ByteView key)
-    : mac_(mac) {
+    : mac_(mac), hash_kind_(hash) {
   if (mac_ == MacKind::kHmac) {
     hash_ = crypto::make_hash(hash);
     digest_size_ = hash_->digest_size();
@@ -36,6 +38,25 @@ void BlockDigester::digest(support::ByteView block, Digest& out) {
     engine_->update(block);
     engine_->finalize_into(out.prepare(digest_size_));
   }
+}
+
+bool BlockDigester::batch_uses_lanes() const noexcept {
+  return mac_ == MacKind::kHmac && crypto::lanes_supported(hash_kind_);
+}
+
+void BlockDigester::digest_batch(std::span<const support::ByteView> blocks,
+                                 std::span<Digest* const> outs) {
+  if (blocks.size() != outs.size()) {
+    throw std::invalid_argument("digest_batch: blocks/outs size mismatch");
+  }
+  if (!batch_uses_lanes()) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) digest(blocks[i], *outs[i]);
+    return;
+  }
+  batch_views_.clear();
+  batch_views_.reserve(blocks.size());
+  for (Digest* out : outs) batch_views_.push_back(out->prepare(digest_size_));
+  crypto::digest_many(hash_kind_, blocks, batch_views_);
 }
 
 Measurement::Measurement(const sim::DeviceMemory& memory, crypto::HashKind hash,
@@ -101,6 +122,78 @@ void Measurement::visit_block(std::size_t block, sim::Time now,
   digester_.digest(content, block_digests_[rel]);
 }
 
+void Measurement::visit_blocks(std::span<const std::size_t> blocks, sim::Time now) {
+  visit_blocks_impl(blocks, now, {});
+}
+
+void Measurement::visit_blocks(std::span<const std::size_t> blocks, sim::Time now,
+                               std::span<const support::ByteView> contents) {
+  if (contents.size() != blocks.size()) {
+    throw std::invalid_argument("visit_blocks: blocks/contents size mismatch");
+  }
+  visit_blocks_impl(blocks, now, contents);
+}
+
+void Measurement::visit_blocks_impl(std::span<const std::size_t> blocks, sim::Time now,
+                                    std::span<const support::ByteView> contents) {
+  batch_contents_.clear();
+  batch_outs_.clear();
+  batch_stores_.clear();
+  batch_contents_.reserve(blocks.size());
+  batch_outs_.reserve(blocks.size());
+  batch_stores_.reserve(blocks.size());
+
+  // Classification pass in caller order: bookkeeping, cache lookups and
+  // journal events happen here, exactly as the scalar loop would emit
+  // them; only the digesting of the misses is deferred into the batch.
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const std::size_t block = blocks[i];
+    if (block < coverage_.first_block ||
+        block >= coverage_.first_block + block_digests_.size()) {
+      throw std::out_of_range("visit_block outside coverage");
+    }
+    const support::ByteView content =
+        contents.empty() ? memory_.block_view(block) : contents[i];
+    const std::size_t rel = block - coverage_.first_block;
+    if (!visit_times_[rel]) ++visited_count_;
+    visit_times_[rel] = now;
+
+    const bool live = cache_ != nullptr && content.size() == memory_.block_size() &&
+                      content.data() == memory_.block_view(block).data();
+    if (live) {
+      const std::uint64_t generation = memory_.block_generation(block);
+      if (const Digest* hit = cache_->lookup(block, generation, hash_, mac_, key_fp_)) {
+        if (journal_ != nullptr) {
+          journal_->append(now, journal_actor_, 0, 0, obs::JournalEventKind::kCacheHit,
+                           block, generation);
+        }
+        block_digests_[rel] = *hit;
+        continue;
+      }
+      if (journal_ != nullptr) {
+        journal_->append(now, journal_actor_, 0, 0, obs::JournalEventKind::kCacheMiss,
+                         block, generation);
+      }
+      batch_contents_.push_back(content);
+      batch_outs_.push_back(&block_digests_[rel]);
+      batch_stores_.push_back({block, generation, true});
+      continue;
+    }
+    batch_contents_.push_back(content);
+    batch_outs_.push_back(&block_digests_[rel]);
+    batch_stores_.push_back({block, 0, false});
+  }
+
+  digester_.digest_batch(batch_contents_, batch_outs_);
+
+  for (std::size_t i = 0; i < batch_stores_.size(); ++i) {
+    const PendingStore& ps = batch_stores_[i];
+    if (ps.store) {
+      cache_->store(ps.block, ps.generation, hash_, mac_, key_fp_, *batch_outs_[i]);
+    }
+  }
+}
+
 support::Bytes Measurement::block_digest(MacKind mac, crypto::HashKind hash,
                                          support::ByteView key,
                                          support::ByteView block) {
@@ -160,9 +253,15 @@ support::Bytes Measurement::expected(support::ByteView image, std::size_t block_
   const std::size_t n = image.size() / block_size;
   BlockDigester digester(mac, hash, key);
   std::vector<Digest> digests(n);
+  std::vector<support::ByteView> views;
+  std::vector<Digest*> outs;
+  views.reserve(n);
+  outs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    digester.digest(image.subspan(i * block_size, block_size), digests[i]);
+    views.push_back(image.subspan(i * block_size, block_size));
+    outs.push_back(&digests[i]);
   }
+  digester.digest_batch(views, outs);
   return combine(digests, hash, key, context, mac);
 }
 

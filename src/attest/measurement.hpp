@@ -61,13 +61,27 @@ class BlockDigester {
   /// Digest one block's content into `out` — no heap allocation.
   void digest(support::ByteView block, Digest& out);
 
+  /// Digest many independent blocks at once (blocks[i] -> *outs[i]).
+  /// Hash-based F over a lane-capable hash packs the blocks into multi-lane
+  /// SIMD waves (byte-identical to digest(), enforced in tests); other
+  /// configurations fall back to the scalar loop.  Allocation-free after
+  /// the first call at a given batch size (reused scratch).
+  void digest_batch(std::span<const support::ByteView> blocks,
+                    std::span<Digest* const> outs);
+
   std::size_t digest_size() const noexcept { return digest_size_; }
+
+  /// True when digest_batch packs lanes rather than looping the scalar
+  /// engine (benchmarks label rows with this).
+  bool batch_uses_lanes() const noexcept;
 
  private:
   MacKind mac_;
+  crypto::HashKind hash_kind_;
   std::size_t digest_size_;
   std::unique_ptr<crypto::Hash> hash_;  ///< hash-based F (unkeyed per-block hash)
   std::optional<MacEngine> engine_;     ///< encryption-based F (keyed CBC-MAC)
+  std::vector<support::MutableByteView> batch_views_;  ///< digest_batch scratch
 };
 
 class Measurement {
@@ -100,6 +114,21 @@ class Measurement {
   /// As above but digesting the supplied content instead of live memory
   /// (snapshot-based locking redirects reads through the policy).
   void visit_block(std::size_t block, sim::Time now, support::ByteView content);
+
+  /// Batch visitation: exactly equivalent to calling visit_block(b, now)
+  /// for each b in order — same cache lookups, same journal events in the
+  /// same order, same stored digests — but cache misses are digested in
+  /// multi-lane waves through BlockDigester::digest_batch.  Callers that
+  /// already know their dirty set (tree-mode collect/flush, golden
+  /// pre-digesting, fleet shard waves) use this instead of the scalar
+  /// loop.  Blocks must be distinct within one call.
+  void visit_blocks(std::span<const std::size_t> blocks, sim::Time now);
+
+  /// As above with per-block content redirection (contents[i] is digested
+  /// for blocks[i]; snapshot views bypass the cache exactly as in the
+  /// scalar overload).
+  void visit_blocks(std::span<const std::size_t> blocks, sim::Time now,
+                    std::span<const support::ByteView> contents);
 
   /// Number of blocks visited so far / total to visit.
   std::size_t visited() const noexcept { return visited_count_; }
@@ -173,6 +202,19 @@ class Measurement {
   std::vector<Digest> block_digests_;
   std::vector<std::optional<sim::Time>> visit_times_;
   std::size_t visited_count_ = 0;
+
+  void visit_blocks_impl(std::span<const std::size_t> blocks, sim::Time now,
+                         std::span<const support::ByteView> contents);
+
+  /// visit_blocks scratch (cleared per call, capacity reused).
+  struct PendingStore {
+    std::size_t block;
+    std::uint64_t generation;
+    bool store;  ///< false for snapshot content / detached cache
+  };
+  std::vector<support::ByteView> batch_contents_;
+  std::vector<Digest*> batch_outs_;
+  std::vector<PendingStore> batch_stores_;
 };
 
 }  // namespace rasc::attest

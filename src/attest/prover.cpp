@@ -90,6 +90,18 @@ void AttestationProcess::prime_tree() {
   tree_->use_observed_dirty(true);
 }
 
+void AttestationProcess::prime_tree_from(std::span<const Digest> leaves) {
+  if (!config_.use_merkle_tree) {
+    throw std::logic_error("prime_tree_from without use_merkle_tree");
+  }
+  if (busy()) throw std::logic_error("prime_tree_from while a measurement is in flight");
+  ensure_tree();
+  tree_->prime_with(leaves);
+  device_.memory().set_generation_observer(
+      [this](std::size_t block) { tree_->note_block_changed(block); });
+  tree_->use_observed_dirty(true);
+}
+
 std::vector<std::size_t> AttestationProcess::make_order() {
   std::vector<std::size_t> order;
   if (config_.use_merkle_tree && tree_->primed()) {
@@ -238,12 +250,36 @@ void AttestationProcess::visit_one(std::size_t block, sim::Time visit_time) {
 
 void AttestationProcess::complete_atomic() {
   // Nothing else ran between t_s and now, so reading all blocks at the end
-  // of the segment observes exactly the memory state throughout.
+  // of the segment observes exactly the memory state throughout.  That
+  // also means the whole visit set is known up front at one visit time —
+  // the batch path digests cache misses in multi-lane waves.  Lock-state
+  // hooks (on_block_visited) run after the visits; they only flip MPU
+  // bits, which cannot affect digests inside an atomic segment.
   const sim::Time now = device_.sim().now();
-  for (std::size_t block : order_) {
-    const sim::Time visit_time =
-        (policy_ && policy_->snapshots_at_start()) ? result_.t_s : now;
-    visit_one(block, visit_time);
+  const sim::Time visit_time =
+      (policy_ && policy_->snapshots_at_start()) ? result_.t_s : now;
+  auto& mem = device_.memory();
+  if (config_.use_merkle_tree) {
+    // Tree mode reads live memory (snapshot policies are rejected at
+    // start): batch-visit through the measurement — cache lookups and
+    // journal events are bit-identical to the per-block path — then land
+    // each digest in the tree exactly as refresh_one would have.
+    measurement_->visit_blocks(order_, visit_time);
+    for (std::size_t block : order_) {
+      tree_->apply_digest(block, measurement_->visited_digest(block));
+    }
+  } else if (policy_ != nullptr) {
+    batch_contents_.clear();
+    batch_contents_.reserve(order_.size());
+    for (std::size_t block : order_) {
+      batch_contents_.push_back(policy_->block_source(mem, block));
+    }
+    measurement_->visit_blocks(order_, visit_time, batch_contents_);
+  } else {
+    measurement_->visit_blocks(order_, visit_time);
+  }
+  if (policy_ != nullptr) {
+    for (std::size_t block : order_) policy_->on_block_visited(mem, block);
   }
   if (observer_) observer_(order_.size(), order_.size());
   finish();

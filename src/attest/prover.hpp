@@ -122,6 +122,14 @@ class AttestationProcess final : public sim::Process {
   /// blocks.  Claims the device memory's single observer slot.
   void prime_tree();
 
+  /// As prime_tree(), but seed the leaves from externally computed digests
+  /// (one per block, block order) instead of re-digesting memory — the
+  /// fleet verifier primes a whole shard wave from the shard's golden
+  /// digests in one multi-lane batch.  The caller must guarantee
+  /// leaves[b] digests block b's *current* content under this prover's
+  /// (mac, hash, key) configuration.
+  void prime_tree_from(std::span<const Digest> leaves);
+
   /// The incremental tree (tree mode, after the first round or
   /// prime_tree(); nullptr otherwise) — exposed for benches and the fleet
   /// aggregation layer.
@@ -188,6 +196,7 @@ class AttestationProcess final : public sim::Process {
   std::vector<bool> proof_backlog_flag_;       ///< block -> in backlog
   std::vector<std::uint32_t> proof_backlog_;   ///< unacknowledged dirty blocks
   std::vector<std::size_t> order_;
+  std::vector<support::ByteView> batch_contents_;  ///< complete_atomic scratch
   std::size_t next_index_ = 0;
   AttestationResult result_;
   std::function<void(AttestationResult)> done_;

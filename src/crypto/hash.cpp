@@ -53,4 +53,11 @@ support::Bytes hash_oneshot(HashKind kind, support::ByteView data) {
   return h->finalize();
 }
 
+void hash_oneshot_into(Hash& hasher, support::ByteView data,
+                       support::MutableByteView out) {
+  hasher.reset();
+  hasher.update(data);
+  hasher.finalize_into(out);
+}
+
 }  // namespace rasc::crypto

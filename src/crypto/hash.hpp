@@ -63,6 +63,13 @@ std::size_t hash_digest_size(HashKind kind);
 /// One-shot convenience.
 support::Bytes hash_oneshot(HashKind kind, support::ByteView data);
 
+/// Allocation-free one-shot: digest `data` into `out` (>= digest_size()
+/// bytes) reusing `hasher`'s streaming state.  Hot loops hold one Hash and
+/// call this per message instead of paying hash_oneshot's make_hash +
+/// Bytes allocation every time.
+void hash_oneshot_into(Hash& hasher, support::ByteView data,
+                       support::MutableByteView out);
+
 /// All kinds, for parameterized tests and benches.
 inline constexpr HashKind kAllHashKinds[] = {
     HashKind::kSha256, HashKind::kSha512, HashKind::kBlake2b, HashKind::kBlake2s};

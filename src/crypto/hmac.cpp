@@ -1,5 +1,7 @@
 #include "src/crypto/hmac.hpp"
 
+#include <algorithm>
+
 namespace rasc::crypto {
 
 Hmac::Hmac(HashKind kind, support::ByteView key)
@@ -28,8 +30,13 @@ void Hmac::rekey(support::ByteView key) {
   const std::size_t block = inner_->block_size();
   support::Bytes k0(block, 0);
   if (key.size() > block) {
-    auto digest = hash_oneshot(kind_, key);
-    std::copy(digest.begin(), digest.end(), k0.begin());
+    // Hash the long key on inner_'s state instead of hash_oneshot: no
+    // temporary Hash or Bytes (inner_ is re-reset below anyway).
+    std::uint8_t digest[64];  // large enough for every library hash
+    hash_oneshot_into(*inner_, key,
+                      support::MutableByteView(digest, inner_->digest_size()));
+    std::copy_n(digest, inner_->digest_size(), k0.begin());
+    support::secure_wipe(support::MutableByteView(digest, sizeof digest));
   } else {
     std::copy(key.begin(), key.end(), k0.begin());
   }
@@ -68,6 +75,11 @@ void Hmac::finalize_into(support::MutableByteView out) {
 void Hmac::reset() {
   inner_->reset();
   inner_->update(ipad_key_);
+}
+
+void Hmac::compute_into(support::ByteView message, support::MutableByteView out) {
+  update(message);
+  finalize_into(out);
 }
 
 support::Bytes Hmac::compute(HashKind kind, support::ByteView key,

@@ -36,7 +36,13 @@ class Hmac {
   std::size_t tag_size() const noexcept { return inner_->digest_size(); }
   HashKind kind() const noexcept { return kind_; }
 
-  /// One-shot convenience.
+  /// Allocation-free one-shot reusing this instance's keyed state: tag
+  /// `message` into `out` (>= tag_size() bytes) and return to the keyed
+  /// initial state.  The reusable counterpart of the static compute().
+  void compute_into(support::ByteView message, support::MutableByteView out);
+
+  /// One-shot convenience (allocates; hot paths hold an Hmac and use
+  /// compute_into instead).
   static support::Bytes compute(HashKind kind, support::ByteView key,
                                 support::ByteView message);
 

@@ -1,0 +1,23 @@
+#pragma once
+/// \file lanes_avx2.hpp
+/// Private interface to the AVX2 8-lane translation unit (lanes_avx2.cpp,
+/// compiled with -mavx2 when the toolchain supports it).  Only included by
+/// lanes.cpp, and only when CMake defines RASC_CRYPTO_HAVE_AVX2; callers
+/// must gate every entry point on avx2_runtime().
+
+#include <cstddef>
+
+#include "src/support/bytes.hpp"
+
+namespace rasc::crypto::lane_detail {
+
+/// True when the executing CPU reports AVX2 via CPUID.
+bool avx2_runtime() noexcept;
+
+void sha256_lanes8_avx2(const support::ByteView* msgs,
+                        const support::MutableByteView* outs, std::size_t count);
+
+void blake2s_lanes8_avx2(const support::ByteView* msgs,
+                         const support::MutableByteView* outs, std::size_t count);
+
+}  // namespace rasc::crypto::lane_detail

@@ -172,7 +172,7 @@ struct DeviceStack {
   attest::ReliableSession session;
 
   DeviceStack(sim::Simulator& sim, const FleetConfig& config, ShardState& shard,
-              std::size_t index, bool infected)
+              std::size_t index)
       : own_golden(config.share_golden
                        ? nullptr
                        : std::make_shared<const attest::GoldenMeasurement>(
@@ -187,10 +187,33 @@ struct DeviceStack {
         session(device, verifier, mp, vrf_to_prv, prv_to_vrf,
                 make_session_config(config, index)) {
     device.memory().load(shard.image);
-    // Tree mode: prime from the *clean* image before the infection patch
-    // lands, so the infection is the only dirtiness the first round sees
-    // and the subtree proofs localize exactly the infected range.
-    if (config.use_merkle_tree) mp.prime_tree();
+    if (config.share_digest_cache) mp.set_shared_digest_cache(&shard.cache);
+    if (config.metrics != nullptr) {
+      verifier.set_metrics(config.metrics);
+      vrf_to_prv.set_metrics(config.metrics);
+      prv_to_vrf.set_metrics(config.metrics);
+      session.set_metrics(config.metrics);
+    }
+  }
+
+  /// Provisioning step two, split from construction so the fleet can build
+  /// every stack of a shard wave first and then provision them together.
+  /// Per device the order is fixed: prime from the *clean* image strictly
+  /// before the infection patch lands, so the infection is the only
+  /// dirtiness the first round sees and the subtree proofs localize
+  /// exactly the infected range.
+  void provision(const FleetConfig& config, ShardState& shard, bool infected) {
+    if (config.use_merkle_tree) {
+      // The shard golden already holds every block digest of the clean
+      // image, computed once per shard in one multi-lane batch
+      // (GoldenMeasurement's batched constructor).  Prime the tree from
+      // those digests directly instead of re-digesting blocks * devices
+      // times — the prover's (mac, hash, key) match the golden's by
+      // construction (same FleetConfig, same shard key).
+      const attest::GoldenMeasurement& golden =
+          config.share_golden ? *shard.golden : *own_golden;
+      mp.prime_tree_from(golden.block_digests());
+    }
     if (infected) {
       // Shard-deterministic infection: same blocks, same byte flips for
       // every infected device of the shard, planted before any round —
@@ -204,13 +227,6 @@ struct DeviceStack {
         const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
         device.memory().write(addr, patch, 0, sim::Actor::kMalware);
       }
-    }
-    if (config.share_digest_cache) mp.set_shared_digest_cache(&shard.cache);
-    if (config.metrics != nullptr) {
-      verifier.set_metrics(config.metrics);
-      vrf_to_prv.set_metrics(config.metrics);
-      prv_to_vrf.set_metrics(config.metrics);
-      session.set_metrics(config.metrics);
     }
   }
 };
@@ -268,8 +284,16 @@ struct FleetVerifier::Impl {
     stacks.reserve(config.devices);
     for (std::size_t d = 0; d < config.devices; ++d) {
       stacks.push_back(std::make_unique<DeviceStack>(
-          simulator, config, shards[shard_of(d)], d, roster.infected(d)));
+          simulator, config, shards[shard_of(d)], d));
       stacks.back()->session.set_health(&shards[shard_of(d)].health);
+    }
+    // Shard-wave provisioning: every device of a shard primes its tree
+    // from the same pre-batched golden digests (tree mode), then takes
+    // its infection patch.  Separate pass so the batched digesting work
+    // (one digest_batch per shard, inside make_shard_state) amortizes
+    // across the whole wave instead of repeating per device.
+    for (std::size_t d = 0; d < config.devices; ++d) {
+      stacks[d]->provision(config, shards[shard_of(d)], roster.infected(d));
     }
     recs.resize(config.devices);
   }
@@ -654,8 +678,8 @@ std::vector<obs::RoundOutcome> replay_device(
   replay_config.metrics = nullptr;
   replay_config.journal = nullptr;
   ShardState shard = make_shard_state(replay_config, shard_index);
-  DeviceStack stack(simulator, replay_config, shard, device,
-                    roster.infected(device));
+  DeviceStack stack(simulator, replay_config, shard, device);
+  stack.provision(replay_config, shard, roster.infected(device));
 
   std::vector<obs::RoundOutcome> outcomes;
   outcomes.reserve(start_times.size());

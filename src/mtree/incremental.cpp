@@ -1,6 +1,7 @@
 #include "src/mtree/incremental.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace rasc::mtree {
 
@@ -84,6 +85,25 @@ std::vector<std::size_t> IncrementalTree::collect_dirty() {
 }
 
 void IncrementalTree::refresh_one(std::size_t block) { refresh_block(block); }
+
+void IncrementalTree::apply_digest(std::size_t block, const Digest& digest) {
+  tree_.set_leaf(block, digest);
+  hashed_generations_[block] = memory_.block_generation(block);
+  hashed_once_[block] = true;
+}
+
+RehashStats IncrementalTree::prime_with(std::span<const Digest> leaves) {
+  if (leaves.size() != hashed_generations_.size()) {
+    throw std::invalid_argument("prime_with: one digest per block required");
+  }
+  for (std::size_t b = 0; b < leaves.size(); ++b) apply_digest(b, leaves[b]);
+  for (std::uint32_t block : observed_) observed_flag_[block] = false;
+  observed_.clear();
+  scan_needed_ = false;
+  const RehashStats stats = tree_.rebuild();
+  primed_ = true;
+  return stats;
+}
 
 RehashStats IncrementalTree::flush_tree() {
   const RehashStats stats = tree_.flush();

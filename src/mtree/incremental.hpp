@@ -70,6 +70,20 @@ class IncrementalTree {
   /// Re-digest one block and mark its tree path dirty (no flush).
   void refresh_one(std::size_t block);
 
+  /// Land an externally computed digest for `block` (no flush): exactly
+  /// refresh_one() minus the leaf_fn call.  Callers that batch their leaf
+  /// digests (multi-lane visit_blocks, golden-image priming) compute many
+  /// digests at once and then land each here; the caller must guarantee
+  /// `digest` is the digest of the block's current content.
+  void apply_digest(std::size_t block, const Digest& digest);
+
+  /// Prime every leaf from externally computed digests (one per block, in
+  /// block order) and rebuild — rebuild() minus the n leaf_fn calls, with
+  /// identical postconditions.  The caller must guarantee leaves[b] is the
+  /// digest of block b's current content (fleet priming batches golden
+  /// digests across a shard wave before any infection is applied).
+  RehashStats prime_with(std::span<const Digest> leaves);
+
   /// Flush the tree paths dirtied by refresh_one() calls.
   RehashStats flush_tree();
 
