@@ -108,9 +108,11 @@ void OnDemandProtocol::run(std::uint64_t counter,
     timings->t_request_received = sim.now();
 
     // Deferral: authenticate the request / wind down the previous task.
+    ++pending_events_;
     sim.schedule_in(config_.request_auth_delay, [this, timings,
                                                  request = *request,
                                                  done = std::move(done)]() mutable {
+      --pending_events_;
       timings->t_mp_started = device_.sim().now();
       const std::uint64_t req_counter = request.counter;
       MeasurementContext context{device_.id(), std::move(request.challenge),
@@ -139,9 +141,11 @@ void OnDemandProtocol::run(std::uint64_t counter,
             sink->flow_finish(sim.now(), "vrf", "ra.report",
                               timings->attestation.report.counter);
           }
+          ++pending_events_;
           sim.schedule_in(config_.verify_delay,
                           [this, timings, report_wire = std::move(report_wire),
                            done = std::move(done)]() mutable {
+            --pending_events_;
             timings->t_verified = device_.sim().now();
             const auto parsed = parse_report_wire(report_wire);
             if (parsed) {

@@ -78,6 +78,29 @@ void AttestationProcess::clear_proof_backlog() noexcept {
   proof_backlog_.clear();
 }
 
+AttestationProcess::ProcessState AttestationProcess::save_process_state() const {
+  if (busy()) {
+    throw std::logic_error("save_process_state while a measurement is in flight");
+  }
+  return {measurements_completed_, total_measure_time_, proof_backlog_};
+}
+
+void AttestationProcess::restore_process_state(const ProcessState& s) {
+  if (busy()) {
+    throw std::logic_error("restore_process_state while a measurement is in flight");
+  }
+  measurements_completed_ = s.measurements_completed;
+  total_measure_time_ = s.total_measure_time;
+  proof_backlog_flag_.assign(device_.memory().block_count(), false);
+  proof_backlog_.clear();
+  for (std::uint32_t block : s.proof_backlog) {
+    if (block < proof_backlog_flag_.size() && !proof_backlog_flag_[block]) {
+      proof_backlog_flag_[block] = true;
+      proof_backlog_.push_back(block);
+    }
+  }
+}
+
 void AttestationProcess::prime_tree() {
   if (!config_.use_merkle_tree) {
     throw std::logic_error("prime_tree without use_merkle_tree");

@@ -152,6 +152,20 @@ class AttestationProcess final : public sim::Process {
   std::size_t measurements_completed() const noexcept { return measurements_completed_; }
   sim::Duration total_measure_time() const noexcept { return total_measure_time_; }
 
+  /// Cross-round process state for hibernation: the lifetime totals the
+  /// session layer diffs, plus the unacknowledged proof backlog (tree
+  /// mode).  Capture only while idle; restore into a freshly constructed
+  /// process after re-provisioning (and, in tree mode, after the tree is
+  /// re-primed from the rebuilt memory).
+  struct ProcessState {
+    std::size_t measurements_completed = 0;
+    sim::Duration total_measure_time = 0;
+    std::vector<std::uint32_t> proof_backlog;
+  };
+
+  ProcessState save_process_state() const;
+  void restore_process_state(const ProcessState& s);
+
   /// Cost of measuring one block / finalizing, from the device model
   /// (exposed so benches can report the theoretical interrupt latency).
   sim::Duration block_cost() const;

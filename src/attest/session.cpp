@@ -172,8 +172,19 @@ void ReliableSession::schedule_retry() {
   const double scale =
       std::pow(config_.backoff_factor, static_cast<double>(result.attempts - 1));
   const double jitter_mult = 1.0 + config_.backoff_jitter * rng_.uniform();
-  const auto backoff = static_cast<sim::Duration>(
-      static_cast<double>(config_.backoff_base) * scale * jitter_mult);
+  const double raw =
+      static_cast<double>(config_.backoff_base) * scale * jitter_mult;
+  // Saturating clamp before the integer cast: deep retry budgets or large
+  // factors push `raw` past what sim::Duration holds, and casting an
+  // out-of-range (or non-finite, or negative) double to uint64 is UB.
+  sim::Duration backoff;
+  if (!(raw > 0.0)) {
+    backoff = 0;
+  } else if (raw >= static_cast<double>(config_.backoff_max)) {
+    backoff = config_.backoff_max;
+  } else {
+    backoff = static_cast<sim::Duration>(raw);
+  }
   result.backoff_total += backoff;
   ++retries_;
   count("session.retries");
@@ -188,6 +199,38 @@ void ReliableSession::schedule_retry() {
     if (state_ == nullptr || state_->round_seq != seq) return;
     start_attempt();
   });
+}
+
+ReliableSession::State ReliableSession::save_state() const {
+  if (!quiescent()) {
+    throw std::logic_error("ReliableSession: save_state while not quiescent");
+  }
+  State s;
+  s.rng = rng_.state();
+  s.next_counter = next_counter_;
+  s.next_round_seq = next_round_seq_;
+  s.rounds_resolved = rounds_resolved_;
+  s.retries = retries_;
+  s.replays_rejected = replays_rejected_;
+  s.corrupt_reports = corrupt_reports_;
+  s.late_reports = late_reports_;
+  s.protocol = protocol_.save_state();
+  return s;
+}
+
+void ReliableSession::restore_state(const State& s) {
+  if (busy()) {
+    throw std::logic_error("ReliableSession: restore_state while a round is in flight");
+  }
+  rng_.set_state(s.rng);
+  next_counter_ = s.next_counter;
+  next_round_seq_ = s.next_round_seq;
+  rounds_resolved_ = s.rounds_resolved;
+  retries_ = s.retries;
+  replays_rejected_ = s.replays_rejected;
+  corrupt_reports_ = s.corrupt_reports;
+  late_reports_ = s.late_reports;
+  protocol_.restore_state(s.protocol);
 }
 
 void ReliableSession::resolve(SessionOutcome outcome) {

@@ -60,6 +60,12 @@ struct SessionConfig {
   sim::Duration backoff_base = 50 * sim::kMillisecond;
   double backoff_factor = 2.0;
   double backoff_jitter = 0.2;
+  /// Saturating cap on any single backoff wait.  The exponential product
+  /// above is computed in double and clamped here *before* the cast to
+  /// sim::Duration — without the clamp a deep retry budget or a large
+  /// factor overflows the uint64 cast (undefined behavior) and can
+  /// schedule a retry absurdly far into the simulated future.
+  sim::Duration backoff_max = 60 * sim::kSecond;
   std::uint64_t seed = 0x5e5510;
   OnDemandConfig protocol;
 };
@@ -99,6 +105,33 @@ class ReliableSession {
   void run(std::function<void(RoundResult)> done);
 
   bool busy() const noexcept { return state_ != nullptr; }
+
+  /// True when no round is in flight and the wrapped protocol has no
+  /// deferral event outstanding — the only state in which this session
+  /// (and the device stack owning it) may be torn down for hibernation.
+  bool quiescent() const noexcept {
+    return state_ == nullptr && protocol_.pending_events() == 0;
+  }
+
+  /// Session-and-protocol state that must survive hibernation: the jitter
+  /// RNG position, the monotonic counter/round sequences, the lifetime
+  /// counters, and the prover's replay-protection watermark.  Capture only
+  /// while quiescent(); restore into a freshly constructed session with
+  /// the same config before its next run().
+  struct State {
+    support::Xoshiro256::State rng{};
+    std::uint64_t next_counter = 1;
+    std::uint64_t next_round_seq = 1;
+    std::size_t rounds_resolved = 0;
+    std::size_t retries = 0;
+    std::size_t replays_rejected = 0;
+    std::size_t corrupt_reports = 0;
+    std::size_t late_reports = 0;
+    OnDemandProtocol::State protocol;
+  };
+
+  State save_state() const;
+  void restore_state(const State& s);
 
   /// Lifetime counters across rounds (also exported via set_metrics).
   std::size_t rounds_resolved() const noexcept { return rounds_resolved_; }

@@ -83,6 +83,30 @@ class Verifier {
   /// "verifier.fail_proof" and "verifier.localized_ranges".
   void set_metrics(obs::MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
 
+  /// Per-session verifier state for hibernation: the challenge DRBG
+  /// position, the outstanding challenge (if a round is mid-flight when
+  /// captured — normally absent at quiescence), and the replay-protection
+  /// counter watermark.  Everything else (golden, key, kinds) is immutable
+  /// configuration recreated from the shard seed on wake.
+  struct SessionState {
+    crypto::HmacDrbg::State drbg;
+    std::optional<support::Bytes> outstanding_challenge;
+    bool last_counter_seen = false;
+    std::uint64_t last_counter = 0;
+  };
+
+  SessionState save_session_state() const {
+    return {challenge_drbg_.state(), outstanding_challenge_, last_counter_seen_,
+            last_counter_};
+  }
+
+  void restore_session_state(SessionState s) {
+    challenge_drbg_.restore(std::move(s.drbg));
+    outstanding_challenge_ = std::move(s.outstanding_challenge);
+    last_counter_seen_ = s.last_counter_seen;
+    last_counter_ = s.last_counter;
+  }
+
  private:
   crypto::HashKind hash_;
   MacKind mac_;

@@ -31,6 +31,20 @@ class HmacDrbg {
   /// Adapter for Bignum::random_below / prime generation.
   bn::Bignum::ByteSource byte_source();
 
+  /// Internal (K, V) working state, for checkpoint/restore.  Restoring a
+  /// snapshot resumes the output stream exactly where it was captured.
+  struct State {
+    support::Bytes key;
+    support::Bytes v;
+  };
+
+  State state() const { return {key_, v_}; }
+
+  void restore(State s) {
+    key_ = std::move(s.key);
+    v_ = std::move(s.v);
+  }
+
  private:
   void update(support::ByteView provided);
 

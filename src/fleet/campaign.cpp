@@ -26,6 +26,15 @@ FleetConfig fleet_config_for(const exp::GridPoint& point,
   config.session.response_timeout = 60 * sim::kMillisecond;
   config.session.max_attempts = 3;
   config.session.backoff_base = 20 * sim::kMillisecond;
+  // Million-device tier: above the hibernation threshold a cell keeps at
+  // most kHibernationPool stacks live (the rest exist as seed records and
+  // are rebuilt from the shard golden on admission) and admits devices in
+  // shard waves (wave_size 0 = auto ≈ devices/64), which is what makes a
+  // 1M-device cell fit one process.  Smaller cells keep every stack
+  // resident so both regimes stay covered by the same campaign.
+  if (config.devices >= kHibernationDeviceThreshold) {
+    config.max_live_stacks = kHibernationPool;
+  }
   config.seed = trial_seed;
   return config;
 }
@@ -35,7 +44,7 @@ exp::CampaignSpec make_fleet_scale_campaign(
   exp::CampaignSpec spec;
   spec.name = "fleet";
   spec.grid.axis("devices", {std::int64_t{1000}, std::int64_t{10000},
-                             std::int64_t{100000}});
+                             std::int64_t{100000}, std::int64_t{1000000}});
   spec.grid.axis("drop_pct", {std::int64_t{0}, std::int64_t{20}});
   spec.grid.axis("stagger", {std::string("burst"), std::string("uniform")});
   spec.trials_per_point = options.trials;
@@ -72,6 +81,15 @@ exp::CampaignSpec make_fleet_scale_campaign(
               static_cast<double>(result.epochs_to_full_coverage));
     out.value("in_flight_high_water",
               static_cast<double>(result.in_flight_high_water));
+    // Scheduler pressure: dripper firings per epoch.  Wave batching at
+    // the hibernation tier must show this ≈ devices / wave_size instead
+    // of ≈ devices.
+    out.value("admission_events_per_epoch",
+              static_cast<double>(result.admission_events) /
+                  static_cast<double>(config.epochs));
+    out.value("live_stacks_high_water",
+              static_cast<double>(result.live_stacks_high_water));
+    out.value("hibernation_wakes", static_cast<double>(result.wakes));
     out.value("makespan_ms", sim::to_millis(result.makespan));
     out.value("wasted_mp_ms", result.health.wasted_measure_ms_total());
     out.value("link_drop_rate",

@@ -2,8 +2,8 @@
 /// \file campaign.hpp
 /// The fleet_scale campaign: how many concurrent reliable-attestation
 /// sessions can one verifier process drive, and what does reliability
-/// cost at scale?  Sweeps fleet size (1k -> 10k -> 100k devices) x link
-/// drop rate x stagger policy; every trial runs a full FleetVerifier
+/// cost at scale?  Sweeps fleet size (1k -> 10k -> 100k -> 1M devices) x
+/// link drop rate x stagger policy; every trial runs a full FleetVerifier
 /// epoch schedule with the invariant checker enabled, so the campaign is
 /// simultaneously a benchmark and a property test — any violated fleet
 /// invariant fails the campaign instead of skewing its aggregates.
@@ -32,6 +32,14 @@ struct FleetScaleCampaignOptions {
 /// which lets campaign_runner --journal-out replay the same trial
 /// regardless of -j).
 inline constexpr double kNoMisjudgeFleetTrial = 1e18;
+
+/// Cells at or above this fleet size run with stack hibernation and the
+/// bounded live pool (FleetConfig::max_live_stacks = kHibernationPool).
+/// The threshold is low enough that CI's reduced fleet-1m cell
+/// (devices=20000) exercises the hibernate/wake path, while the 1k/10k
+/// cells keep the legacy all-resident regime covered.
+inline constexpr std::size_t kHibernationDeviceThreshold = 20000;
+inline constexpr std::size_t kHibernationPool = 4096;
 
 /// Build the fleet configuration for one (cell, trial seed) coordinate.
 /// Shared by the campaign trial function and campaign_runner's

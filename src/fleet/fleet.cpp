@@ -58,7 +58,23 @@ StaggerPolicy parse_stagger_policy(const std::string& name) {
   throw std::invalid_argument("unknown stagger policy '" + name + "'");
 }
 
+const RoundRecord& FleetResult::round(std::size_t device, std::size_t epoch) const {
+  if (epoch >= epochs) {
+    throw std::out_of_range("FleetResult::round: epoch out of range");
+  }
+  if (epoch + round_history < epochs) {
+    throw std::out_of_range(
+        "FleetResult::round: epoch evicted by max_round_history");
+  }
+  return rounds.at(device * round_history + epoch % round_history);
+}
+
 std::vector<sim::Time> FleetResult::start_times(std::size_t device) const {
+  if (round_history < epochs) {
+    throw std::logic_error(
+        "FleetResult::start_times requires the full round history "
+        "(max_round_history >= epochs)");
+  }
   std::vector<sim::Time> times;
   times.reserve(epochs);
   for (std::size_t e = 0; e < epochs; ++e) times.push_back(round(device, e).started);
@@ -87,6 +103,48 @@ constexpr std::size_t kDigestCacheSlotBytes = sizeof(attest::Digest) + 32;
 /// small and constant in N, estimated rather than introspected.
 constexpr std::size_t kPerDeviceStringBytes = 128;
 constexpr std::size_t kKeyBytes = 16;
+/// Heap behind one HibernatedDevice record: the verifier DRBG snapshot
+/// (K and V, 32 B each) plus the outstanding challenge.  The flat-mode
+/// proof backlog is empty; tree-mode backlogs add 4 B per unacknowledged
+/// block on top of this constant.
+constexpr std::size_t kHibernatedHeapBytes = 96;
+
+/// Order-independent stamp over the memory's generation counters.  A
+/// rebuilt stack must reproduce it exactly (same load, same infection
+/// patch): a mismatch means the rebuild diverged from the original
+/// provisioning and the shared digest cache's generation keys are no
+/// longer sound for this device.
+std::uint64_t generation_summary(const sim::DeviceMemory& memory) {
+  std::uint64_t h = exp::mix64(memory.generation());
+  for (std::size_t b = 0; b < memory.block_count(); ++b) {
+    h = exp::mix64(h ^ memory.block_generation(b));
+  }
+  return h;
+}
+
+std::uint64_t key_fingerprint(support::ByteView key) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint8_t b : key) h = exp::mix64(h ^ b);
+  return h;
+}
+
+/// Compact between-rounds seed record of one device: everything a rebuilt
+/// stack cannot re-derive from (FleetConfig, shard state, device id) —
+/// a few hundred bytes against ~3 kB for a live DeviceStack, which is
+/// what makes the 1M tier fit in host RAM.
+struct HibernatedDevice {
+  bool valid = false;
+  std::uint32_t device = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t wakes = 0;              ///< rebuilds consumed so far
+  std::uint64_t key_fingerprint = 0;    ///< shard key stamp (sanity check)
+  std::uint64_t generation_summary = 0; ///< memory generations at capture
+  attest::ReliableSession::State session;
+  attest::Verifier::SessionState verifier;
+  attest::AttestationProcess::ProcessState process;
+  sim::Link::State vrf_to_prv;
+  sim::Link::State prv_to_vrf;
+};
 
 /// State shared by every device of one shard: identical provisioned
 /// content, one key, one pre-digested golden, one prover-side digest
@@ -157,11 +215,15 @@ attest::SessionConfig make_session_config(const FleetConfig& config,
   return session;
 }
 
-/// One prover and everything the verifier keeps to talk to it.  All
-/// stacks stay alive for the entire fleet run: CPU segment completions
-/// and link deliveries capture references into them, so tearing a stack
-/// down mid-run would be use-after-free.  The admission window bounds
-/// *concurrent sessions*, not live objects.
+/// One prover and everything the verifier keeps to talk to it.  CPU
+/// segment completions and link deliveries capture references into the
+/// stack, so it may only be torn down while quiescent() — no round in
+/// flight, no measurement running, no protocol deferral pending, nothing
+/// in flight on either link.  Without hibernation
+/// (FleetConfig::max_live_stacks == 0) every stack stays alive for the
+/// whole run; with it, idle quiescent stacks collapse to HibernatedDevice
+/// records and are rebuilt from the shard state on the next admission.
+/// The admission window bounds *concurrent sessions*, not live objects.
 struct DeviceStack {
   std::shared_ptr<const attest::GoldenMeasurement> own_golden;  ///< iff !share_golden
   sim::Device device;
@@ -214,20 +276,70 @@ struct DeviceStack {
           config.share_golden ? *shard.golden : *own_golden;
       mp.prime_tree_from(golden.block_digests());
     }
-    if (infected) {
-      // Shard-deterministic infection: same blocks, same byte flips for
-      // every infected device of the shard, planted before any round —
-      // required both for soundly sharing the shard digest cache (the
-      // infected content at generation 2 is one value shard-wide) and for
-      // the roster's ground truth (correct verdict = kCompromised).
-      const auto [first, count] = detail::infection_range(config);
-      for (std::size_t block = first; block < first + count; ++block) {
-        const std::size_t addr = block * device.memory().block_size();
-        const std::uint8_t original = device.memory().block_view(block)[0];
-        const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
-        device.memory().write(addr, patch, 0, sim::Actor::kMalware);
-      }
+    patch_infection(config, infected);
+  }
+
+  /// The infection writes alone — shard-deterministic: same blocks, same
+  /// byte flips for every infected device of the shard, planted before
+  /// any round.  Required both for soundly sharing the shard digest cache
+  /// (the infected content at generation 2 is one value shard-wide) and
+  /// for the roster's ground truth (correct verdict = kCompromised).  A
+  /// rebuilt stack replays exactly these writes so its generation
+  /// counters match the first build's (see generation_summary).
+  void patch_infection(const FleetConfig& config, bool infected) {
+    if (!infected) return;
+    const auto [first, count] = detail::infection_range(config);
+    for (std::size_t block = first; block < first + count; ++block) {
+      const std::size_t addr = block * device.memory().block_size();
+      const std::uint8_t original = device.memory().block_view(block)[0];
+      const support::Bytes patch = {static_cast<std::uint8_t>(original ^ 0xff)};
+      device.memory().write(addr, patch, 0, sim::Actor::kMalware);
     }
+  }
+
+  /// Safe-to-tear-down check: every event that could still reference this
+  /// stack has fired.  Link in_flight covers deliveries; mp.busy covers
+  /// CPU segments and the measurement callback chain; session.quiescent
+  /// covers round state and the protocol's deferral events.
+  bool quiescent() const noexcept {
+    return session.quiescent() && !mp.busy() && vrf_to_prv.in_flight() == 0 &&
+           prv_to_vrf.in_flight() == 0;
+  }
+
+  /// Collapse to the seed record.  Caller guarantees quiescent().
+  HibernatedDevice hibernate(std::size_t index, std::size_t shard_index,
+                             std::uint64_t key_fp, std::uint32_t wakes) const {
+    HibernatedDevice h;
+    h.valid = true;
+    h.device = static_cast<std::uint32_t>(index);
+    h.shard = static_cast<std::uint32_t>(shard_index);
+    h.wakes = wakes;
+    h.key_fingerprint = key_fp;
+    h.generation_summary = generation_summary(device.memory());
+    h.session = session.save_state();
+    h.verifier = verifier.save_session_state();
+    h.process = mp.save_process_state();
+    h.vrf_to_prv = vrf_to_prv.save_state();
+    h.prv_to_vrf = prv_to_vrf.save_state();
+    return h;
+  }
+
+  /// Rebuild-from-seed path (the constructor already loaded the clean
+  /// shard image): replay the infection patch, then — tree mode only —
+  /// re-prime the tree from the *current* (patched) content.  The
+  /// persistent stack's tree was already consistent with that content, so
+  /// re-priming from the golden digests here would spuriously re-dirty
+  /// the infected blocks and change the next round's visit set.  Finally
+  /// restore every captured protocol position.
+  void restore(const FleetConfig& config, bool infected,
+               const HibernatedDevice& h) {
+    patch_infection(config, infected);
+    if (config.use_merkle_tree) mp.prime_tree();
+    session.restore_state(h.session);
+    verifier.restore_session_state(h.verifier);
+    mp.restore_process_state(h.process);
+    vrf_to_prv.restore_state(h.vrf_to_prv);
+    prv_to_vrf.restore_state(h.prv_to_vrf);
   }
 };
 
@@ -238,11 +350,18 @@ struct FleetVerifier::Impl {
   Roster roster;
   std::size_t shard_count = 1;
   std::size_t devices_per_shard = 1;
+  bool hibernation = false;  ///< config.max_live_stacks != 0
+  std::size_t wave = 1;      ///< resolved admission wave size
+  std::size_t history = 1;   ///< resolved per-device round-history depth
   bool ran = false;
 
   sim::Simulator simulator;
   std::vector<ShardState> shards;
+  std::vector<std::uint64_t> shard_key_fps;
+  /// Null slots are hibernated (or not yet admitted) devices.
   std::vector<std::unique_ptr<DeviceStack>> stacks;
+  std::vector<HibernatedDevice> hibernated;  ///< sized N iff hibernation
+  std::size_t live_stacks = 0;
 
   /// Per-device scheduling record.  `pending` counts epochs whose stagger
   /// time has passed but whose round has not started yet (waiting on the
@@ -252,9 +371,13 @@ struct FleetVerifier::Impl {
     std::uint32_t rounds_done = 0;
     bool queued = false;
     bool in_flight = false;
+    bool idle_listed = false;  ///< sitting in idle_lru (hibernation only)
   };
   std::vector<DeviceRec> recs;
   std::deque<std::uint32_t> admission;
+  /// Hibernation candidates, least-recently-idle first.  Entries are
+  /// validated lazily at pop time (the device may have been readmitted).
+  std::deque<std::uint32_t> idle_lru;
   std::size_t in_flight_count = 0;
 
   FleetResult result;
@@ -272,34 +395,138 @@ struct FleetVerifier::Impl {
     if (roster.size() != config.devices) {
       throw std::invalid_argument("roster size != FleetConfig.devices");
     }
+    hibernation = config.max_live_stacks != 0;
+    if (hibernation && (!config.share_golden || !config.share_digest_cache)) {
+      throw std::invalid_argument(
+          "FleetConfig.max_live_stacks requires share_golden and "
+          "share_digest_cache (a hibernating stack must not own them)");
+    }
     shard_count = detail::resolve_shards(config);
     devices_per_shard = (config.devices + shard_count - 1) / shard_count;
+    wave = config.wave_size != 0
+               ? config.wave_size
+               : std::min(std::max<std::size_t>(config.devices / 64, 1),
+                          devices_per_shard);
+    history = config.max_round_history == 0
+                  ? config.epochs
+                  : std::min(config.max_round_history, config.epochs);
 
     simulator.set_journal(config.journal);
 
     shards.reserve(shard_count);
+    shard_key_fps.reserve(shard_count);
     for (std::size_t s = 0; s < shard_count; ++s) {
       shards.push_back(make_shard_state(config, s));
+      shard_key_fps.push_back(key_fingerprint(shards.back().key));
     }
-    stacks.reserve(config.devices);
-    for (std::size_t d = 0; d < config.devices; ++d) {
-      stacks.push_back(std::make_unique<DeviceStack>(
-          simulator, config, shards[shard_of(d)], d));
-      stacks.back()->session.set_health(&shards[shard_of(d)].health);
-    }
-    // Shard-wave provisioning: every device of a shard primes its tree
-    // from the same pre-batched golden digests (tree mode), then takes
-    // its infection patch.  Separate pass so the batched digesting work
-    // (one digest_batch per shard, inside make_shard_state) amortizes
-    // across the whole wave instead of repeating per device.
-    for (std::size_t d = 0; d < config.devices; ++d) {
-      stacks[d]->provision(config, shards[shard_of(d)], roster.infected(d));
+    stacks.resize(config.devices);
+    if (hibernation) {
+      // Lazy construction: stacks are built (and provisioned) on first
+      // admission, one shard wave at a time — building all N up front
+      // would defeat the point of bounding live stacks.
+      hibernated.resize(config.devices);
+    } else {
+      for (std::size_t d = 0; d < config.devices; ++d) {
+        stacks[d] = std::make_unique<DeviceStack>(simulator, config,
+                                                  shards[shard_of(d)], d);
+        stacks[d]->session.set_health(&shards[shard_of(d)].health);
+      }
+      // Shard-wave provisioning: every device of a shard primes its tree
+      // from the same pre-batched golden digests (tree mode), then takes
+      // its infection patch.  Separate pass so the batched digesting work
+      // (one digest_batch per shard, inside make_shard_state) amortizes
+      // across the whole wave instead of repeating per device.
+      for (std::size_t d = 0; d < config.devices; ++d) {
+        stacks[d]->provision(config, shards[shard_of(d)], roster.infected(d));
+      }
+      live_stacks = config.devices;
+      result.live_stacks_high_water = live_stacks;
     }
     recs.resize(config.devices);
   }
 
   std::size_t shard_of(std::size_t device) const noexcept {
     return std::min(device / devices_per_shard, shard_count - 1);
+  }
+
+  void journal_fleet(obs::JournalEventKind kind, std::size_t d, std::uint64_t a,
+                     std::uint64_t b) {
+    if (config.journal != nullptr) {
+      config.journal->append(simulator.now(),
+                             config.journal->intern("prv-" + std::to_string(d)),
+                             0, 0, kind, a, b);
+    }
+  }
+
+  /// Live (or build) the stack for device d.  Rebuilds from the
+  /// HibernatedDevice record when one exists, verifying the rebuild
+  /// reproduced the captured key fingerprint and generation summary.
+  DeviceStack& ensure_stack(std::size_t d) {
+    if (stacks[d]) return *stacks[d];
+    const std::size_t s = shard_of(d);
+    auto stack = std::make_unique<DeviceStack>(simulator, config, shards[s], d);
+    stack->session.set_health(&shards[s].health);
+    ++live_stacks;
+    result.live_stacks_high_water =
+        std::max(result.live_stacks_high_water, live_stacks);
+    HibernatedDevice& h = hibernated[d];
+    if (h.valid) {
+      stack->restore(config, roster.infected(d), h);
+      if (generation_summary(stack->device.memory()) != h.generation_summary) {
+        violation("device " + std::to_string(d) +
+                  " rebuilt with mismatched generation summary");
+      }
+      if (shard_key_fps[s] != h.key_fingerprint) {
+        violation("device " + std::to_string(d) +
+                  " rebuilt with mismatched key fingerprint");
+      }
+      h.valid = false;
+      ++h.wakes;
+      ++result.wakes;
+      journal_fleet(obs::JournalEventKind::kFleetWake, d, h.wakes, live_stacks);
+    } else {
+      stack->provision(config, shards[s], roster.infected(d));
+    }
+    stacks[d] = std::move(stack);
+    return *stacks[d];
+  }
+
+  void hibernate_stack(std::size_t d) {
+    const std::size_t s = shard_of(d);
+    hibernated[d] = stacks[d]->hibernate(d, s, shard_key_fps[s],
+                                         hibernated[d].wakes);
+    journal_fleet(obs::JournalEventKind::kFleetHibernate, d,
+                  stacks[d]->session.rounds_resolved(), live_stacks - 1);
+    stacks[d].reset();
+    --live_stacks;
+    ++result.hibernations;
+  }
+
+  /// Hibernate quiescent stacks until the pool is back under the (soft)
+  /// cap, evicting from the *most recently idled* end: the candidate list
+  /// fills in resolution order, which under a saturated admission window
+  /// is also re-admission order — so the back holds the devices that will
+  /// wait longest before their next round, and evicting there avoids
+  /// tearing down a stack that is about to start.  Entries are validated
+  /// lazily (the device may be mid-round again); still-settling stacks
+  /// (e.g. a duplicated report copy in flight) are recycled and revisited
+  /// on a later pool event — the scan bound keeps that from spinning.
+  void shrink_pool() {
+    if (!hibernation) return;
+    std::size_t scan = idle_lru.size();
+    while (live_stacks > config.max_live_stacks && scan-- > 0) {
+      const std::uint32_t d = idle_lru.back();
+      idle_lru.pop_back();
+      DeviceRec& rec = recs[d];
+      rec.idle_listed = false;
+      if (!stacks[d] || rec.in_flight) continue;
+      if (!stacks[d]->quiescent()) {
+        rec.idle_listed = true;
+        idle_lru.push_front(d);
+        continue;
+      }
+      hibernate_stack(d);
+    }
   }
 
   sim::Duration stagger_offset(std::size_t device) const noexcept {
@@ -321,17 +548,31 @@ struct FleetVerifier::Impl {
     result.invariant_violations.push_back(std::move(what));
   }
 
-  /// One dripper event chain per epoch: admit every device whose stagger
-  /// offset has passed, then sleep until the next offset — one pending
-  /// simulator event per epoch instead of N closures.
+  /// Last device (exclusive) of the admission wave led by `first`.  A wave
+  /// never crosses a shard boundary, so every member primes from the same
+  /// shard golden and the wave admits with one batched provisioning pass.
+  std::size_t wave_end(std::size_t first) const noexcept {
+    return std::min({first + wave,
+                     (shard_of(first) + 1) * devices_per_shard,
+                     static_cast<std::size_t>(config.devices)});
+  }
+
+  /// One dripper event chain per epoch, advancing a whole shard wave per
+  /// firing: the wave is admitted at its *leader's* stagger offset, so the
+  /// scheduler sees devices/wave events per epoch instead of N closures.
+  /// Per-device outcomes are unchanged by the grouping — each device's
+  /// rng/session streams are seeded independently of admission time, and
+  /// wave_size=1 reproduces the legacy per-device drip exactly.
   void schedule_epoch(std::size_t epoch) {
     const sim::Time start = static_cast<sim::Time>(epoch) * config.epoch_period;
     auto step = std::make_shared<std::function<void(std::size_t)>>();
     *step = [this, start, step](std::size_t next) {
+      ++result.admission_events;
       while (next < config.devices &&
              start + stagger_offset(next) <= simulator.now()) {
-        device_ready(next);
-        ++next;
+        const std::size_t end = wave_end(next);
+        for (std::size_t d = next; d < end; ++d) device_ready(d);
+        next = end;
       }
       if (next < config.devices) {
         simulator.schedule_at(start + stagger_offset(next),
@@ -358,6 +599,7 @@ struct FleetVerifier::Impl {
       admission.pop_front();
       start_round(d);
     }
+    shrink_pool();
   }
 
   void start_round(std::size_t d) {
@@ -375,7 +617,7 @@ struct FleetVerifier::Impl {
       any_started = true;
       first_start = simulator.now();
     }
-    stacks[d]->session.run(
+    ensure_stack(d).session.run(
         [this, d](attest::RoundResult r) { on_round_done(d, std::move(r)); });
   }
 
@@ -387,7 +629,10 @@ struct FleetVerifier::Impl {
     --in_flight_count;
 
     const obs::RoundOutcome outcome = attest::session_outcome_rollup(r.outcome);
-    RoundRecord& record = result.rounds[d * config.epochs + epoch];
+    // Ring slot: with bounded history the slot for epoch e is reused by
+    // epoch e + history, so clear it before filling.
+    RoundRecord& record = result.rounds[d * history + epoch % history];
+    record = RoundRecord{};
     record.started = r.t_started;
     record.outcome = outcome;
     record.attempts =
@@ -408,7 +653,7 @@ struct FleetVerifier::Impl {
 
     EpochStats& es = result.epoch_stats[epoch];
     ++es.resolved;
-    es.last_resolve = std::max(es.last_resolve, r.t_resolved);
+    es.last_resolve = std::max(es.last_resolve.value_or(0), r.t_resolved);
     // Independent epoch-grouped fold with the exact arguments the session
     // records into its shard rollup — the two groupings must agree.
     es.health.record_round(outcome, r.attempts, r.t_resolved - r.t_started,
@@ -432,6 +677,15 @@ struct FleetVerifier::Impl {
     if (rec.pending > 0 && !rec.queued) {
       rec.queued = true;
       admission.push_back(static_cast<std::uint32_t>(d));
+    }
+    if (hibernation && !rec.idle_listed) {
+      // Hibernation candidate — even when already re-queued: under a
+      // saturated admission window a device can wait whole epochs between
+      // resolve and next start, and that parked stack is exactly what the
+      // pool must not keep live.  start_round wakes it when its turn
+      // comes.
+      rec.idle_listed = true;
+      idle_lru.push_back(static_cast<std::uint32_t>(d));
     }
     pump();
     if (es.resolved == config.devices) check_epoch(epoch);
@@ -494,7 +748,7 @@ struct FleetVerifier::Impl {
                   std::to_string(recs[d].pending) + " pending)");
         break;  // one witness is enough; the counts above give the total
       }
-      if (stacks[d]->session.busy()) {
+      if (stacks[d] && stacks[d]->session.busy()) {
         violation("device " + std::to_string(d) +
                   " session still busy after drain");
         break;
@@ -539,14 +793,29 @@ struct FleetVerifier::Impl {
       violation("outcome counts do not sum to rounds resolved");
     }
 
-    for (const auto& stack : stacks) {
-      for (const sim::Link* link : {&stack->vrf_to_prv, &stack->prv_to_vrf}) {
-        result.link_sent += link->sent();
-        result.link_delivered += link->delivered();
-        result.link_dropped += link->dropped();
-        result.link_duplicated += link->duplicated();
-        result.link_corrupted += link->corrupted();
-        result.link_reordered += link->reordered();
+    // Link counters survive hibernation inside the saved Link::State, so
+    // the fleet totals cover live and hibernated devices alike.
+    for (std::size_t d = 0; d < config.devices; ++d) {
+      if (stacks[d]) {
+        for (const sim::Link* link :
+             {&stacks[d]->vrf_to_prv, &stacks[d]->prv_to_vrf}) {
+          result.link_sent += link->sent();
+          result.link_delivered += link->delivered();
+          result.link_dropped += link->dropped();
+          result.link_duplicated += link->duplicated();
+          result.link_corrupted += link->corrupted();
+          result.link_reordered += link->reordered();
+        }
+      } else if (hibernation && hibernated[d].valid) {
+        for (const sim::Link::State* link :
+             {&hibernated[d].vrf_to_prv, &hibernated[d].prv_to_vrf}) {
+          result.link_sent += link->sent;
+          result.link_delivered += link->delivered;
+          result.link_dropped += link->dropped;
+          result.link_duplicated += link->duplicated;
+          result.link_corrupted += link->corrupted;
+          result.link_reordered += link->reordered;
+        }
       }
     }
     if (result.link_delivered !=
@@ -564,9 +833,20 @@ struct FleetVerifier::Impl {
     // Full coverage: the epoch boundary by which every device had its
     // first round resolved (0 = some device never resolved one).
     if (!result.epoch_stats.empty() &&
-        result.epoch_stats[0].resolved == config.devices) {
+        result.epoch_stats[0].resolved == config.devices &&
+        result.epoch_stats[0].last_resolve.has_value()) {
       result.epochs_to_full_coverage = static_cast<std::size_t>(
-          result.epoch_stats[0].last_resolve / config.epoch_period) + 1;
+          *result.epoch_stats[0].last_resolve / config.epoch_period) + 1;
+    }
+
+    if (config.metrics != nullptr) {
+      config.metrics->gauge("fleet.live_stacks_high_water")
+          .set(static_cast<double>(result.live_stacks_high_water));
+      config.metrics->gauge("fleet.hibernations")
+          .set(static_cast<double>(result.hibernations));
+      config.metrics->gauge("fleet.wakes").set(static_cast<double>(result.wakes));
+      config.metrics->gauge("fleet.admission_events")
+          .set(static_cast<double>(result.admission_events));
     }
 
     result.memory = memory_stats();
@@ -596,19 +876,38 @@ struct FleetVerifier::Impl {
                               config.blocks * kDigestCacheSlotBytes;
       }
     }
-    std::size_t per_device = sizeof(DeviceStack) + sizeof(DeviceRec) +
-                             config.epochs * sizeof(RoundRecord) +
-                             kPerDeviceStringBytes + /*verifier key copy*/ kKeyBytes;
-    if (!config.share_golden) {
-      per_device += sizeof(attest::GoldenMeasurement) +
-                    config.blocks * sizeof(attest::Digest) +
-                    shards.front().golden->tree_memory_bytes() + kKeyBytes;
-    }
-    if (!config.share_digest_cache) {
-      per_device += sizeof(attest::DigestCache) +
-                    config.blocks * kDigestCacheSlotBytes;
+    std::size_t per_device = sizeof(DeviceRec) +
+                             history * sizeof(RoundRecord);
+    if (hibernation) {
+      // A hibernated device is its seed record (plus the heap its saved
+      // session/verifier state holds); the full stack is charged to the
+      // bounded pool below, not per device.
+      per_device += sizeof(HibernatedDevice) + kHibernatedHeapBytes;
+    } else {
+      per_device += sizeof(DeviceStack) + kPerDeviceStringBytes +
+                    /*verifier key copy*/ kKeyBytes;
+      if (!config.share_golden) {
+        per_device += sizeof(attest::GoldenMeasurement) +
+                      config.blocks * sizeof(attest::Digest) +
+                      shards.front().golden->tree_memory_bytes() + kKeyBytes;
+      }
+      if (!config.share_digest_cache) {
+        per_device += sizeof(attest::DigestCache) +
+                      config.blocks * kDigestCacheSlotBytes;
+      }
     }
     stats.per_device_bytes = config.devices * per_device;
+    if (hibernation) {
+      // Pre-run the high-water is still 0; charge the configured cap so
+      // the estimate is an honest a-priori budget, and the measured
+      // high-water once it exceeds the cap (the cap is soft).
+      const std::size_t pool_stacks =
+          std::max({result.live_stacks_high_water, live_stacks,
+                    std::min(config.max_live_stacks,
+                             static_cast<std::size_t>(config.devices))});
+      stats.pool_bytes = pool_stacks * (sizeof(DeviceStack) +
+                                        kPerDeviceStringBytes + kKeyBytes);
+    }
     stats.roster_bytes = roster.memory_bytes();
     return stats;
   }
@@ -619,7 +918,9 @@ struct FleetVerifier::Impl {
     result.devices = config.devices;
     result.epochs = config.epochs;
     result.shards = shard_count;
-    result.rounds.resize(config.devices * config.epochs);
+    result.round_history = history;
+    result.wave_size = wave;
+    result.rounds.resize(config.devices * history);
     result.epoch_stats.resize(config.epochs);
     for (std::size_t e = 0; e < config.epochs; ++e) schedule_epoch(e);
     simulator.run();

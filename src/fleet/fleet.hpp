@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,9 +74,41 @@ struct FleetConfig {
   /// Admission window: max sessions concurrently in flight (0 = no cap).
   std::size_t max_in_flight = 1024;
 
-  /// Prover hardware.  Deliberately tiny by default: all N device stacks
-  /// stay alive for the whole run (in-flight events hold references into
-  /// them), so the per-device footprint bounds fleet size in host RAM.
+  /// Stack hibernation (the 1M tier): bound the pool of live DeviceStacks
+  /// (0 = keep all N alive for the whole run, the pre-1M behavior).
+  /// Between rounds an idle, fully quiescent stack is torn down to a
+  /// compact HibernatedDevice seed record and rebuilt from the shard
+  /// state at its next admission; verdicts, journals and health rollups
+  /// are byte-identical either way (chaos-tested).  The cap is soft:
+  /// admission always wakes the device it needs, then the pool shrinks
+  /// back by hibernating least-recently-idle stacks, so liveness never
+  /// depends on the cap.  Requires share_golden and share_digest_cache —
+  /// a hibernating device must not own golden/cache state that dies with
+  /// its stack (losing cache entries would change the journaled hit/miss
+  /// sequence).
+  std::size_t max_live_stacks = 0;
+
+  /// Shard-wave challenge batching: devices admitted per scheduler event
+  /// (0 = auto: devices/64 clamped to [1, devices_per_shard]; 1 = the
+  /// legacy one-event-per-device dripper).  Waves never cross a shard
+  /// boundary and every device of a wave becomes ready at the wave
+  /// leader's stagger offset.  Round outcomes are invariant under wave
+  /// size (per-device randomness is admission-time-independent); only the
+  /// recorded start times of kUniform runs quantize to wave leaders.
+  std::size_t wave_size = 0;
+
+  /// Bound on retained per-device round history (ring buffer; 0 = keep
+  /// all config.epochs records).  With history H < epochs only the last H
+  /// rounds of each device stay addressable via FleetResult::round();
+  /// every aggregate (health, epoch stats, outcome counts) still covers
+  /// all rounds.  At 1M devices the full history dominates verifier
+  /// memory, which is exactly what this bounds.
+  std::size_t max_round_history = 0;
+
+  /// Prover hardware.  Deliberately tiny by default: with
+  /// max_live_stacks == 0 all N device stacks stay alive for the whole
+  /// run (in-flight events hold references into them), so the per-device
+  /// footprint bounds fleet size in host RAM.
   std::size_t blocks = 4;
   std::size_t block_size = 64;
   crypto::HashKind hash = crypto::HashKind::kSha256;
@@ -141,8 +174,11 @@ struct EpochStats {
   std::size_t admitted = 0;   ///< sessions started for this epoch
   std::size_t resolved = 0;   ///< terminal outcomes observed
   std::size_t misjudged = 0;  ///< outcome disagrees with roster ground truth
-  sim::Time first_start = 0;
-  sim::Time last_resolve = 0;
+  /// Explicit has-value sentinels: an epoch with zero admitted (or zero
+  /// resolved) sessions reads as nullopt, distinguishable from an event
+  /// at t = 0 (a burst epoch 0 legitimately starts at time zero).
+  std::optional<sim::Time> first_start;
+  std::optional<sim::Time> last_resolve;
   obs::HealthRollup health;   ///< per-epoch fold (independent of shards)
 };
 
@@ -155,8 +191,12 @@ struct FleetMemoryStats {
   std::size_t shared_bytes = 0;
   std::size_t per_device_bytes = 0;
   std::size_t roster_bytes = 0;
+  /// Live-stack pool under hibernation: high-water live stacks times the
+  /// full stack footprint.  Zero when stacks are persistent (the full
+  /// footprint is then inside per_device_bytes).
+  std::size_t pool_bytes = 0;
   std::size_t total_bytes() const noexcept {
-    return shared_bytes + per_device_bytes + roster_bytes;
+    return shared_bytes + per_device_bytes + roster_bytes + pool_bytes;
   }
   /// total / N: b + a/N — strictly decreasing in fleet size while the
   /// shard count stays fixed (the sub-linearity the tests assert).
@@ -187,6 +227,24 @@ struct FleetResult {
   std::vector<obs::HealthRollup> shard_health;
   obs::HealthRollup health;
 
+  /// Rounds each device retains in `rounds` (min(epochs, the resolved
+  /// max_round_history)); round() only addresses the last `round_history`
+  /// epochs when it is smaller than `epochs`.
+  std::size_t round_history = 0;
+
+  /// Resolved admission wave size and the number of admission scheduler
+  /// events that actually fired (dripper steps, summed across epochs) —
+  /// the scheduler-pressure figure wave batching exists to cut.
+  std::size_t wave_size = 0;
+  std::size_t admission_events = 0;
+
+  /// Stack hibernation accounting (all zero when max_live_stacks == 0).
+  /// `wakes` counts rebuilds from a HibernatedDevice record only; the
+  /// first construction of a stack is not a wake.
+  std::size_t hibernations = 0;
+  std::size_t wakes = 0;
+  std::size_t live_stacks_high_water = 0;
+
   std::size_t in_flight_high_water = 0;
   sim::Time makespan = 0;  ///< first challenge issued -> last round resolved
   double rounds_per_sim_second = 0.0;
@@ -214,11 +272,13 @@ struct FleetResult {
   /// Human-readable invariant violations (empty on a healthy run).
   std::vector<std::string> invariant_violations;
 
-  const RoundRecord& round(std::size_t device, std::size_t epoch) const {
-    return rounds.at(device * epochs + epoch);
-  }
+  /// Record of one device's round at `epoch`.  With a bounded history
+  /// ring (round_history < epochs) only the last round_history epochs are
+  /// addressable; asking for an evicted epoch throws std::out_of_range.
+  const RoundRecord& round(std::size_t device, std::size_t epoch) const;
   /// Recorded start times of one device's rounds, in epoch order — the
-  /// exact schedule replay_device() re-runs.
+  /// exact schedule replay_device() re-runs.  Requires the full history
+  /// (throws std::logic_error when round_history < epochs).
   std::vector<sim::Time> start_times(std::size_t device) const;
 };
 
@@ -242,8 +302,10 @@ class FleetVerifier {
   const Roster& roster() const noexcept;
   std::size_t shard_count() const noexcept;
   std::size_t shard_of(std::size_t device) const noexcept;
-  /// Verifier-side memory accounting (valid after construction; constant
-  /// during the run — stacks are persistent, nothing grows with time).
+  /// Verifier-side memory accounting from the actual container footprints
+  /// (capacities, not assumed sizes).  Without hibernation it is constant
+  /// from construction on; with hibernation the pool term uses the live-
+  /// stack high water, so read it after run() for the final figure.
   FleetMemoryStats memory_stats() const;
 
  private:

@@ -31,6 +31,8 @@ std::string_view journal_event_kind_name(JournalEventKind kind) {
     case JournalEventKind::kAlarmRaised: return "app.alarm_raised";
     case JournalEventKind::kMtreeRehash: return "mtree.rehash";
     case JournalEventKind::kMtreeProof: return "mtree.proof";
+    case JournalEventKind::kFleetHibernate: return "fleet.hibernate";
+    case JournalEventKind::kFleetWake: return "fleet.wake";
   }
   return "?";
 }

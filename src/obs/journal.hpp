@@ -62,6 +62,10 @@ enum class JournalEventKind : std::uint8_t {
   // numeric payloads keep their values).
   kMtreeRehash,  ///< a = dirty leaves folded in, b = tree nodes re-hashed
   kMtreeProof,   ///< a = first covered leaf, b = covered leaf count
+  // fleet stack hibernation — actor = prover device (appended at the end
+  // so existing numeric payloads keep their values).
+  kFleetHibernate,  ///< a = rounds resolved so far, b = live stacks after
+  kFleetWake,       ///< a = wakes of this device so far, b = live stacks after
 };
 
 /// Stable machine name ("link.drop", "session.resolved", ...).

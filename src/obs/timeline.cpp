@@ -76,6 +76,10 @@ std::string describe(const JournalEvent& ev) {
     case JournalEventKind::kMtreeProof:
       return "leaves=[" + std::to_string(ev.a) + ", " +
              std::to_string(ev.a + ev.b) + ")";
+    case JournalEventKind::kFleetHibernate:
+      return "rounds=" + std::to_string(ev.a) + " pool=" + std::to_string(ev.b);
+    case JournalEventKind::kFleetWake:
+      return "wake #" + std::to_string(ev.a) + " pool=" + std::to_string(ev.b);
   }
   return "";
 }

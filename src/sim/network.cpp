@@ -33,6 +33,32 @@ void Link::reset_counters() noexcept {
   partition_dropped_ = 0;
 }
 
+Link::State Link::save_state() const noexcept {
+  State s;
+  s.rng = rng_.state();
+  s.next_msg_id = next_msg_id_;
+  s.sent = sent_;
+  s.delivered = delivered_;
+  s.dropped = dropped_;
+  s.duplicated = duplicated_;
+  s.corrupted = corrupted_;
+  s.reordered = reordered_;
+  s.partition_dropped = partition_dropped_;
+  return s;
+}
+
+void Link::restore_state(const State& s) noexcept {
+  rng_.set_state(s.rng);
+  next_msg_id_ = s.next_msg_id;
+  sent_ = s.sent;
+  delivered_ = s.delivered;
+  dropped_ = s.dropped;
+  duplicated_ = s.duplicated;
+  corrupted_ = s.corrupted;
+  reordered_ = s.reordered;
+  partition_dropped_ = s.partition_dropped;
+}
+
 bool Link::in_partition(Time t) const noexcept {
   for (const PartitionWindow& window : config_.partitions) {
     if (t >= window.start && t < window.end) return true;
@@ -67,10 +93,12 @@ void Link::deliver_after(Duration transit, support::Bytes payload, Handler handl
   if (auto* sink = sim_.trace_sink()) {
     sink->complete(sim_.now(), transit, "net", "net.transit", {bytes_arg(payload.size())});
   }
+  ++in_flight_;
   sim_.schedule_in(transit, [this, token = std::weak_ptr<bool>(alive_), msg_id,
                              payload = std::move(payload),
                              handler = std::move(handler)]() mutable {
     if (token.expired()) return;  // link destroyed while in flight
+    --in_flight_;
     ++delivered_;
     count("net.delivered");
     journal(obs::JournalEventKind::kLinkDeliver, msg_id, payload.size());

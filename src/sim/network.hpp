@@ -95,6 +95,30 @@ class Link {
 
   const LinkConfig& config() const noexcept { return config_; }
 
+  /// Deliveries scheduled but not yet fired.  A link is quiescent (safe to
+  /// hibernate) only when this is zero; tearing it down earlier would
+  /// silently cancel in-flight messages and change delivery outcomes.
+  std::size_t in_flight() const noexcept { return in_flight_; }
+
+  /// Serializable fault-model state: the RNG position, the message-id
+  /// counter, and every lifetime fault counter.  Restoring a snapshot into
+  /// a freshly constructed Link (same config) resumes the fault stream
+  /// exactly, so the fates of all future messages are unchanged.
+  struct State {
+    support::Xoshiro256::State rng{};
+    std::uint64_t next_msg_id = 0;
+    std::size_t sent = 0;
+    std::size_t delivered = 0;
+    std::size_t dropped = 0;
+    std::size_t duplicated = 0;
+    std::size_t corrupted = 0;
+    std::size_t reordered = 0;
+    std::size_t partition_dropped = 0;
+  };
+
+  State save_state() const noexcept;
+  void restore_state(const State& s) noexcept;
+
  private:
   /// base latency + jitter draw + rounded-to-nearest serialization delay
   /// (>= 1 ns for any nonzero payload so distinct sizes never alias to a
@@ -117,6 +141,7 @@ class Link {
   std::size_t corrupted_ = 0;
   std::size_t reordered_ = 0;
   std::size_t partition_dropped_ = 0;
+  std::size_t in_flight_ = 0;
   std::uint64_t next_msg_id_ = 0;
   obs::ActorId journal_actor_;
   /// Lifetime token observed (weakly) by in-flight delivery events.

@@ -4,6 +4,7 @@
 /// (event jitter, Monte-Carlo adversary moves).  Cryptographic randomness
 /// lives in src/crypto/drbg.hpp; never use this generator for keys.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -38,6 +39,18 @@ class Xoshiro256 {
 
   /// Exponentially distributed value with the given mean (> 0).
   double exponential(double mean) noexcept;
+
+  /// Raw generator state, for checkpoint/restore (fleet hibernation).
+  using State = std::array<std::uint64_t, 4>;
+
+  State state() const noexcept { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  void set_state(const State& s) noexcept {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -154,6 +154,43 @@ TEST(ReliableSession, BackoffGrowsExponentiallyWithJitterBounded) {
   EXPECT_LE(result.backoff_total, 35 * kMs + 35 * kMs / 2);
 }
 
+TEST(ReliableSession, BackoffSaturatesAtTheConfiguredCap) {
+  // Extreme budgets used to push backoff_base * factor^k past what a
+  // sim::Duration can hold; the double->uint64 cast of that product is
+  // undefined behavior.  The clamp must resolve such a round within
+  // attempts * (timeout + backoff_max) instead of hanging for astronomic
+  // simulated time (or worse).
+  sim::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  SessionConfig config = fast_session_config();
+  config.max_attempts = 6;
+  config.backoff_base = sim::Duration{1} << 62;  // ~146 simulated years
+  config.backoff_factor = 1e12;
+  config.backoff_jitter = 1.0;
+  config.backoff_max = 30 * kMs;
+  SessionHarness fx(SessionHarness::with_links(dead, {}, config));
+  const RoundResult result = fx.run_round();
+  EXPECT_TRUE(testfx::resolved_as(result, SessionOutcome::kTimeout));
+  EXPECT_EQ(result.attempts, 6u);
+  // Five waits, each saturated exactly at the cap.
+  EXPECT_EQ(result.backoff_total, 5 * config.backoff_max);
+  EXPECT_LE(fx.simulator.now(),
+            config.max_attempts * (config.response_timeout + config.backoff_max));
+}
+
+TEST(ReliableSession, ModestBackoffIsUntouchedByTheDefaultCap) {
+  // The 60 s default cap sits far above any backoff the existing
+  // campaigns can produce, so enabling it must not perturb a normal
+  // lossy round: same exponential waits as the uncapped formula.
+  sim::LinkConfig dead;
+  dead.drop_probability = 1.0;
+  SessionConfig config = fast_session_config();
+  config.max_attempts = 4;
+  SessionHarness fx(SessionHarness::with_links(dead, {}, config));
+  const RoundResult result = fx.run_round();
+  EXPECT_EQ(result.backoff_total, (5 + 10 + 20) * kMs);
+}
+
 TEST(ReliableSession, MisuseThrows) {
   SessionHarness fx;
   fx.session.run([](RoundResult) {});
